@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Each bench prints its reproduced table/figure straight to the terminal
+(bypassing capture) so that ``pytest benchmarks/ --benchmark-only | tee``
+records the paper-vs-measured data alongside the timing stats.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a rendered table without pytest capturing it."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print

@@ -1,0 +1,90 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.bench import ablations
+
+
+def test_rb_size_ablation(benchmark, report):
+    rows = ablations.rb_size_sweep()
+    from repro.bench.reporting import Table
+
+    table = Table("Ablation: RB size", ["rb size (KiB)", "overhead", "resets"])
+    for row in rows:
+        table.add(row["rb_size"] // 1024, row["overhead"], row["rb_resets"])
+    report(table.render())
+    # Tiny buffers stall the master more often.
+    assert rows[0]["rb_resets"] >= rows[-1]["rb_resets"]
+    assert rows[0]["overhead"] >= rows[-1]["overhead"] - 0.02
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_machine_ablation(benchmark, report):
+    rows = ablations.machine_sweep()
+    from repro.bench.reporting import Table
+
+    table = Table(
+        "Ablation: context-switch costs", ["machine", "CP", "ReMon", "gap"]
+    )
+    for row in rows:
+        table.add(row["machine"], row["cp_overhead"], row["remon_overhead"],
+                  "%.1fx" % row["gap"])
+    report(table.render())
+    by_name = {r["machine"]: r for r in rows}
+    # Slower context switches widen the CP/IP gap; tagged TLBs narrow it
+    # but never close it (the paper's core motivation).
+    assert by_name["slow-switch"]["gap"] > by_name["tagged-tlb"]["gap"]
+    assert by_name["tagged-tlb"]["cp_overhead"] > by_name["tagged-tlb"]["remon_overhead"]
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_replica_count_ablation(benchmark, report):
+    rows = ablations.replica_sweep()
+    from repro.bench.reporting import Table
+
+    table = Table("Ablation: replica count", ["replicas", "overhead"])
+    for row in rows:
+        table.add(row["replicas"], row["overhead"])
+    report(table.render())
+    assert rows[-1]["overhead"] >= rows[0]["overhead"]
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_condvar_strategy_ablation(benchmark, report):
+    rows = ablations.condvar_strategy_sweep()
+    from repro.bench.reporting import Table
+
+    table = Table(
+        "Ablation: slave waiting strategies (§3.7)",
+        ["strategy", "wall ms", "futex waits", "wakes skipped", "spin CPU us"],
+    )
+    for row in rows:
+        table.add(
+            row["strategy"],
+            "%.2f" % (row["wall_time_ns"] / 1e6),
+            row["futex_waits"],
+            row["wakes_skipped"],
+            "%.0f" % (row["slave_spin_cpu_ns"] / 1e3),
+        )
+    report(table.render())
+    by_name = {r["strategy"]: r for r in rows}
+    # Futex condvars put the slaves to sleep; forced spinning burns CPU
+    # instead. The no-waiter wake elision fires in both configurations.
+    assert by_name["futex-condvars"]["futex_waits"] > 0
+    assert by_name["always-spin"]["futex_waits"] == 0
+    assert (
+        by_name["always-spin"]["slave_spin_cpu_ns"]
+        > 5 * by_name["futex-condvars"]["slave_spin_cpu_ns"]
+    )
+    assert any(row["wakes_skipped"] > 0 for row in rows)
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)

@@ -1,0 +1,19 @@
+"""Regenerates Figure 3 (left): PARSEC 2.1 under GHUMVEE vs ReMon."""
+
+from repro.bench import figure3
+from repro.core.policies import Level
+
+
+def test_figure3_parsec(benchmark, report):
+    data = figure3.generate("parsec")
+    report(figure3.render(data))
+
+    # Shape assertions: IP-MON improves the geomean, in the right zone.
+    assert data["geomean_measured_ipmon"] < data["geomean_measured_no_ipmon"]
+    assert 1.0 <= data["geomean_measured_ipmon"] < 1.35
+    assert 1.05 <= data["geomean_measured_no_ipmon"] < 1.6
+
+    # Timing exhibit: one representative benchmark run end-to-end.
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)

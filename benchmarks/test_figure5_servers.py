@@ -1,0 +1,33 @@
+"""Regenerates Figure 5: the nine server benchmarks in both network
+scenarios with 2-7 replicas (plus 2 replicas without IP-MON)."""
+
+from repro.bench import figure5
+
+
+def test_figure5_realistic_2ms(benchmark, report):
+    data = figure5.generate("realistic-2ms")
+    report(figure5.render(data))
+    # At realistic latency ReMon's server overheads are tiny; IP-MON is
+    # always at least as good as GHUMVEE-alone (allowing 2% noise).
+    for row in data["rows"]:
+        assert row["overheads"]["remon-2"] <= row["overheads"]["no-ipmon-2"] + 0.02, row
+        assert row["overheads"]["remon-2"] < 0.25, row
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_figure5_worstcase_gigabit(benchmark, report):
+    data = figure5.generate("gigabit-0.1ms")
+    report(figure5.render(data))
+    for row in data["rows"]:
+        overheads = row["overheads"]
+        # The worst-case link hides nothing: GHUMVEE-alone is clearly
+        # worse than ReMon, and overhead grows with replica count.
+        assert overheads["no-ipmon-2"] > overheads["remon-2"], row
+        assert overheads["remon-7"] >= overheads["remon-2"] - 0.05, row
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)

@@ -1,0 +1,70 @@
+"""Microbenchmarks of the substrate itself (host-time measurements).
+
+These complement the figure/table benches: they time how fast the
+simulator executes its own building blocks, which is useful when tuning
+the reproduction and when reviewing performance regressions.
+"""
+
+from repro.baselines.native import run_native
+from repro.guest.program import Compute, Program
+from repro.kernel import Kernel
+from repro.sim import Simulator, Sleep
+from repro.workloads.calibrate import calibrate
+
+
+def test_simulator_event_throughput(benchmark):
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(2000):
+                yield Sleep(10)
+
+        sim.spawn(ticker(), "t")
+        sim.run()
+        return sim.steps
+
+    steps = benchmark(run)
+    assert steps >= 2000
+
+
+def test_native_syscall_dispatch(benchmark):
+    def run():
+        def main(ctx):
+            for _ in range(500):
+                yield ctx.sys.getpid()
+            return 0
+
+        return run_native(Program("micro", main)).syscalls
+
+    syscalls = benchmark(run)
+    assert syscalls >= 500
+
+
+def test_guest_file_io_roundtrip(benchmark):
+    def run():
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield from libc.open("/data/x.bin")
+            for _ in range(100):
+                ret, _ = yield from libc.pread(fd, 4096, 0)
+                assert ret == 4096
+            return 0
+
+        program = Program("micro-io", main, files={"/data/x.bin": bytes(8192)})
+        return run_native(program).wall_time_ns
+
+    benchmark(run)
+
+
+def test_calibration_costs_are_sane(benchmark, report):
+    cal = benchmark(lambda: (calibrate.cache_clear(), calibrate())[1])
+    report(
+        "Calibration: native=%.0f ns/call, monitored=+%.0f ns, "
+        "unmonitored=+%.0f ns (CP/IP ratio %.1fx)"
+        % (cal.t_native_ns, cal.t_mon_ns, cal.t_ipmon_ns,
+           cal.t_mon_ns / cal.t_ipmon_ns)
+    )
+    # The regime the paper's design lives in: CP monitoring costs one to
+    # two orders of magnitude more than in-process replication.
+    assert 5 <= cal.t_mon_ns / cal.t_ipmon_ns <= 200

@@ -1,0 +1,34 @@
+"""Regenerates the §4 security analysis as a scenario-outcome table."""
+
+from repro.bench import security
+
+
+def test_security_analysis(benchmark, report):
+    rows = security.generate()
+    report(security.render(rows))
+
+    by_key = {(r["scenario"], r["monitor"]): r for r in rows}
+
+    # ReMon blocks the classic attacks outright.
+    assert not by_key[("code-reuse payload (DCL on)", "ReMon")]["effect"]
+    assert not by_key[("corrupted syscall argument", "ReMon")]["effect"]
+    assert not by_key[("RB discovery (maps + guessing)", "ReMon")]["effect"]
+    assert not by_key[("sensitive call by compromised master", "ReMon")]["effect"]
+    assert not by_key[("unaligned syscall gadget", "ReMon")]["effect"]
+
+    # Without diversity the same payload compromises every replica.
+    assert by_key[("code-reuse payload (no diversity)", "ReMon")]["effect"]
+
+    # VARAN's windows: sensitive calls execute; gadgets are invisible.
+    varan_window = by_key[("sensitive call by compromised master", "VARAN")]
+    assert varan_window["effect"] and varan_window["detected"]
+    varan_gadget = by_key[("unaligned syscall gadget", "VARAN")]
+    assert varan_gadget["effect"] and not varan_gadget["detected"]
+
+    # Temporal policies: deterministic exploitable, stochastic not.
+    assert by_key[("temporal abuse (deterministic policy)", "ReMon")]["effect"]
+    assert not by_key[("temporal abuse (stochastic policy)", "ReMon")]["effect"]
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)

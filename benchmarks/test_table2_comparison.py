@@ -1,0 +1,24 @@
+"""Regenerates Table 2: ReMon vs other MVEEs on the server suite."""
+
+from repro.bench import table2
+
+
+def test_table2_comparison(benchmark, report):
+    data = table2.generate()
+    report(table2.render(data))
+
+    for row in data["rows"]:
+        # ReMon at 5 ms: near-native (paper: 0-3.5%).
+        assert row["measured_remon"] < 0.10, row
+        # The security-oriented CP baseline is never better than ReMon.
+        assert row["measured_ghumvee"] >= row["measured_remon"] - 0.02, row
+    # Aggregate claim: ReMon approaches the reliability-oriented IP
+    # design's efficiency while keeping lockstep for sensitive calls.
+    avg_remon = sum(r["measured_remon"] for r in data["rows"]) / len(data["rows"])
+    avg_varan = sum(r["measured_varan"] for r in data["rows"]) / len(data["rows"])
+    assert avg_remon < 0.05
+    assert abs(avg_remon - avg_varan) < 0.50
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The security/performance dial: sweep all five relaxation levels.
+
+Reproduces the paper's central trade-off (Table 1 / Figure 4) on one
+mixed workload: as more system-call categories run unmonitored through
+IP-MON, overhead falls — and the §4 analysis says which residual risks
+each level accepts.
+
+Run:  python examples/policy_tradeoff.py
+"""
+
+from repro.baselines import run_native
+from repro.core import Level, ReMon, ReMonConfig
+from repro.core.policies import RelaxationPolicy
+from repro.kernel import Kernel
+from repro.workloads.synthetic import CategoryMix, SyntheticWorkload, build_program
+
+DESCRIPTIONS = {
+    Level.NO_IPMON: "every call monitored (GHUMVEE alone)",
+    Level.BASE: "process-local getters exempt",
+    Level.NONSOCKET_RO: "+ file/pipe reads, futexes",
+    Level.NONSOCKET_RW: "+ file/pipe writes, syncs",
+    Level.SOCKET_RO: "+ socket reads, epoll_wait",
+    Level.SOCKET_RW: "+ socket writes (everything relaxable)",
+}
+
+
+def make_workload() -> SyntheticWorkload:
+    """A network-service-like mix: heavy socket traffic plus file I/O."""
+    return SyntheticWorkload(
+        name="mixed-service",
+        native_ms=25.0,
+        mix=CategoryMix(
+            {
+                "base": 8_000,
+                "file_ro": 20_000,
+                "futex": 10_000,
+                "file_rw": 12_000,
+                "sock_ro": 25_000,
+                "sock_rw": 25_000,
+                "mgmt": 1_500,
+            }
+        ),
+        threads=2,
+    )
+
+
+def main():
+    workload = make_workload()
+    native = run_native(build_program(workload))
+    print("native: %.2f ms, %d syscalls (%.0fk calls/s)\n"
+          % (native.wall_time_ns / 1e6, native.syscalls,
+             native.syscall_rate_per_sec() / 1e3))
+    print("%-14s  %-42s  %9s  %10s  %12s"
+          % ("level", "meaning", "overhead", "monitored", "unmonitored"))
+    print("-" * 95)
+    for level in Level:
+        kernel = Kernel()
+        mvee = ReMon(kernel, build_program(workload),
+                     ReMonConfig(replicas=2, level=level))
+        result = mvee.run()
+        assert not result.diverged, result.divergence
+        overhead = result.wall_time_ns / native.wall_time_ns - 1
+        print("%-14s  %-42s  %8.1f%%  %10d  %12d"
+              % (level.name, DESCRIPTIONS[level], 100 * overhead,
+                 result.monitored_calls, result.unmonitored_calls))
+
+    # Which calls may each level exempt?
+    print("\nunmonitored-capable call sets (registered with IK-B):")
+    for level in list(Level)[1:]:
+        names = sorted(RelaxationPolicy(level).unmonitored_set())
+        print("  %-14s %d calls" % (level.name, len(names)))
+
+
+if __name__ == "__main__":
+    main()

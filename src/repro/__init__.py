@@ -1,0 +1,18 @@
+"""ReMon reproduction: secure & efficient multi-variant execution.
+
+A Python reproduction of Volckaert et al., "Secure and Efficient
+Application Monitoring and Replication" (USENIX ATC 2016), built over a
+deterministic discrete-event OS simulation. See README.md for the
+architecture and DESIGN.md for the substitution argument.
+
+Primary entry points::
+
+    from repro.core import ReMon, ReMonConfig, Level
+    from repro.baselines import run_native, Varan
+    from repro.guest.program import Program, Compute
+    from repro.kernel import Kernel
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

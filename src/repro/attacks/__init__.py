@@ -1,0 +1,22 @@
+"""Attack scenarios for the security analysis (paper §4).
+
+Each scenario models a concrete attacker capability against a running
+MVEE and reports whether the attack's externally visible effect happened
+and whether/how the monitor detected it. The scenarios back the paper's
+claims:
+
+* diversified replicas cannot be compromised consistently (DCL);
+* input replication forecloses asymmetric attacks;
+* the RB pointer is hidden (never in guest memory, scrubbed from
+  /proc/*/maps) and guessing it is a 2^-24 proposition per replica;
+* forged or replayed IK-B tokens cannot authorize unmonitored calls;
+* VARAN-style designs execute sensitive calls before any check
+  (run-ahead window) and miss unaligned syscall gadgets entirely;
+* deterministic temporal exemption policies are insecure, stochastic
+  ones are not reliably exploitable.
+"""
+
+from repro.attacks.analysis import AttackOutcome, run_attack
+from repro.attacks import scenarios
+
+__all__ = ["AttackOutcome", "run_attack", "scenarios"]

@@ -1,0 +1,18 @@
+"""GHUMVEE standalone: the conservative cross-process MVEE baseline.
+
+When used without IP-MON and IK-B, GHUMVEE monitors *every* system call
+(paper §5.1's "no IP-MON" configuration, also how GHUMVEE was evaluated
+as a standalone MVEE). In this reproduction that is simply ReMon
+configured at ``Level.NO_IPMON``.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import Level
+from repro.core.remon import ReMonConfig
+
+
+def ghumvee_standalone_config(replicas: int = 2, **kwargs) -> ReMonConfig:
+    """A ReMonConfig for the pure CP-monitor baseline."""
+    kwargs.setdefault("level", Level.NO_IPMON)
+    return ReMonConfig(replicas=replicas, **kwargs)

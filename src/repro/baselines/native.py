@@ -1,0 +1,61 @@
+"""Native (un-monitored) execution: the baseline denominator."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.guest import GuestRuntime
+from repro.kernel import Kernel
+
+
+class NativeResult:
+    """Outcome of a native run."""
+
+    def __init__(self, kernel, process, wall_time_ns: int):
+        self.kernel = kernel
+        self.process = process
+        self.wall_time_ns = wall_time_ns
+        self.exit_code = process.exit_code
+        self.syscalls = kernel.syscall_counter
+        self.syscalls_by_name = dict(kernel.syscall_counts_by_name)
+
+    def syscall_rate_per_sec(self) -> float:
+        if self.wall_time_ns <= 0:
+            return 0.0
+        return self.syscalls / (self.wall_time_ns / 1e9)
+
+    def __repr__(self):
+        return "NativeResult(t=%d ns, %d syscalls, exit=%r)" % (
+            self.wall_time_ns,
+            self.syscalls,
+            self.exit_code,
+        )
+
+
+def run_native(
+    program,
+    kernel: Optional[Kernel] = None,
+    side_tasks: Optional[Callable] = None,
+    max_steps: Optional[int] = None,
+    until: Optional[int] = None,
+) -> NativeResult:
+    """Run ``program`` once with no monitoring.
+
+    ``side_tasks(kernel)``, if given, is called before the run to start
+    auxiliary simulated processes (benchmark clients, peers).
+    """
+    kernel = kernel or Kernel()
+    program.install_files(kernel)
+    process = kernel.create_process(program.name)
+    runtime = GuestRuntime(kernel, process, program)
+    if side_tasks is not None:
+        side_tasks(kernel)
+    start = kernel.sim.now
+    exit_time = {}
+    process.exit_event.add_listener(lambda _v: exit_time.setdefault("t", kernel.sim.now))
+    _thread, task = runtime.start()
+    kernel.sim.run(max_steps=max_steps, until=until)
+    if task.failure is not None:
+        raise task.failure
+    end = exit_time.get("t", kernel.sim.now)
+    return NativeResult(kernel, process, end - start)

@@ -1,0 +1,17 @@
+"""Benchmark harness regenerating every table and figure of §5.
+
+Each module exposes ``generate()`` (structured results) and ``render()``
+(the formatted table, paper-vs-measured). The pytest-benchmark entry
+points live in the repository's ``benchmarks/`` directory.
+
+Set ``REPRO_BENCH_SCALE`` (default 1.0, e.g. ``0.25``) to shrink the
+virtual workload sizes for quicker, noisier runs.
+"""
+
+from repro.bench.harness import (
+    bench_scale,
+    measure_mvee_overhead,
+    measure_server_overhead,
+)
+
+__all__ = ["bench_scale", "measure_mvee_overhead", "measure_server_overhead"]

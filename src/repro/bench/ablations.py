@@ -1,0 +1,226 @@
+"""Ablation studies of ReMon's design choices (DESIGN.md §6).
+
+1. **RB size sweep** — the linear RB bounds the master's run-ahead;
+   smaller buffers mean more GHUMVEE-arbitrated resets (§3.2).
+2. **Machine sweep** — the CP/IP cost gap as context-switch/TLB costs
+   vary (the motivation of the whole design: Figure 1).
+3. **Replica-count sweep** — compute-bound scaling (memory pressure)
+   versus syscall-bound scaling.
+4. **Slave waiting strategy** — spin versus futex condition variables
+   for slave result waits (§3.7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.native import run_native
+from repro.bench.reporting import Table
+from repro.core import Level, ReMon, ReMonConfig
+from repro.costs.model import MACHINES
+from repro.kernel import Kernel, KernelConfig
+from repro.workloads.synthetic import CategoryMix, SyntheticWorkload, build_program
+
+
+def _hot_workload(name: str = "ablate", rate: float = 60_000.0) -> SyntheticWorkload:
+    return SyntheticWorkload(
+        name=name,
+        native_ms=30.0,
+        mix=CategoryMix({"base": rate * 0.3, "file_ro": rate * 0.5, "futex": rate * 0.2}),
+        threads=2,
+    )
+
+
+def rb_size_sweep(sizes=None) -> List[Dict]:
+    sizes = sizes or [1 << 16, 1 << 18, 1 << 20, 16 << 20]
+    workload = _hot_workload("rb-sweep")
+    native = run_native(build_program(workload))
+    rows = []
+    for size in sizes:
+        kernel = Kernel()
+        mvee = ReMon(
+            kernel,
+            build_program(workload),
+            ReMonConfig(replicas=2, level=Level.NONSOCKET_RW, rb_size=size),
+        )
+        result = mvee.run(max_steps=200_000_000)
+        assert not result.diverged, result.divergence
+        rows.append(
+            {
+                "rb_size": size,
+                "overhead": result.wall_time_ns / native.wall_time_ns,
+                "rb_resets": result.rb_resets,
+            }
+        )
+    return rows
+
+
+def machine_sweep() -> List[Dict]:
+    workload = _hot_workload("machine-sweep")
+    rows = []
+    for machine, costs in MACHINES.items():
+        config = KernelConfig(costs=costs)
+        native = run_native(build_program(workload), kernel=Kernel(config=KernelConfig(costs=costs)))
+        measured = {}
+        for label, level in (("cp", Level.NO_IPMON), ("remon", Level.NONSOCKET_RW)):
+            kernel = Kernel(config=KernelConfig(costs=costs))
+            mvee = ReMon(
+                kernel, build_program(workload), ReMonConfig(replicas=2, level=level)
+            )
+            result = mvee.run(max_steps=200_000_000)
+            assert not result.diverged
+            measured[label] = result.wall_time_ns / native.wall_time_ns
+        rows.append(
+            {
+                "machine": machine,
+                "cp_overhead": measured["cp"],
+                "remon_overhead": measured["remon"],
+                "gap": (measured["cp"] - 1) / max(1e-6, measured["remon"] - 1),
+            }
+        )
+        del config
+    return rows
+
+
+def replica_sweep(counts=(2, 3, 4, 5, 6, 7)) -> List[Dict]:
+    workload = _hot_workload("replica-sweep", rate=20_000.0)
+    native = run_native(build_program(workload))
+    rows = []
+    for count in counts:
+        kernel = Kernel()
+        mvee = ReMon(
+            kernel,
+            build_program(workload),
+            ReMonConfig(replicas=count, level=Level.NONSOCKET_RW),
+        )
+        result = mvee.run(max_steps=400_000_000)
+        assert not result.diverged, result.divergence
+        rows.append(
+            {
+                "replicas": count,
+                "overhead": result.wall_time_ns / native.wall_time_ns,
+            }
+        )
+    return rows
+
+
+def _sleepy_program():
+    """A workload whose master blocks often (nanosleep), so slaves must
+    actually wait for results — the case §3.7's condvars exist for."""
+    from repro.guest.program import Program
+
+    def main(ctx):
+        libc = ctx.libc
+        for _ in range(60):
+            yield from libc.nanosleep(150_000)
+            for _ in range(5):
+                _pid = yield ctx.sys.getpid()
+        return 0
+
+    return Program("sleepy", main)
+
+
+def condvar_strategy_sweep() -> List[Dict]:
+    """Compare slave waiting strategies (§3.7): per-invocation futex
+    condition variables versus pure spinning. The master's wall time is
+    identical; the difference is the slaves' burned CPU (spin
+    iterations) versus kernel sleeps (futex waits)."""
+    rows = []
+    for label, force_spin in (("futex-condvars", False), ("always-spin", True)):
+        kernel = Kernel()
+        mvee = ReMon(
+            kernel,
+            _sleepy_program(),
+            ReMonConfig(
+                replicas=2, level=Level.NONSOCKET_RW, ipmon_force_spin=force_spin
+            ),
+        )
+        result = mvee.run(max_steps=200_000_000)
+        assert not result.diverged, result.divergence
+        costs = kernel.config.costs
+        spin_cpu_ns = result.stats.get("ipmon_spin_iterations", 0) * costs.spin_read_ns
+        rows.append(
+            {
+                "strategy": label,
+                "wall_time_ns": result.wall_time_ns,
+                "futex_waits": result.stats.get("ipmon_futex_waits", 0),
+                "wakes_skipped": result.stats.get("ipmon_futex_wakes_skipped", 0),
+                "slave_spin_cpu_ns": spin_cpu_ns,
+            }
+        )
+    return rows
+
+
+def rb_remap_sweep(intervals=(None, 1_000_000, 200_000, 50_000)) -> List[Dict]:
+    """§4 extension: how much does periodically moving the RB cost?"""
+    workload = _hot_workload("remap-sweep", rate=30_000.0)
+    native = run_native(build_program(workload))
+    rows = []
+    for interval in intervals:
+        kernel = Kernel()
+        mvee = ReMon(
+            kernel,
+            build_program(workload),
+            ReMonConfig(
+                replicas=2, level=Level.NONSOCKET_RW, rb_remap_interval_ns=interval
+            ),
+        )
+        result = mvee.run(max_steps=200_000_000)
+        assert not result.diverged, result.divergence
+        rows.append(
+            {
+                "interval_ns": interval,
+                "overhead": result.wall_time_ns / native.wall_time_ns,
+                "remaps": result.stats.get("ipmon_rb_remaps", 0),
+            }
+        )
+    return rows
+
+
+def render_all() -> str:
+    out = []
+    table = Table("Ablation: RB size vs run-ahead stalls", ["rb size", "overhead", "resets"])
+    for row in rb_size_sweep():
+        table.add("%d KiB" % (row["rb_size"] // 1024), row["overhead"], row["rb_resets"])
+    out.append(table.render())
+
+    table = Table(
+        "Ablation: machine context-switch costs",
+        ["machine", "GHUMVEE-only", "ReMon", "CP/IP overhead gap"],
+    )
+    for row in machine_sweep():
+        table.add(row["machine"], row["cp_overhead"], row["remon_overhead"],
+                  "%.1fx" % row["gap"])
+    out.append(table.render())
+
+    table = Table("Ablation: replica count", ["replicas", "overhead"])
+    for row in replica_sweep():
+        table.add(row["replicas"], row["overhead"])
+    out.append(table.render())
+
+    table = Table(
+        "Ablation: slave waiting strategy (§3.7)",
+        ["strategy", "wall time (ms)", "futex waits", "wakes skipped",
+         "slave spin CPU (us)"],
+    )
+    for row in condvar_strategy_sweep():
+        table.add(
+            row["strategy"],
+            "%.2f" % (row["wall_time_ns"] / 1e6),
+            row["futex_waits"],
+            row["wakes_skipped"],
+            "%.0f" % (row["slave_spin_cpu_ns"] / 1e3),
+        )
+    out.append(table.render())
+
+    table = Table(
+        "Ablation: periodic RB remapping (§4 extension)",
+        ["interval", "overhead", "remaps"],
+    )
+    for row in rb_remap_sweep():
+        label = "off" if row["interval_ns"] is None else "%.1f ms" % (
+            row["interval_ns"] / 1e6
+        )
+        table.add(label, row["overhead"], row["remaps"])
+    out.append(table.render())
+    return "\n".join(out)

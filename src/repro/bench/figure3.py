@@ -1,0 +1,74 @@
+"""Figure 3: PARSEC 2.1 and SPLASH-2x under GHUMVEE alone vs. ReMon
+with IP-MON at NONSOCKET_RW_LEVEL (2 replicas)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench.harness import measure_mvee_overhead
+from repro.bench.reporting import Table, geomean
+from repro.core.policies import Level
+from repro.workloads.profiles import (
+    PARSEC_BENCHMARKS,
+    PARSEC_GEOMEAN_TARGETS,
+    SPLASH_BENCHMARKS,
+    SPLASH_GEOMEAN_TARGETS,
+)
+
+SUITES = {
+    "parsec": (PARSEC_BENCHMARKS, PARSEC_GEOMEAN_TARGETS),
+    "splash": (SPLASH_BENCHMARKS, SPLASH_GEOMEAN_TARGETS),
+}
+
+
+def generate(suite: str = "parsec") -> Dict:
+    """Run the whole suite; returns per-benchmark and aggregate data."""
+    benchmarks, geomean_targets = SUITES[suite]
+    rows = []
+    for bench in benchmarks:
+        no_ipmon = measure_mvee_overhead(bench.name, Level.NO_IPMON)
+        ipmon = measure_mvee_overhead(bench.name, Level.NONSOCKET_RW)
+        rows.append(
+            {
+                "name": bench.name,
+                "paper_no_ipmon": bench.targets[Level.NO_IPMON],
+                "measured_no_ipmon": no_ipmon,
+                "paper_ipmon": bench.targets[Level.NONSOCKET_RW],
+                "measured_ipmon": ipmon,
+            }
+        )
+    summary = {
+        "suite": suite,
+        "rows": rows,
+        "geomean_paper_no_ipmon": geomean_targets["no_ipmon"],
+        "geomean_measured_no_ipmon": geomean(
+            [r["measured_no_ipmon"] for r in rows]
+        ),
+        "geomean_paper_ipmon": geomean_targets["ipmon"],
+        "geomean_measured_ipmon": geomean([r["measured_ipmon"] for r in rows]),
+    }
+    return summary
+
+
+def render(data: Dict) -> str:
+    table = Table(
+        "Figure 3 (%s): normalized execution time, 2 replicas" % data["suite"].upper(),
+        ["benchmark", "no IP-MON (paper)", "no IP-MON (ours)",
+         "IP-MON/NONSOCKET_RW (paper)", "IP-MON/NONSOCKET_RW (ours)"],
+    )
+    for row in data["rows"]:
+        table.add(
+            row["name"],
+            row["paper_no_ipmon"],
+            row["measured_no_ipmon"],
+            row["paper_ipmon"],
+            row["measured_ipmon"],
+        )
+    table.add(
+        "GEOMEAN",
+        data["geomean_paper_no_ipmon"],
+        data["geomean_measured_no_ipmon"],
+        data["geomean_paper_ipmon"],
+        data["geomean_measured_ipmon"],
+    )
+    return table.render()

@@ -1,0 +1,58 @@
+"""Figure 4: Phoronix across all five spatial relaxation levels."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.harness import measure_mvee_overhead
+from repro.bench.reporting import Table, geomean
+from repro.core.policies import Level
+from repro.workloads.profiles import PHORONIX_BENCHMARKS, PHORONIX_GEOMEAN_TARGETS
+
+LEVELS: List[Level] = [
+    Level.NO_IPMON,
+    Level.BASE,
+    Level.NONSOCKET_RO,
+    Level.NONSOCKET_RW,
+    Level.SOCKET_RO,
+    Level.SOCKET_RW,
+]
+
+
+def generate() -> Dict:
+    rows = []
+    for bench in PHORONIX_BENCHMARKS:
+        measured = {
+            level: measure_mvee_overhead(bench.name, level) for level in LEVELS
+        }
+        rows.append({"name": bench.name, "paper": dict(bench.targets), "measured": measured})
+    data = {"rows": rows}
+    data["geomean_paper"] = {
+        Level.NO_IPMON: PHORONIX_GEOMEAN_TARGETS["no_ipmon"],
+        Level.SOCKET_RW: PHORONIX_GEOMEAN_TARGETS["socket_rw"],
+    }
+    data["geomean_measured"] = {
+        level: geomean([r["measured"][level] for r in rows]) for level in LEVELS
+    }
+    return data
+
+
+def render(data: Dict) -> str:
+    table = Table(
+        "Figure 4 (Phoronix): normalized execution time per relaxation level "
+        "(2 replicas; 'paper' in parentheses)",
+        ["benchmark"] + [level.name for level in LEVELS],
+    )
+    for row in data["rows"]:
+        cells = [row["name"]]
+        for level in LEVELS:
+            cell = "%.2f (%.2f)" % (row["measured"][level], row["paper"][level])
+            cells.append(cell)
+        table.add(*cells)
+    gm = ["GEOMEAN"]
+    for level in LEVELS:
+        measured = data["geomean_measured"][level]
+        paper = data["geomean_paper"].get(level)
+        gm.append("%.2f (%s)" % (measured, "%.2f" % paper if paper else "-"))
+    table.add(*gm)
+    return table.render()

@@ -1,0 +1,94 @@
+"""Formatting helpers: paper-vs-measured tables and series."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+class Table:
+    """A simple fixed-width table accumulating rows."""
+
+    def __init__(self, title: str, columns: List[str]):
+        self.title = title
+        self.columns = columns
+        self.rows: List[List[str]] = []
+
+    def add(self, *cells) -> None:
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return "%.2f" % cell
+    return str(cell)
+
+
+def shape_check(
+    paper: Dict[str, float],
+    measured: Dict[str, float],
+    ratio_tolerance: float = 2.0,
+) -> List[str]:
+    """Sanity notes comparing measured values to the paper's.
+
+    Returns a list of human-readable deviations where measured/paper
+    overhead ratios exceed the tolerance — used by benches to annotate
+    their output, and by tests to assert the shape holds.
+    """
+    notes = []
+    for key, expected in paper.items():
+        got = measured.get(key)
+        if got is None:
+            notes.append("%s: missing measurement" % key)
+            continue
+        exp_over = max(1e-3, expected - 1.0)
+        got_over = max(1e-3, got - 1.0)
+        ratio = got_over / exp_over
+        if expected > 1.05 and not (1.0 / ratio_tolerance <= ratio <= ratio_tolerance):
+            notes.append(
+                "%s: measured %.2f vs paper %.2f (overhead ratio %.2fx)"
+                % (key, got, expected, ratio)
+            )
+    return notes
+
+
+def ordering_preserved(
+    paper: Dict[str, float], measured: Dict[str, float], keys: Optional[List[str]] = None
+) -> bool:
+    """Do the measured values rank the configurations like the paper?
+
+    Ties (within 3%) in the paper are allowed to rank either way.
+    """
+    keys = keys or list(paper)
+    for i, a in enumerate(keys):
+        for b in keys[i + 1 :]:
+            if a not in measured or b not in measured:
+                return False
+            pa, pb = paper[a], paper[b]
+            if abs(pa - pb) / max(pa, pb) < 0.03:
+                continue
+            if (pa < pb) != (measured[a] < measured[b]):
+                return False
+    return True

@@ -1,0 +1,90 @@
+"""Security analysis summary (paper §4): one row per attack scenario."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.attacks import scenarios
+from repro.attacks.analysis import run_attack, run_attack_varan
+from repro.bench.reporting import Table
+from repro.core import Level
+from repro.core.temporal import TemporalPolicy
+
+
+def generate() -> List[Dict]:
+    rows = []
+
+    def record(name, outcome, result, monitor):
+        rows.append(
+            {
+                "scenario": name,
+                "monitor": monitor,
+                "effect": outcome.effect_occurred,
+                "detected": outcome.detected,
+                "detected_by": outcome.detected_by,
+            }
+        )
+
+    outcome, result = run_attack(scenarios.code_injection_program)
+    record("code-reuse payload (DCL on)", outcome, result, "ReMon")
+
+    outcome, result = run_attack(
+        scenarios.code_injection_program, aslr=False, dcl=False
+    )
+    record("code-reuse payload (no diversity)", outcome, result, "ReMon")
+
+    outcome, result = run_attack(scenarios.corrupted_argument_program)
+    record("corrupted syscall argument", outcome, result, "ReMon")
+
+    outcome, result = run_attack(scenarios.rb_discovery_program)
+    record("RB discovery (maps + guessing)", outcome, result, "ReMon")
+
+    outcome, result = run_attack(scenarios.rb_tamper_program)
+    record("RB tampering (pointer leaked)", outcome, result, "ReMon")
+
+    outcome, result = run_attack(scenarios.token_forgery_program)
+    record("IK-B token forgery", outcome, result, "ReMon")
+
+    outcome, result = run_attack(scenarios.varan_window_program)
+    record("sensitive call by compromised master", outcome, result, "ReMon")
+
+    outcome, result = run_attack_varan(scenarios.varan_window_program)
+    record("sensitive call by compromised master", outcome, result, "VARAN")
+
+    outcome, result = run_attack(scenarios.unaligned_gadget_program)
+    record("unaligned syscall gadget", outcome, result, "ReMon")
+
+    outcome, result = run_attack_varan(scenarios.unaligned_gadget_program)
+    record("unaligned syscall gadget", outcome, result, "VARAN")
+
+    outcome, result = run_attack(
+        scenarios.temporal_abuse_program,
+        level=Level.NONSOCKET_RW,
+        temporal=TemporalPolicy(threshold=4, deterministic=True),
+    )
+    record("temporal abuse (deterministic policy)", outcome, result, "ReMon")
+
+    outcome, result = run_attack(
+        scenarios.temporal_abuse_program,
+        level=Level.NONSOCKET_RW,
+        temporal=TemporalPolicy(threshold=4, exempt_probability=0.02, seed=99),
+    )
+    record("temporal abuse (stochastic policy)", outcome, result, "ReMon")
+
+    return rows
+
+
+def render(rows: List[Dict]) -> str:
+    table = Table(
+        "Security analysis (§4): attack outcomes",
+        ["scenario", "monitor", "attack effect", "detected", "via"],
+    )
+    for row in rows:
+        table.add(
+            row["scenario"],
+            row["monitor"],
+            "EXECUTED" if row["effect"] else "blocked",
+            "yes" if row["detected"] else "NO",
+            row["detected_by"] or "-",
+        )
+    return table.render()

@@ -1,0 +1,95 @@
+"""Table 2: comparison with other MVEEs (2 replicas).
+
+The literature numbers are constants from the paper's table; we re-run
+the server suite at the paper's best-case setup (gigabit with 5 ms
+simulated latency, 2 replicas) to produce the ReMon column, re-run
+GHUMVEE standalone for its column, and additionally run our VARAN-style
+baseline in-simulator (the paper quotes VARAN's published numbers,
+measured on a same-rack gigabit link).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bench.harness import measure_server_overhead
+from repro.bench.reporting import Table
+
+LATENCY_5MS = 5_000_000
+LATENCY_GIGABIT = 100_000
+
+#: Paper-reported overheads (fraction, not percent); None = not reported.
+PAPER_REPORTED: Dict[str, Dict[str, Optional[float]]] = {
+    # server            Tachyon   Mx     VARAN   Orchestra  GHUMVEE  ReMon(5ms)
+    "apache-ab": {"tachyon": 0.024, "mx": None, "varan": None, "orchestra": 0.50,
+                  "ghumvee": 0.34, "remon": 0.024},
+    "lighttpd-ab": {"tachyon": 7.90, "mx": 2.72, "varan": 0.30, "orchestra": None,
+                    "ghumvee": 0.55, "remon": 0.000},
+    "thttpd-ab": {"tachyon": 13.20, "mx": 0.17, "varan": 0.00, "orchestra": None,
+                  "ghumvee": 0.73, "remon": 0.027},
+    "lighttpd-http_load": {"tachyon": None, "mx": 2.49, "varan": 0.04,
+                           "orchestra": None, "ghumvee": 0.45, "remon": 0.035},
+    "redis": {"tachyon": None, "mx": 15.72, "varan": 0.05, "orchestra": None,
+              "ghumvee": 0.45, "remon": 0.001},
+    "beanstalkd": {"tachyon": None, "mx": None, "varan": 0.52, "orchestra": None,
+                   "ghumvee": 0.45, "remon": 0.006},
+    "memcached": {"tachyon": None, "mx": None, "varan": 0.14, "orchestra": None,
+                  "ghumvee": 0.084, "remon": 0.003},
+    "nginx-wrk": {"tachyon": None, "mx": None, "varan": 0.28, "orchestra": None,
+                  "ghumvee": 1.94, "remon": 0.008},
+    "lighttpd-wrk": {"tachyon": None, "mx": None, "varan": 0.12, "orchestra": None,
+                     "ghumvee": 1.69, "remon": 0.007},
+}
+
+
+def generate() -> Dict:
+    rows = []
+    for server, reported in PAPER_REPORTED.items():
+        native = measure_server_overhead(server, LATENCY_5MS, "native")
+        base = native["duration_ns"]
+        remon = measure_server_overhead(server, LATENCY_5MS, "remon", replicas=2)
+        measured_remon = remon["duration_ns"] / base - 1.0
+        # GHUMVEE standalone on the *low-latency* gigabit link — the
+        # paper's GHUMVEE column comes from that harsher setup (nothing
+        # hides the monitor's serialization there).
+        native_fast = measure_server_overhead(server, LATENCY_GIGABIT, "native")
+        ghumvee = measure_server_overhead(server, LATENCY_GIGABIT, "ghumvee", replicas=2)
+        measured_ghumvee = ghumvee["duration_ns"] / native_fast["duration_ns"] - 1.0
+        # Our VARAN-like baseline on the same-rack gigabit setup.
+        varan = measure_server_overhead(server, LATENCY_GIGABIT, "varan", replicas=2)
+        measured_varan = varan["duration_ns"] / native_fast["duration_ns"] - 1.0
+        rows.append(
+            {
+                "name": server,
+                "paper": reported,
+                "measured_remon": measured_remon,
+                "measured_ghumvee": measured_ghumvee,
+                "measured_varan": measured_varan,
+            }
+        )
+    return {"rows": rows}
+
+
+def render(data: Dict) -> str:
+    table = Table(
+        "Table 2: server overheads vs other MVEEs (2 replicas; paper-reported "
+        "numbers in parentheses; reliability-oriented MVEEs on the left)",
+        ["server", "Tachyon*", "Mx*", "VARAN ours(paper)", "Orchestra*",
+         "GHUMVEE ours(paper)", "ReMon@5ms ours(paper)"],
+    )
+
+    def pct(value):
+        return "-" if value is None else "%.1f%%" % (100 * value)
+
+    for row in data["rows"]:
+        paper = row["paper"]
+        table.add(
+            row["name"],
+            pct(paper["tachyon"]),
+            pct(paper["mx"]),
+            "%s (%s)" % (pct(row["measured_varan"]), pct(paper["varan"])),
+            pct(paper["orchestra"]),
+            "%s (%s)" % (pct(row["measured_ghumvee"]), pct(paper["ghumvee"])),
+            "%s (%s)" % (pct(row["measured_remon"]), pct(paper["remon"])),
+        )
+    return table.render() + "* literature numbers, different testbeds (see paper).\n"

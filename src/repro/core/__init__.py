@@ -1,0 +1,26 @@
+"""ReMon: the paper's primary contribution.
+
+The package wires three components around a replica group:
+
+* :class:`~repro.core.ghumvee.Ghumvee` — the cross-process monitor
+  enforcing lockstep execution of monitored calls,
+* :class:`~repro.core.ipmon.IpMon` — the in-process monitor replicating
+  unmonitored calls through the shared replication buffer,
+* :class:`~repro.core.ikb.InKernelBroker` — the kernel broker routing
+  each call to one or the other under a relaxation policy.
+
+:class:`~repro.core.remon.ReMon` is the public entry point.
+"""
+
+from repro.core.events import DivergenceReport, MveeResult
+from repro.core.policies import Level, RelaxationPolicy
+from repro.core.remon import ReMon, ReMonConfig
+
+__all__ = [
+    "DivergenceReport",
+    "Level",
+    "MveeResult",
+    "ReMon",
+    "ReMonConfig",
+    "RelaxationPolicy",
+]

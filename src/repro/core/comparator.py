@@ -1,0 +1,211 @@
+"""Deep system-call argument comparison and serialization.
+
+Two consumers share this logic:
+
+* GHUMVEE compares the arguments of lockstepped calls across replicas
+  before letting the master execute (CHECKREG / CHECKPOINTER /
+  CHECKSTRING in the original code base);
+* IP-MON's master deep-copies its arguments into the replication buffer
+  and the slaves compare their own arguments against the recorded blob
+  (paper §3, "this measure minimizes opportunities for asymmetrical
+  attacks").
+
+Pointer values legitimately differ between diversified replicas, so
+pointers are compared by *shape* (NULL vs non-NULL) and their pointees by
+*content*, never by raw address.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.kernel.memory import MemoryFault
+from repro.kernel.specs import SyscallSpec, spec_for
+from repro.kernel.structs import read_iovecs
+
+
+class ArgBlob:
+    """One replica's serialized argument record."""
+
+    __slots__ = ("name", "items", "nbytes")
+
+    def __init__(self, name: str, items: List[Tuple[str, object]], nbytes: int):
+        self.name = name
+        self.items = items
+        self.nbytes = nbytes
+
+    def encode(self) -> bytes:
+        """A deterministic byte encoding (what actually lands in the RB)."""
+        out = bytearray()
+        out += self.name.encode()[:16].ljust(16, b"\x00")
+        for kind, value in self.items:
+            tag = kind.encode()[:8].ljust(8, b"\x00")
+            if isinstance(value, bytes):
+                payload = value
+            elif isinstance(value, bool):
+                payload = bytes([value])
+            else:
+                payload = struct.pack("<q", int(value) & (1 << 63) - 1)
+            out += tag + struct.pack("<I", len(payload)) + payload
+        return bytes(out)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ArgBlob)
+            and self.name == other.name
+            and self.items == other.items
+        )
+
+    def __repr__(self):
+        return "ArgBlob(%s, %d items, %d bytes)" % (self.name, len(self.items), self.nbytes)
+
+
+def _resolve_length(length_source, args, result: Optional[int] = None) -> int:
+    kind, value = length_source
+    if kind == "fixed":
+        return value
+    if kind == "arg":
+        return max(0, int(args[value])) if value < len(args) else 0
+    if kind == "ret":
+        return max(0, int(result or 0))
+    raise ValueError("unknown length source %r" % (length_source,))
+
+
+def serialize_args(req, space, spec: Optional[SyscallSpec] = None) -> ArgBlob:
+    """Deep-copy the *comparable content* of a call's arguments.
+
+    Unknown syscalls degrade to comparing raw values.
+    """
+    spec = spec or spec_for(req.name)
+    items: List[Tuple[str, object]] = []
+    nbytes = 0
+    if spec is None:
+        for value in req.args:
+            items.append(("reg", _raw(value)))
+        return ArgBlob(req.name, items, nbytes)
+    for index, arg_spec in enumerate(spec.args):
+        if index >= len(req.args):
+            break
+        value = req.args[index]
+        kind = arg_spec.kind
+        try:
+            if kind in ("reg", "fd"):
+                items.append((kind, _raw(value)))
+            elif kind == "ptr":
+                items.append(("ptr", bool(value)))
+            elif kind == "callable":
+                items.append(("callable", _callable_shape(value)))
+            elif kind == "cstr":
+                if not value:
+                    items.append(("cstr", b""))
+                else:
+                    data = space.read_cstr(int(value))
+                    items.append(("cstr", data))
+                    nbytes += len(data)
+            elif kind in ("buf_in", "struct_in"):
+                if not value:
+                    items.append(("buf", b""))
+                else:
+                    length = _resolve_length(arg_spec.length, req.args)
+                    data = space.read(int(value), length) if length else b""
+                    items.append(("buf", data))
+                    nbytes += len(data)
+            elif kind == "epoll_event_in":
+                if not value:
+                    items.append(("epev", b""))
+                else:
+                    raw = space.read(int(value), 4)  # events mask only
+                    items.append(("epev", raw))
+                    nbytes += 4
+            elif kind == "iovec_in":
+                if not value:
+                    items.append(("iov", b""))
+                else:
+                    count = int(req.args[arg_spec.count_arg])
+                    iovecs = read_iovecs(space, int(value), count)
+                    data = b"".join(space.read(b, ln) for b, ln in iovecs)
+                    items.append(("iov", data))
+                    nbytes += len(data)
+            elif kind in ("buf_out", "struct_out", "iovec_out"):
+                items.append(("out", bool(value)))
+            else:
+                items.append(("reg", _raw(value)))
+        except MemoryFault:
+            items.append(("fault", int(value) != 0))
+    return ArgBlob(req.name, items, nbytes)
+
+
+def _raw(value) -> int:
+    if value is None:
+        return 0
+    if callable(value):
+        return 1
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return hash(value) & 0xFFFFFFFF
+
+
+def _callable_shape(value) -> int:
+    """Code pointers differ across replicas (DCL); only their class
+    matters: 0 = SIG_DFL/NULL, 1 = SIG_IGN, 2 = a real handler."""
+    if value is None or value == 0:
+        return 0
+    if value == 1:
+        return 1
+    return 2
+
+
+class Mismatch:
+    """Description of a cross-replica argument mismatch."""
+
+    def __init__(self, syscall: str, detail: str, index: Optional[int] = None):
+        self.syscall = syscall
+        self.detail = detail
+        self.index = index
+
+    def __repr__(self):
+        return "Mismatch(%s: %s)" % (self.syscall, self.detail)
+
+
+def compare_blobs(blobs: List[ArgBlob]) -> Optional[Mismatch]:
+    """Compare serialized argument records from all replicas."""
+    reference = blobs[0]
+    for replica_index, blob in enumerate(blobs[1:], start=1):
+        if blob.name != reference.name:
+            return Mismatch(
+                reference.name,
+                "replica %d issued %s instead of %s"
+                % (replica_index, blob.name, reference.name),
+            )
+        if len(blob.items) != len(reference.items):
+            return Mismatch(
+                reference.name,
+                "replica %d passed %d args, expected %d"
+                % (replica_index, len(blob.items), len(reference.items)),
+            )
+        for arg_index, (ref_item, item) in enumerate(zip(reference.items, blob.items)):
+            if ref_item != item:
+                return Mismatch(
+                    reference.name,
+                    "arg %d differs in replica %d: %r != %r"
+                    % (arg_index, replica_index, _clip(item), _clip(ref_item)),
+                    index=arg_index,
+                )
+    return None
+
+
+def _clip(item):
+    kind, value = item
+    if isinstance(value, bytes) and len(value) > 32:
+        value = value[:32] + b"..."
+    return (kind, value)
+
+
+def compare_requests(reqs_and_spaces) -> Tuple[Optional[Mismatch], int]:
+    """Full comparison pipeline: serialize every replica's args and
+    compare. Returns (mismatch-or-None, bytes_compared)."""
+    blobs = [serialize_args(req, space) for req, space in reqs_and_spaces]
+    nbytes = sum(blob.nbytes for blob in blobs)
+    return compare_blobs(blobs), nbytes

@@ -1,0 +1,96 @@
+"""The epoll shadow mapping (paper §3.9).
+
+epoll lets applications attach a 64-bit ``data`` value — usually a
+pointer — to each registered descriptor, and the kernel echoes it back
+from ``epoll_wait``. Diversified replicas use *different* pointer values
+for the same logical descriptor, so blindly replicating the master's
+``epoll_wait`` results would hand slaves the master's pointers.
+
+The shadow map records, per epoll instance and per registered fd, each
+replica's own ``data`` value. The master's results are translated to
+neutral fd numbers before entering the replication buffer, and each
+slave maps the fds back to its own ``data`` values on the way out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class EpollShadowMap:
+    def __init__(self, replica_count: int):
+        self.replica_count = replica_count
+        # (epfd, fd) -> list of per-replica data values
+        self._data: Dict[Tuple[int, int], List[Optional[int]]] = {}
+        # epfd -> {master_data_value: fd}
+        self._reverse: Dict[int, Dict[int, int]] = {}
+
+    def record_ctl_add(self, epfd: int, fd: int, replica_index: int, data: int) -> None:
+        key = (epfd, fd)
+        values = self._data.get(key)
+        if values is None:
+            values = [None] * self.replica_count
+            self._data[key] = values
+        values[replica_index] = data
+        if replica_index == 0:
+            self._reverse.setdefault(epfd, {})[data] = fd
+
+    def record_ctl_del(self, epfd: int, fd: int, replica_index: int = 0) -> None:
+        """Remove one replica's registration.
+
+        Each replica's view is cleared only when *that replica* observes
+        its own EPOLL_CTL_DEL: under loose synchronization the master
+        runs ahead, and slaves must still be able to translate events
+        recorded before the deletion (paper §3.9's mapping is replica-
+        local state).
+        """
+        key = (epfd, fd)
+        values = self._data.get(key)
+        if values is None:
+            return
+        if replica_index == 0 and values[0] is not None:
+            self._reverse.get(epfd, {}).pop(values[0], None)
+        values[replica_index] = None
+        if all(value is None for value in values):
+            del self._data[key]
+
+    def forget_epfd(self, epfd: int) -> None:
+        for key in [k for k in self._data if k[0] == epfd]:
+            del self._data[key]
+        self._reverse.pop(epfd, None)
+
+    # -- translation -------------------------------------------------------
+    def master_data_to_fd(self, epfd: int, data: int) -> Optional[int]:
+        return self._reverse.get(epfd, {}).get(data)
+
+    def fd_to_replica_data(self, epfd: int, fd: int, replica_index: int) -> Optional[int]:
+        values = self._data.get((epfd, fd))
+        if values is None:
+            return None
+        return values[replica_index]
+
+    def neutralize_events(self, epfd: int, events: List[Tuple[int, int]]):
+        """Master-side: replace data values with fds. Unknown data values
+        pass through untranslated (flagged)."""
+        out = []
+        for revents, data in events:
+            fd = self.master_data_to_fd(epfd, data)
+            if fd is None:
+                out.append((revents, data, 0))
+            else:
+                out.append((revents, fd, 1))
+        return out
+
+    def localize_events(self, epfd: int, neutral, replica_index: int):
+        """Replica-side: map fds back to this replica's data values."""
+        out = []
+        for revents, value, translated in neutral:
+            if translated:
+                data = self.fd_to_replica_data(epfd, value, replica_index)
+                out.append((revents, data if data is not None else value))
+            else:
+                out.append((revents, value))
+        return out
+
+    def registered_fds(self, epfd: int) -> List[int]:
+        return sorted(fd for (e, fd) in self._data if e == epfd)

@@ -1,0 +1,66 @@
+"""Records the MVEE produces: divergences, shutdowns, run results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class DivergenceReport:
+    """A detected behavioural divergence between replicas."""
+
+    def __init__(
+        self,
+        time_ns: int,
+        vtid: int,
+        syscall: str,
+        detail: str,
+        detected_by: str,
+        replica_args: Optional[list] = None,
+    ):
+        self.time_ns = time_ns
+        self.vtid = vtid
+        self.syscall = syscall
+        self.detail = detail
+        #: "ghumvee" (lockstep comparison), "ipmon" (slave PRECALL check),
+        #: "exit" (a replica died while others ran on), "sequence"
+        #: (replicas issued different syscalls).
+        self.detected_by = detected_by
+        self.replica_args = replica_args or []
+
+    def __repr__(self):
+        return "DivergenceReport(t=%d, vtid=%d, %s via %s: %s)" % (
+            self.time_ns,
+            self.vtid,
+            self.syscall,
+            self.detected_by,
+            self.detail,
+        )
+
+
+class MveeResult:
+    """Outcome of one MVEE run."""
+
+    def __init__(self):
+        self.exit_codes: List[Optional[int]] = []
+        self.divergence: Optional[DivergenceReport] = None
+        self.shutdown_reason: str = ""
+        self.wall_time_ns: int = 0
+        self.monitored_calls: int = 0
+        self.unmonitored_calls: int = 0
+        self.rb_resets: int = 0
+        self.deferred_signals: int = 0
+        self.stats: Dict[str, int] = {}
+
+    @property
+    def diverged(self) -> bool:
+        return self.divergence is not None
+
+    def syscall_total(self) -> int:
+        return self.monitored_calls + self.unmonitored_calls
+
+    def __repr__(self):
+        status = "DIVERGED" if self.diverged else "ok"
+        return (
+            "MveeResult(%s, t=%d ns, monitored=%d, unmonitored=%d)"
+            % (status, self.wall_time_ns, self.monitored_calls, self.unmonitored_calls)
+        )

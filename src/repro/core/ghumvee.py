@@ -1,0 +1,817 @@
+"""GHUMVEE: the cross-process lockstep monitor (paper §2, §3).
+
+GHUMVEE traces every replica with ptrace and enforces lockstep on all
+monitored calls: replica threads with the same logical thread id (vtid)
+rendezvous at syscall entry, their arguments are deep-compared, and the
+call proceeds under the master-calls model — externally-visible calls
+execute only in the master, whose results (return value and output
+buffers) are replicated into the slaves; process-local calls execute in
+every replica.
+
+It also owns the pieces IP-MON depends on:
+
+* authoritative fd metadata / the IP-MON file map (§3.6);
+* the epoll shadow map for monitored epoll calls (§3.9);
+* deferred, consistent signal delivery, incl. the RB signals-pending
+  flag (§2.2, §3.8);
+* shared-memory restrictions (§2.1) and /proc/<pid>/maps filtering
+  (§3.1);
+* RB reset arbitration (§3.2) and IP-MON registration arbitration
+  (§3.5).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional
+
+from repro.core.comparator import compare_requests
+from repro.core.events import DivergenceReport
+from repro.kernel import constants as C
+from repro.kernel import errno_codes as E
+from repro.kernel.memory import MemoryFault
+from repro.kernel.specs import spec_for
+from repro.kernel.structs import (
+    EPOLL_EVENT_SIZE,
+    pack_epoll_event,
+    read_iovecs,
+    unpack_epoll_event,
+)
+from repro.kernel.vfs import FileObject
+from repro.ptrace.api import Stop, Tracer
+from repro.sim import Sleep
+
+#: Process-local calls every replica executes itself.
+ALLEXEC_NAMES = frozenset(
+    {
+        "mmap",
+        "munmap",
+        "mprotect",
+        "mremap",
+        "brk",
+        "madvise",
+        "fadvise64",
+        "clone",
+        "exit",
+        "exit_group",
+        "set_tid_address",
+        "prctl",
+        "sigaltstack",
+        "rt_sigaction",
+        "rt_sigprocmask",
+        "rt_sigpending",
+        "futex",
+        "sched_yield",
+        "close",
+        "dup",
+        "dup2",
+        "fcntl",
+        "ipmon_register",
+    }
+)
+
+#: Master-executed calls that create descriptors; slaves get shadow
+#: entries at the same numbers.
+FD_CREATE_NAMES = frozenset(
+    {
+        "open",
+        "openat",
+        "socket",
+        "accept",
+        "accept4",
+        "epoll_create",
+        "epoll_create1",
+        "timerfd_create",
+        "pipe",
+        "pipe2",
+    }
+)
+
+#: Calls denied under the shared-memory restriction (§2.1).
+SHM_NAMES = frozenset({"shmget", "shmat", "shmdt", "shmctl"})
+
+_READ_FAMILY = frozenset({"read", "readv", "pread64", "preadv"})
+
+
+class ShadowFile(FileObject):
+    """Placeholder object occupying slave descriptor slots.
+
+    Slaves never perform real I/O — their calls are skipped and results
+    replicated — but descriptor numbers must stay consistent, and local
+    operations (close, dup, fcntl) must work.
+    """
+
+    kind = "shadow"
+
+    def __init__(self, mimic_kind: str, name: str = "shadow"):
+        super().__init__(name)
+        self.mimic_kind = mimic_kind
+
+    def poll_mask(self, kernel) -> int:
+        return 0
+
+
+class AsyncLock:
+    """A FIFO mutex for monitor coroutines."""
+
+    def __init__(self, sim, name: str = "lock"):
+        self.sim = sim
+        self.name = name
+        self.locked = False
+        self._waiters: List = []
+
+    def acquire(self):
+        from repro.sim import Event, WaitEvent
+
+        while self.locked:
+            event = Event(self.name)
+            self._waiters.append(event)
+            yield WaitEvent(event)
+        self.locked = True
+
+    def release(self) -> None:
+        self.locked = False
+        if self._waiters:
+            self.sim.fire(self._waiters.pop(0))
+
+
+class LockstepContext:
+    """Rendezvous state for one logical thread (vtid)."""
+
+    def __init__(self, ghumvee: "Ghumvee", vtid: int):
+        self.ghumvee = ghumvee
+        self.vtid = vtid
+        self.entry_stops: Dict[int, Stop] = {}
+        self.exit_stops: Dict[int, Stop] = {}
+        self.phase = "idle"  # idle | entry | executing | draining
+        self.active_reqs: Dict[int, object] = {}
+        self.master_result: Optional[int] = None
+        self.call_class: str = ""
+        self.rendezvous_count = 0
+        #: Bumped whenever a rendezvous completes; the stall watchdog
+        #: compares generations to spot a partial rendezvous that never
+        #: filled up (a compromised replica went its own way, §4).
+        self.generation = 0
+
+    def replica_index_of(self, thread) -> int:
+        return self.ghumvee.replica_index(thread.process)
+
+    # -- stop routing -------------------------------------------------------
+    def on_entry(self, stop: Stop) -> None:
+        index = self.replica_index_of(stop.thread)
+        first_arrival = not self.entry_stops
+        self.entry_stops[index] = stop
+        if len(self.entry_stops) == self.ghumvee.live_replica_count():
+            self.generation += 1
+            self.phase = "entry"
+            self.ghumvee.spawn_monitor_task(self._handle_rendezvous(), "rendezvous")
+        elif first_arrival:
+            self._arm_stall_watchdog(stop)
+
+    def _arm_stall_watchdog(self, stop: Stop) -> None:
+        ghumvee = self.ghumvee
+        generation = self.generation
+        name = stop.req.name if stop.req is not None else ""
+
+        def _check():
+            if ghumvee.remon.shutting_down or ghumvee.group_exiting:
+                return
+            if self.generation != generation or not self.entry_stops:
+                return
+            if len(self.entry_stops) >= ghumvee.live_replica_count():
+                return
+            arrived = sorted(self.entry_stops)
+            ghumvee.divergence(
+                DivergenceReport(
+                    ghumvee.kernel.sim.now,
+                    self.vtid,
+                    name,
+                    "lockstep stall: only replicas %r reached the %s "
+                    "rendezvous within the timeout" % (arrived, name),
+                    detected_by="ghumvee",
+                )
+            )
+
+        ghumvee.kernel.sim.call_at(
+            ghumvee.kernel.sim.now + ghumvee.lockstep_timeout_ns, _check
+        )
+
+    def on_exit(self, stop: Stop) -> None:
+        index = self.replica_index_of(stop.thread)
+        self.exit_stops[index] = stop
+        if self.call_class == "allexec":
+            if len(self.exit_stops) == self.ghumvee.live_replica_count():
+                self.ghumvee.spawn_monitor_task(self._finish_allexec(), "allexec-exit")
+        else:
+            if len(self.exit_stops) == self.ghumvee.live_replica_count():
+                self.ghumvee.spawn_monitor_task(self._finish_mastercall(), "exit")
+
+    # -- phases ----------------------------------------------------------------
+    def _handle_rendezvous(self):
+        ghumvee = self.ghumvee
+        stops = [self.entry_stops[i] for i in sorted(self.entry_stops)]
+        name = stops[0].req.name
+        if name == "clone":
+            # Serialize thread creation across logical threads so vtid
+            # assignment matches in every replica. Taken before the
+            # monitor lock to keep lock ordering acyclic.
+            yield from ghumvee.clone_lock.acquire()
+        # The monitor serializes its handling: ptrace stop processing
+        # shares the monitor's waitpid loop and kernel-side tracing
+        # locks, which is a large part of why CP monitoring scales so
+        # poorly with syscall density.
+        yield from ghumvee.monitor_lock.acquire()
+        try:
+            yield from self._rendezvous_locked(stops)
+        finally:
+            ghumvee.monitor_lock.release()
+
+    def _rendezvous_locked(self, stops):
+        ghumvee = self.ghumvee
+        costs = ghumvee.costs
+        if ghumvee.remon.result.diverged or ghumvee.remon.shutting_down:
+            return  # leave everyone parked; teardown is imminent
+        self.rendezvous_count += 1
+        ghumvee.stats["monitored_calls"] += 1
+        reqs = [stop.req for stop in stops]
+        spaces = [stop.thread.process.space for stop in stops]
+        n = len(stops)
+
+        # ptrace entry stops + monitor dispatch.
+        yield Sleep(n * costs.ptrace_roundtrip_ns() + costs.monitor_dispatch_ns, cpu=True)
+
+        # Cross-check arguments (deep copies via process_vm_readv).
+        mismatch, nbytes = compare_requests(list(zip(reqs, spaces)))
+        yield Sleep(
+            costs.compare_cost_ns(nbytes, len(reqs[0].args) * n)
+            + n * costs.ptrace_peek_ns,
+            cpu=True,
+        )
+        if mismatch is not None:
+            ghumvee.divergence(
+                DivergenceReport(
+                    ghumvee.kernel.sim.now,
+                    self.vtid,
+                    reqs[0].name,
+                    mismatch.detail,
+                    detected_by="ghumvee",
+                    replica_args=[r.args for r in reqs],
+                )
+            )
+            return
+
+        name = reqs[0].name
+        self.active_reqs = {i: stop.req for i, stop in self.entry_stops.items()}
+
+        # Temporal exemption bookkeeping (§3.4): this monitored call was
+        # approved; identical calls may soon be exempted.
+        temporal = ghumvee.remon.policy.temporal
+        if temporal is not None:
+            temporal.record_approval(reqs[0], ghumvee.kernel.sim.now)
+
+        # epoll bookkeeping (§3.9): record every replica's own data value
+        # so monitored epoll_wait results can be translated per replica.
+        if name == "epoll_ctl":
+            for index, stop in self.entry_stops.items():
+                self._record_epoll_ctl(stop.thread.process.space, stop.req, index)
+
+        # Deliver deferred signals now: every replica is parked at an
+        # equivalent state (§2.2).
+        ghumvee.flush_pending_signals(self.vtid)
+
+        # Shared-memory restriction (§2.1): deny consistently everywhere.
+        if name in SHM_NAMES and not ghumvee.allow_shared_memory:
+            ghumvee.stats["shm_denied"] += 1
+            for stop in stops:
+                ghumvee.tracer.skip_call(stop.thread, -E.EACCES)
+            self.call_class = "allexec"  # each replica observes its own denial
+            self._release_entry(stops)
+            return
+        if name == "mmap" and not ghumvee.allow_shared_memory:
+            flags = reqs[0].arg(3)
+            if flags & C.MAP_SHARED and not flags & C.MAP_ANONYMOUS:
+                for stop in stops:
+                    ghumvee.tracer.skip_call(stop.thread, -E.EACCES)
+                self.call_class = "allexec"
+                self._release_entry(stops)
+                return
+
+        if name == "ipmon_register" and not ghumvee.remon.config.allow_ipmon_registration:
+            # §3.5: GHUMVEE arbitrates and vetoes the registration.
+            ghumvee.stats["ipmon_registrations_denied"] = (
+                ghumvee.stats.get("ipmon_registrations_denied", 0) + 1
+            )
+            for stop in stops:
+                ghumvee.tracer.skip_call(stop.thread, -E.EPERM)
+            self.call_class = "allexec"
+            self._release_entry(stops)
+            return
+
+        if name in ("exit", "exit_group"):
+            # Replicas agreed to terminate: no exit stop will follow (the
+            # call never returns), and exit_group legitimately tears down
+            # sibling threads that may be parked in their own rendezvous.
+            if name == "exit_group":
+                ghumvee.group_exiting = True
+            self.entry_stops = {}
+            self.phase = "idle"
+            for stop in stops:
+                ghumvee.tracer.resume(stop.thread)
+            return
+
+        if name in ALLEXEC_NAMES:
+            self.call_class = "allexec"
+            self._release_entry(stops)
+            return
+
+        # Master-calls model: the master executes, slaves skip.
+        self.call_class = "fdcreate" if name in FD_CREATE_NAMES else "mastercall"
+        self.phase = "executing"
+        for index, stop in self.entry_stops.items():
+            if index != 0:
+                ghumvee.tracer.skip_call(stop.thread, 0)
+        self._release_entry(stops)
+
+    def _record_epoll_ctl(self, space, req, replica_index: int) -> None:
+        ghumvee = self.ghumvee
+        op, fd, epfd = req.arg(1), req.arg(2), req.arg(0)
+        if op == C.EPOLL_CTL_DEL:
+            ghumvee.epoll_map.record_ctl_del(epfd, fd, replica_index)
+            return
+        addr = req.arg(3)
+        if not addr:
+            return
+        try:
+            raw = space.read(addr, EPOLL_EVENT_SIZE)
+        except MemoryFault:
+            return
+        _events, data = unpack_epoll_event(raw)
+        ghumvee.epoll_map.record_ctl_add(epfd, fd, replica_index, data)
+
+    def _release_entry(self, stops) -> None:
+        self.entry_stops = {}
+        for stop in stops:
+            self.ghumvee.tracer.resume(stop.thread)
+
+    def _finish_allexec(self):
+        ghumvee = self.ghumvee
+        yield from ghumvee.monitor_lock.acquire()
+        try:
+            yield from self._finish_allexec_locked()
+        finally:
+            ghumvee.monitor_lock.release()
+
+    def _finish_allexec_locked(self):
+        ghumvee = self.ghumvee
+        costs = ghumvee.costs
+        stops = [self.exit_stops[i] for i in sorted(self.exit_stops)]
+        n = len(stops)
+        yield Sleep(n * costs.ptrace_roundtrip_ns(), cpu=True)
+        name = stops[0].req.name if stops[0].req is not None else ""
+        results = [stop.result for stop in stops]
+        # Results may legitimately differ (mmap addresses, tids) but must
+        # agree on success vs failure.
+        ok = [isinstance(r, int) and r >= -4095 and r < 0 for r in results]
+        if any(ok) and not all(ok):
+            ghumvee.divergence(
+                DivergenceReport(
+                    ghumvee.kernel.sim.now,
+                    self.vtid,
+                    name,
+                    "allexec results disagree on success: %r" % (results,),
+                    detected_by="ghumvee",
+                )
+            )
+            return
+        if name == "clone":
+            ghumvee.clone_lock.release()
+        elif name == "close" and results and results[0] == 0:
+            ghumvee.fd_metadata.record_close(self.active_reqs[0].arg(0))
+        elif name in ("dup", "dup2") and results and results[0] >= 0:
+            ghumvee.fd_metadata.record_dup(self.active_reqs[0].arg(0), results[0])
+        elif name == "fcntl" and results and results[0] >= 0:
+            req = self.active_reqs[0]
+            if req.arg(1) == C.F_SETFL:
+                ghumvee.fd_metadata.record_nonblocking(
+                    req.arg(0), bool(req.arg(2) & C.O_NONBLOCK)
+                )
+            elif req.arg(1) == C.F_DUPFD:
+                ghumvee.fd_metadata.record_dup(req.arg(0), results[0])
+        elif name == "ipmon_register" and results and results[0] == 0:
+            ghumvee.stats["ipmon_registrations"] += 1
+        self._finish_common(stops)
+
+    def _finish_mastercall(self):
+        ghumvee = self.ghumvee
+        yield from ghumvee.monitor_lock.acquire()
+        try:
+            yield from self._finish_mastercall_locked()
+        finally:
+            ghumvee.monitor_lock.release()
+
+    def _finish_mastercall_locked(self):
+        ghumvee = self.ghumvee
+        costs = ghumvee.costs
+        master_stop = self.exit_stops.get(0)
+        slave_stops = [self.exit_stops[i] for i in sorted(self.exit_stops) if i != 0]
+        n = len(self.exit_stops)
+        result = master_stop.result
+        req = self.active_reqs.get(0)
+        name = req.name if req is not None else ""
+        yield Sleep(n * costs.ptrace_roundtrip_ns(), cpu=True)
+
+        replicated = 0
+        if isinstance(result, int) and result >= 0 and req is not None:
+            replicated = yield from self._replicate_outputs(req, result, slave_stops)
+        if self.call_class == "fdcreate" and isinstance(result, int) and result >= 0:
+            self._install_shadows(req, result, slave_stops)
+        # getters & time: consistent results from the master for all.
+        for stop in slave_stops:
+            stop.final_result = result
+        ghumvee.stats["bytes_replicated"] += replicated
+        self._finish_common([master_stop] + slave_stops)
+
+    def _finish_common(self, stops) -> None:
+        self.exit_stops = {}
+        self.active_reqs = {}
+        self.phase = "idle"
+        self.call_class = ""
+        for stop in stops:
+            self.ghumvee.tracer.resume(stop.thread, final_result=stop.final_result)
+
+    # -- output replication ---------------------------------------------------
+    def _replicate_outputs(self, master_req, result: int, slave_stops):
+        ghumvee = self.ghumvee
+        costs = ghumvee.costs
+        spec = spec_for(master_req.name)
+        if spec is None or not slave_stops:
+            return 0
+        master_space = ghumvee.group.processes[0].space
+        name = master_req.name
+        replicated = 0
+
+        # Special case: epoll_wait needs per-replica data translation.
+        if name == "epoll_wait" and result > 0:
+            replicated = self._replicate_epoll(master_req, result, slave_stops)
+            yield Sleep(costs.replicate_cost_ns(replicated), cpu=True)
+            return replicated
+
+        # Special case: poll rewrites the pollfd array in place.
+        if name == "poll":
+            replicated = self._replicate_pollfds(master_req, slave_stops)
+            yield Sleep(costs.replicate_cost_ns(replicated), cpu=True)
+            return replicated
+
+        for index in spec.out_buffers():
+            arg_spec = spec.args[index]
+            master_addr = master_req.arg(index)
+            if not master_addr:
+                continue
+            data = self._read_master_out(
+                master_space, master_req, arg_spec, index, result
+            )
+            if data is None:
+                continue
+            # /proc/<pid>/maps filtering (§3.1): scrub IP-MON mappings
+            # before any replica-visible copy.
+            if name in _READ_FAMILY and ghumvee.fd_is_special(master_req.arg(0)):
+                data, result = ghumvee.filter_special_read(
+                    master_space, master_addr, data, result
+                )
+                for stop in slave_stops:
+                    stop.final_result = result
+                self.exit_stops[0].final_result = result
+            for stop in slave_stops:
+                slave_req = self.active_reqs.get(
+                    self.replica_index_of(stop.thread), master_req
+                )
+                slave_addr = slave_req.arg(index)
+                if not slave_addr:
+                    continue
+                try:
+                    if arg_spec.kind == "iovec_out":
+                        self._scatter_iovec(
+                            stop.thread.process.space, slave_req, arg_spec, index, data
+                        )
+                    else:
+                        stop.thread.process.space.write(
+                            slave_addr, data, check_prot=False
+                        )
+                except MemoryFault:
+                    continue
+                replicated += len(data)
+        yield Sleep(
+            costs.replicate_cost_ns(replicated)
+            + len(slave_stops) * costs.ptrace_poke_ns,
+            cpu=True,
+        )
+        return replicated
+
+    def _read_master_out(self, space, req, arg_spec, index, result):
+        from repro.core.handlers import IpmonHandler
+
+        helper = IpmonHandler(req.name)
+        valid = helper._valid_length(arg_spec, req.args, result)
+        if valid <= 0:
+            return b""
+        try:
+            if arg_spec.kind == "iovec_out":
+                count = int(req.args[arg_spec.count_arg])
+                iovecs = read_iovecs(space, req.arg(index), count)
+                out = bytearray()
+                remaining = result
+                for base, length in iovecs:
+                    if remaining <= 0:
+                        break
+                    take = min(length, remaining)
+                    out += space.read(base, take, check_prot=False)
+                    remaining -= take
+                return bytes(out)
+            return space.read(req.arg(index), valid, check_prot=False)
+        except MemoryFault:
+            return None
+
+    def _scatter_iovec(self, space, req, arg_spec, index: int, data: bytes) -> None:
+        count = int(req.args[arg_spec.count_arg])
+        iovecs = read_iovecs(space, req.arg(index), count)
+        cursor = 0
+        for base, length in iovecs:
+            if cursor >= len(data):
+                break
+            chunk = data[cursor : cursor + length]
+            space.write(base, chunk, check_prot=False)
+            cursor += len(chunk)
+
+    def _replicate_pollfds(self, master_req, slave_stops) -> int:
+        from repro.kernel.structs import POLLFD_SIZE
+
+        master_space = self.ghumvee.group.processes[0].space
+        nfds = master_req.arg(1)
+        if not master_req.arg(0) or nfds <= 0:
+            return 0
+        try:
+            raw = master_space.read(
+                master_req.arg(0), nfds * POLLFD_SIZE, check_prot=False
+            )
+        except MemoryFault:
+            return 0
+        replicated = 0
+        for stop in slave_stops:
+            slave_req = self.active_reqs.get(
+                self.replica_index_of(stop.thread), master_req
+            )
+            if not slave_req.arg(0):
+                continue
+            try:
+                stop.thread.process.space.write(
+                    slave_req.arg(0), raw, check_prot=False
+                )
+                replicated += len(raw)
+            except MemoryFault:
+                continue
+        return replicated
+
+    def _replicate_epoll(self, master_req, result: int, slave_stops) -> int:
+        ghumvee = self.ghumvee
+        master_space = ghumvee.group.processes[0].space
+        epfd = master_req.arg(0)
+        try:
+            raw = master_space.read(
+                master_req.arg(1), result * EPOLL_EVENT_SIZE, check_prot=False
+            )
+        except MemoryFault:
+            return 0
+        events = [
+            unpack_epoll_event(raw[i * EPOLL_EVENT_SIZE : (i + 1) * EPOLL_EVENT_SIZE])
+            for i in range(result)
+        ]
+        neutral = ghumvee.epoll_map.neutralize_events(epfd, events)
+        replicated = 0
+        for stop in slave_stops:
+            index = self.replica_index_of(stop.thread)
+            slave_req = self.active_reqs.get(index, master_req)
+            localized = ghumvee.epoll_map.localize_events(epfd, neutral, index)
+            for pos, (revents, data) in enumerate(localized):
+                try:
+                    stop.thread.process.space.write(
+                        slave_req.arg(1) + pos * EPOLL_EVENT_SIZE,
+                        pack_epoll_event(revents, data),
+                        check_prot=False,
+                    )
+                    replicated += EPOLL_EVENT_SIZE
+                except MemoryFault:
+                    break
+        return replicated
+
+    # -- shadow descriptors -----------------------------------------------------
+    def _install_shadows(self, master_req, result: int, slave_stops) -> None:
+        ghumvee = self.ghumvee
+        name = master_req.name
+        master_process = ghumvee.group.processes[0]
+        if name in ("pipe", "pipe2"):
+            # Fd numbers came back through the replicated buffer.
+            try:
+                raw = master_process.space.read(master_req.arg(0), 8, check_prot=False)
+                rfd, wfd = struct.unpack("<ii", raw)
+            except MemoryFault:
+                return
+            for fd in (rfd, wfd):
+                ghumvee.fd_metadata.record_open(fd, "pipe")
+                for stop in slave_stops:
+                    _install_shadow_fd(stop.thread.process, fd, "pipe")
+            return
+        fd = result
+        entry = master_process.fdtable.get(fd)
+        kind = entry.ofd.file.kind if entry is not None else "reg"
+        nonblocking = entry.ofd.nonblocking if entry is not None else False
+        special = getattr(entry.ofd.file, "proc_entry", None) is not None if entry else False
+        if special and getattr(entry.ofd.file, "proc_entry", ("",))[0] == "maps":
+            # §3.1: scrub IP-MON's hidden mappings from the snapshot the
+            # replica is about to read.
+            node = entry.ofd.file
+            content = node.content()
+            node.snapshot = b"\n".join(
+                line
+                for line in content.split(b"\n")
+                if b"[ipmon-rb]" not in line and b"[ipmon-filemap]" not in line
+            )
+        ghumvee.fd_metadata.record_open(fd, kind, nonblocking, special)
+        for stop in slave_stops:
+            _install_shadow_fd(stop.thread.process, fd, kind)
+
+    # -- teardown ------------------------------------------------------------
+    def on_replica_gone(self, stop: Stop) -> None:
+        """A replica thread died while a rendezvous was pending."""
+        if self.ghumvee.group_exiting:
+            return
+        if self.entry_stops or self.exit_stops:
+            parked = [s.thread.name for s in self.entry_stops.values()]
+            self.ghumvee.divergence(
+                DivergenceReport(
+                    self.ghumvee.kernel.sim.now,
+                    self.vtid,
+                    stop.req.name if stop.req else "",
+                    "replica %s died (sig=%d) while %r awaited lockstep"
+                    % (stop.thread.name, stop.signo, parked),
+                    detected_by="exit",
+                )
+            )
+
+
+def _install_shadow_fd(process, fd: int, kind: str) -> None:
+    from repro.kernel.vfs import OpenFileDescription
+
+    shadow = ShadowFile(kind, name="shadow:%d" % fd)
+    process.fdtable.install(fd, OpenFileDescription(shadow, C.O_RDWR))
+
+
+class Ghumvee:
+    """The monitor process: tracer callbacks + lockstep state machines."""
+
+    def __init__(self, remon):
+        self.remon = remon
+        self.kernel = remon.kernel
+        self.group = remon.group
+        self.costs = self.kernel.config.costs
+        self.tracer = Tracer(self.kernel, name="ghumvee")
+        self.tracer.stop_handler = self._on_stop
+        self.tracer.signal_handler = self._on_signal
+        self.tracer.exit_handler = self._on_exit
+        self.fd_metadata = remon.fd_metadata
+        self.epoll_map = remon.epoll_map
+        self.allow_shared_memory = remon.config.allow_shared_memory
+        self.contexts: Dict[int, LockstepContext] = {}
+        self.pending_signals: List[int] = []
+        #: Set once an exit_group rendezvous completes: replica teardown
+        #: from that point on is expected, not divergence.
+        self.group_exiting = False
+        self.monitor_lock = AsyncLock(self.kernel.sim, "monitor")
+        self.clone_lock = AsyncLock(self.kernel.sim, "clone")
+        #: How long a partially-filled rendezvous may wait before the
+        #: monitor declares the replicas' syscall sequences diverged.
+        self.lockstep_timeout_ns = 1_000_000_000
+        self.stats = {
+            "monitored_calls": 0,
+            "bytes_replicated": 0,
+            "signals_deferred": 0,
+            "signals_delivered": 0,
+            "shm_denied": 0,
+            "ipmon_registrations": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def attach_all(self) -> None:
+        for process in self.group.processes:
+            self.tracer.attach(process)
+
+    def replica_index(self, process) -> int:
+        return self.group.index_of(process)
+
+    def live_replica_count(self) -> int:
+        return sum(1 for p in self.group.processes if not p.exited)
+
+    def context(self, vtid: int) -> LockstepContext:
+        ctx = self.contexts.get(vtid)
+        if ctx is None:
+            ctx = LockstepContext(self, vtid)
+            self.contexts[vtid] = ctx
+        return ctx
+
+    def spawn_monitor_task(self, gen, label: str) -> None:
+        task = self.kernel.sim.spawn(gen, name="ghumvee:%s" % label)
+
+        def _check_failure(_value, t=task):
+            if t.failure is not None:
+                self.remon.monitor_failures.append(t.failure)
+
+        task.done_event.add_listener(_check_failure)
+
+    # ------------------------------------------------------------------
+    # Tracer callbacks
+    # ------------------------------------------------------------------
+    def _on_stop(self, stop: Stop) -> None:
+        if self.remon.shutting_down or self.remon.result.diverged:
+            # Leave the thread parked; remon is killing everything.
+            return
+        ctx = self.context(stop.thread.vtid)
+        if stop.kind == "syscall-entry":
+            ctx.on_entry(stop)
+        else:
+            ctx.on_exit(stop)
+
+    def _on_signal(self, stop: Stop) -> None:
+        """Asynchronous signal intercepted: defer it (§2.2/§3.8)."""
+        self.stats["signals_deferred"] += 1
+        self.pending_signals.append(stop.signo)
+        ipmon = self.remon.ipmon
+        if ipmon is not None:
+            ipmon.set_signals_pending(True)
+            # §3.8: abort the master replica's blocking unmonitored call
+            # so deferral cannot stall indefinitely.
+            master = self.group.processes[0]
+            for thread in master.live_threads():
+                if thread.in_interruptible_wait and not thread.ptrace_stopped:
+                    self.tracer.interrupt_call(thread)
+
+    def _on_exit(self, stop: Stop) -> None:
+        if self.remon.shutting_down:
+            return
+        ctx = self.contexts.get(stop.thread.vtid)
+        if ctx is not None:
+            ctx.on_replica_gone(stop)
+        self.remon.on_replica_thread_exit(stop)
+
+    # ------------------------------------------------------------------
+    # Deferred signal delivery
+    # ------------------------------------------------------------------
+    def flush_pending_signals(self, vtid: int) -> None:
+        if not self.pending_signals:
+            return
+        signals, self.pending_signals = self.pending_signals, []
+        for signo in signals:
+            self.stats["signals_delivered"] += 1
+            for process in self.group.processes:
+                if process.exited:
+                    continue
+                target = None
+                for thread in process.threads.values():
+                    if thread.vtid == vtid and not thread.exited:
+                        target = thread
+                        break
+                if target is None:
+                    threads = process.live_threads()
+                    target = threads[0] if threads else None
+                if target is not None:
+                    self.tracer.inject_signal(target, signo)
+        ipmon = self.remon.ipmon
+        if ipmon is not None:
+            ipmon.set_signals_pending(False)
+
+    # ------------------------------------------------------------------
+    # Special files (§3.1)
+    # ------------------------------------------------------------------
+    def fd_is_special(self, fd: int) -> bool:
+        info = self.fd_metadata.info(fd)
+        return bool(info and (info.special or info.kind == "special"))
+
+    def filter_special_read(self, master_space, addr: int, data: bytes, result: int):
+        """Scrub IP-MON's hidden mappings out of /proc/*/maps content."""
+        lines = data.split(b"\n")
+        kept = [
+            line
+            for line in lines
+            if b"[ipmon-rb]" not in line and b"[ipmon-filemap]" not in line
+        ]
+        filtered = b"\n".join(kept)
+        if filtered != data:
+            try:
+                master_space.write(addr, filtered + b"\x00" * (len(data) - len(filtered)),
+                                   check_prot=False)
+            except MemoryFault:
+                pass
+            return filtered, len(filtered)
+        return data, result
+
+    # ------------------------------------------------------------------
+    def divergence(self, report: DivergenceReport) -> None:
+        self.remon.divergence(report)

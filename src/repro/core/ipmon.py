@@ -1,0 +1,442 @@
+"""IP-MON: the in-process monitor (paper §3.2-§3.9).
+
+One :class:`IpmonReplica` lives inside each replica process (the paper
+loads it as a shared library); they cooperate through the shared
+replication buffer. The master executes unmonitored calls and publishes
+arguments and results; slaves validate their own arguments against the
+master's record and copy the results out, without any context switch to
+GHUMVEE.
+
+Security-relevant modelling choices (§3.1):
+
+* the RB pointer and the authorization token travel as coroutine
+  arguments — never written to guest memory — mirroring the reserved
+  registers of the real implementation;
+* all result copies go through the RB region's actual bytes, so an
+  attacker who finds the RB can tamper with slave validation;
+* IP-MON completes calls only through IK-B's verifier, with the token
+  intact, via its registered entry point.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.comparator import serialize_args
+from repro.core.fdtable import FileMapView
+from repro.core.handlers import (
+    ALLCALL,
+    EpollCtlHandler,
+    MASTERCALL,
+    build_handler_table,
+)
+from repro.core.rb import (
+    FLAG_FORWARDED,
+    FLAG_MAY_BLOCK,
+    STATE_RESULTS_READY,
+    ReplicationBuffer,
+)
+from repro.errors import SecurityViolation
+from repro.kernel import constants as C
+from repro.kernel import errno_codes as E
+from repro.kernel.syscalls import SyscallRequest
+from repro.kernel.waitq import wait_interruptible
+from repro.sim import Sleep
+
+#: After this many spin iterations a slave falls back to the futex path
+#: even for calls predicted not to block.
+SPIN_LIMIT = 64
+
+#: Region offset of the signals-pending flag GHUMVEE sets (§3.8). The
+#: lanes start after this reserved header.
+SIGNALS_PENDING_OFFSET = 0
+
+
+class IpMonGroup:
+    """The cross-replica coordinator: owns the RB and the handler table."""
+
+    def __init__(self, remon, policy, rb_size: int = 16 << 20, force_spin: bool = False):
+        self.remon = remon
+        self.kernel = remon.kernel
+        self.policy = policy
+        self.rb = ReplicationBuffer(rb_size)
+        self.handlers = build_handler_table(policy.unmonitored_set())
+        self.replicas: List["IpmonReplica"] = []
+        #: Ablation knob: slaves always spin-read instead of using the
+        #: per-invocation futex condition variables of §3.7.
+        self.force_spin = force_spin
+        self.stats = {
+            "unmonitored_calls": 0,
+            "forwarded_conditional": 0,
+            "forwarded_signals": 0,
+            "forwarded_size": 0,
+            "rb_resets": 0,
+            "futex_waits": 0,
+            "futex_wakes_skipped": 0,
+            "spin_fallbacks": 0,
+            "spin_iterations": 0,
+        }
+
+    def signals_pending(self) -> bool:
+        return self.rb.region.data[SIGNALS_PENDING_OFFSET] != 0
+
+    def set_signals_pending(self, value: bool) -> None:
+        self.rb.region.data[SIGNALS_PENDING_OFFSET] = 1 if value else 0
+
+
+class IpmonReplica:
+    """IP-MON as loaded into one replica process."""
+
+    def __init__(self, group: IpMonGroup, process, replica_index: int, filemap_region):
+        self.group = group
+        self.kernel = group.kernel
+        self.process = process
+        self.space = process.space
+        self.replica_index = replica_index
+        self.is_master = replica_index == 0
+        self.policy = group.policy
+        self.filemap = FileMapView(filemap_region)
+        self.epoll_map = group.remon.epoll_map
+        # The replica-local virtual address the RB is mapped at. Stored
+        # here only for issuing futexes at replica-local addresses; the
+        # guest program never learns it (see attacks/scenarios.py).
+        self._rb_base = 0
+        group.replicas.append(self)
+        process.ipmon_replica = self
+
+    # ------------------------------------------------------------------
+    # Initialization (§3.5): map the RB + file map, register with IK-B.
+    # ------------------------------------------------------------------
+    def map_buffers(self) -> None:
+        """Map the shared RB and the read-only file map into this
+        replica at randomized, hidden addresses."""
+        # 24 bits of placement entropy per replica (paper §4): the RB
+        # lands on one of 2^24 page-aligned slots in this replica's
+        # private 64 GiB arena.
+        rng_page = (
+            int.from_bytes(self.kernel.random_bytes(4), "little") % (1 << 24)
+        ) * C.PAGE_SIZE
+        base_hint = 0x7E00_0000_0000 + rng_page + self.replica_index * (1 << 37)
+        mapping = self.space.map(
+            base_hint,
+            self.group.rb.size,
+            C.PROT_READ | C.PROT_WRITE,
+            name="[ipmon-rb]",
+            region=self.group.rb.region,
+            shared=True,
+        )
+        self._rb_base = mapping.start
+        self.space.map(
+            None,
+            len(self.filemap.region),
+            C.PROT_READ,
+            name="[ipmon-filemap]",
+            region=self.filemap.region,
+            shared=True,
+        )
+
+    def registration_preamble(self, ctx):
+        """Guest-side preamble: issue the ipmon_register syscall. Runs
+        inside the replica before the application's main.
+
+        GHUMVEE arbitrates the registration (§3.5) and may veto it with
+        -EPERM, in which case the replica simply runs without an active
+        IP-MON (every call stays monitored)."""
+        unmonitored = self.policy.unmonitored_set()
+        result = yield SyscallRequest(
+            "ipmon_register", (unmonitored, self._rb_base, self.entry)
+        )
+        if result not in (0, -E.EPERM):
+            raise SecurityViolation("ipmon_register failed: %d" % result)
+        return result
+
+    @property
+    def rb_base_for_tests(self) -> int:
+        return self._rb_base
+
+    def remap_rb(self) -> int:
+        """Move the RB to a fresh random virtual address (the §4
+        extension: IK-B periodically rewrites the replica's page tables
+        so even a leaked RB pointer goes stale).
+
+        Futex keys are derived from the backing region, so slaves blocked
+        on a record's condition variable keep working across the move.
+        Returns the new base address.
+        """
+        old = next(
+            (m for m in self.space.mappings() if m.name == "[ipmon-rb]"), None
+        )
+        if old is not None:
+            self.space.unmap(old.start, old.length)
+        rng_page = (
+            int.from_bytes(self.kernel.random_bytes(4), "little") % (1 << 24)
+        ) * C.PAGE_SIZE
+        base_hint = 0x7E00_0000_0000 + rng_page + self.replica_index * (1 << 37)
+        mapping = self.space.map(
+            base_hint,
+            self.group.rb.size,
+            C.PROT_READ | C.PROT_WRITE,
+            name="[ipmon-rb]",
+            region=self.group.rb.region,
+            shared=True,
+        )
+        self._rb_base = mapping.start
+        broker = getattr(self.kernel, "ikb", None)
+        if broker is not None:
+            registration = broker.registration_for(self.process)
+            if registration is not None:
+                registration.rb_base = mapping.start
+        self.group.stats["rb_remaps"] = self.group.stats.get("rb_remaps", 0) + 1
+        return mapping.start
+
+    # ------------------------------------------------------------------
+    # The system call entry point IK-B forwards to (steps 2-4).
+    # ------------------------------------------------------------------
+    def entry(self, thread, req: SyscallRequest, token: int, rb_base: int):
+        costs = self.kernel.config.costs
+        group = self.group
+        yield Sleep(costs.ipmon_entry_ns, cpu=True)
+        handler = group.handlers.get(req.name)
+        broker = self.kernel.ikb
+        if handler is None:
+            result = yield from broker.route_to_monitor(thread, req)
+            return result
+
+        # MAYBE_CHECKED: conditional-policy decision. Deterministic given
+        # the (shared) file map, so every replica reaches the same verdict
+        # without communicating — except under a temporal policy, whose
+        # stochastic exemptions only the master decides; slaves then
+        # follow the master's record (FLAG_FORWARDED) instead.
+        must_monitor = handler.maybe_checked(self, req)
+        temporal = self.policy.temporal
+        temporal_managed = temporal is not None and self.policy.is_conditional(req.name)
+        if temporal_managed:
+            if self.is_master:
+                if must_monitor and temporal.should_exempt(req, self.kernel.sim.now):
+                    must_monitor = False
+                    group.stats["temporal_exemptions"] = (
+                        group.stats.get("temporal_exemptions", 0) + 1
+                    )
+            else:
+                must_monitor = False  # decided by the master's record
+        elif must_monitor:
+            group.stats["forwarded_conditional"] += 1
+            result = yield from broker.route_to_monitor(thread, req)
+            return result
+
+        # CALCSIZE: records that cannot fit even an empty RB lane are
+        # forwarded (deterministic as well).
+        blob = serialize_args(req, self.space)
+        blob_bytes = blob.encode()
+        yield Sleep(costs.compare_cost_ns(blob.nbytes, len(blob.items)), cpu=True)
+        max_result = handler.calcsize(self, req)
+        record_bytes = len(blob_bytes) + max_result
+        lane = group.rb.lane(thread.vtid)
+        if lane is None or not lane.fits(record_bytes):
+            group.stats["forwarded_size"] += 1
+            result = yield from broker.route_to_monitor(thread, req)
+            return result
+
+        if isinstance(handler, EpollCtlHandler):
+            handler.observe(self, req)
+
+        if self.is_master:
+            result = yield from self._master_path(
+                thread,
+                req,
+                token,
+                rb_base,
+                handler,
+                lane,
+                blob_bytes,
+                record_bytes,
+                must_monitor,
+            )
+        else:
+            result = yield from self._slave_path(
+                thread, req, token, handler, lane, blob_bytes
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Master: log, execute, publish.
+    # ------------------------------------------------------------------
+    def _master_path(
+        self,
+        thread,
+        req,
+        token,
+        rb_base,
+        handler,
+        lane,
+        blob_bytes,
+        record_bytes,
+        must_monitor=False,
+    ):
+        costs = self.kernel.config.costs
+        group = self.group
+        broker = self.kernel.ikb
+
+        # Wait for RB room; a full lane is reset under GHUMVEE
+        # arbitration once every slave caught up (§3.2).
+        while not lane.has_room(record_bytes):
+            if lane.slaves_caught_up():
+                yield Sleep(costs.rb_overflow_sync_ns, cpu=False)
+                lane.reset(self.kernel.sim)
+                group.stats["rb_resets"] += 1
+                continue
+            event = lane.catchup_waitq.register()
+            status, _ = yield from wait_interruptible(thread, event)
+            if status == "interrupted":
+                lane.catchup_waitq.unregister(event)
+                broker.revoke_token(thread)
+                return -E.EINTR
+
+        record = lane.reserve(record_bytes)
+        group.rb.total_records += 1
+
+        # Forwarded cases that slaves must learn about through the RB
+        # record (FLAG_FORWARDED): pending-signal deferral (§3.8) and
+        # non-exempted calls under a temporal policy (§3.4).
+        if must_monitor or group.signals_pending():
+            record.write_args(blob_bytes, FLAG_FORWARDED)
+            lane.publish_args(self.kernel.sim)
+            if must_monitor:
+                group.stats["forwarded_conditional"] += 1
+            else:
+                group.stats["forwarded_signals"] += 1
+            result = yield from broker.route_to_monitor(thread, req)
+            record.write_results(result, b"")
+            self._wake_record(record, costs)
+            return result
+
+        may_block = handler.may_block(self, req)
+        flags = FLAG_MAY_BLOCK if may_block else 0
+        record.write_args(blob_bytes, flags)
+        yield Sleep(costs.rb_write_base_ns + costs.rb_copy_ns(len(blob_bytes)), cpu=True)
+        lane.publish_args(self.kernel.sim)
+
+        # Restart the call through IK-B with the token intact (step 3).
+        restart = req.replace(site="ipmon", token=token)
+        ok, result = yield from broker.restart_call(thread, restart)
+        if not ok:
+            # Verification failed (cannot happen on the benign path; an
+            # attack scenario may force it): fall back to the monitor.
+            record.write_results(-E.EPERM, b"")
+            self._wake_record(record, costs)
+            result = yield from broker.route_to_monitor(thread, req)
+            return result
+
+        group.stats["unmonitored_calls"] += 1
+        payload = b""
+        if handler.disposition() == MASTERCALL:
+            payload = handler.collect_results(self, req, result)
+        record.write_results(result, payload)
+        group.rb.total_bytes += record.total_bytes()
+        yield Sleep(costs.rb_write_base_ns + costs.rb_copy_ns(len(payload)), cpu=True)
+        self._wake_record(record, costs)
+        return result
+
+    def _wake_record(self, record, costs) -> None:
+        """FUTEX_WAKE the record's condition variable — but only when a
+        slave actually waits (§3.7's no-waiter optimization)."""
+        if record.waiters() > 0:
+            addr = self._rb_base + record.state_word_offset()
+            self.kernel.futexes.wake(self.space, addr, 1 << 30, self.kernel.sim)
+            # The wake syscall itself costs time; charged to the master.
+            # (In the real system this is an actual futex(2) call.)
+        else:
+            self.group.stats["futex_wakes_skipped"] += 1
+
+    # ------------------------------------------------------------------
+    # Slave: validate, wait, copy.
+    # ------------------------------------------------------------------
+    def _slave_path(self, thread, req, token, handler, lane, blob_bytes):
+        costs = self.kernel.config.costs
+        group = self.group
+        broker = self.kernel.ikb
+
+        # Locate this replica's next record, waiting for the master to
+        # publish it if necessary.
+        group.rb.attach_slave_to_lane(lane, self.replica_index)
+        while True:
+            record = lane.next_record_for(self.replica_index)
+            if record is not None and record.state() >= 1:
+                break
+            event = lane.args_waitq.register()
+            status, _ = yield from wait_interruptible(thread, event)
+            if status == "interrupted":
+                lane.args_waitq.unregister(event)
+                broker.revoke_token(thread)
+                return -E.EINTR
+
+        # Sanity check: compare our own arguments against the master's
+        # recorded deep copy (§3: minimizes asymmetrical attacks).
+        master_blob = record.read_args()
+        yield Sleep(
+            costs.rb_read_base_ns + costs.compare_cost_ns(len(master_blob)), cpu=True
+        )
+        if master_blob != blob_bytes:
+            # Intentional crash: signals GHUMVEE through ptrace and shuts
+            # the MVEE down (paper §3.3).
+            lane.consume(self.replica_index, self.kernel.sim)
+            broker.revoke_token(thread)
+            self.group.remon.ipmon_divergence(
+                thread, req, master_blob, blob_bytes
+            )
+            return -E.EPERM  # unreachable in practice: remon kills us
+
+        flags = record.flags()
+        if flags & FLAG_FORWARDED:
+            # Master forwarded this call to GHUMVEE; do the same so the
+            # lockstep rendezvous completes.
+            lane.consume(self.replica_index, self.kernel.sim)
+            result = yield from broker.route_to_monitor(thread, req)
+            return result
+
+        if handler.disposition() == ALLCALL:
+            # Execute our own call (process-local effect) with our token.
+            restart = req.replace(site="ipmon", token=token)
+            ok, result = yield from broker.restart_call(thread, restart)
+            if not ok:
+                result = yield from broker.route_to_monitor(thread, req)
+            lane.consume(self.replica_index, self.kernel.sim)
+            return result
+
+        # MASTERCALL: abort our own call, wait for the master's results.
+        broker.revoke_token(thread)
+        interrupted = yield from self._await_results(thread, record, flags, costs)
+        if interrupted:
+            lane.consume(self.replica_index, self.kernel.sim)
+            return -E.EINTR
+        result, payload = record.read_results()
+        yield Sleep(costs.rb_read_base_ns + costs.rb_copy_ns(len(payload)), cpu=True)
+        handler.apply_results(self, req, result, payload)
+        lane.consume(self.replica_index, self.kernel.sim)
+        return result
+
+    def _await_results(self, thread, record, flags, costs):
+        """Wait for RESULTS_READY: spin for non-blocking calls, futex for
+        blocking ones (§3.7). Returns True if interrupted by a signal."""
+        spins = 0
+        use_futex = bool(flags & FLAG_MAY_BLOCK) and not self.group.force_spin
+        while record.state() != STATE_RESULTS_READY:
+            if not use_futex:
+                yield Sleep(costs.spin_read_ns, cpu=True)
+                spins += 1
+                self.group.stats["spin_iterations"] += 1
+                if spins >= SPIN_LIMIT and not self.group.force_spin:
+                    use_futex = True
+                    self.group.stats["spin_fallbacks"] += 1
+                continue
+            self.group.stats["futex_waits"] += 1
+            record.add_waiter(+1)
+            addr = self._rb_base + record.state_word_offset()
+            result = yield from self.kernel.futexes.wait(
+                self.kernel, thread, self.space, addr, record.state(), None
+            )
+            record.add_waiter(-1)
+            if result == -E.EINTR:
+                return True
+            yield Sleep(costs.futex_wait_ns, cpu=False)
+        return False

@@ -1,0 +1,309 @@
+"""ReMon: the public entry point wiring all components together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.epoll_map import EpollShadowMap
+from repro.core.events import DivergenceReport, MveeResult
+from repro.core.fdtable import MonitorFdTable
+from repro.core.ghumvee import Ghumvee
+from repro.core.ikb import InKernelBroker
+from repro.core.ipmon import IpMonGroup, IpmonReplica
+from repro.core.policies import Level, RelaxationPolicy
+from repro.core.rr_agent import RecordReplayAgent
+from repro.diversity.aslr import make_layouts
+from repro.errors import MonitorError
+from repro.guest.program import Program
+from repro.guest.runtime import GuestRuntime
+
+
+class ReplicaGroup:
+    """The ordered set of replica processes (index 0 = master)."""
+
+    def __init__(self):
+        self.processes: List = []
+
+    def add(self, process) -> None:
+        process.replica_index = len(self.processes)
+        self.processes.append(process)
+
+    def index_of(self, process) -> int:
+        return getattr(process, "replica_index", 0)
+
+    def master(self):
+        return self.processes[0]
+
+    def all_exited(self) -> bool:
+        return all(process.exited for process in self.processes)
+
+    def __len__(self):
+        return len(self.processes)
+
+
+@dataclass
+class ReMonConfig:
+    """Configuration for one MVEE instance."""
+
+    replicas: int = 2
+    level: Level = Level.NONSOCKET_RW
+    rb_size: int = 16 << 20
+    aslr: bool = True
+    dcl: bool = True
+    allow_shared_memory: bool = False
+    use_rr_agent: bool = True
+    temporal: Optional[object] = None  # a TemporalPolicy, if any
+    #: Ablation knob (§3.7): disable futex condvars, slaves always spin.
+    ipmon_force_spin: bool = False
+    #: §4 extension: IK-B periodically moves the RB to a fresh virtual
+    #: address in every replica (None = disabled).
+    rb_remap_interval_ns: Optional[int] = None
+    #: §3.5: GHUMVEE arbitrates IP-MON registration and "can potentially
+    #: prevent the registration altogether". When False, registrations
+    #: are vetoed and the MVEE runs CP-only despite the relaxed level.
+    allow_ipmon_registration: bool = True
+    seed: int = 0
+
+    def policy(self) -> RelaxationPolicy:
+        return RelaxationPolicy(self.level, temporal=self.temporal)
+
+
+class ReMon:
+    """A configured MVEE supervising N replicas of one program.
+
+    Typical use::
+
+        kernel = Kernel()
+        mvee = ReMon(kernel, program, ReMonConfig(replicas=2))
+        result = mvee.run()
+    """
+
+    def __init__(self, kernel, program: Program, config: Optional[ReMonConfig] = None):
+        self.kernel = kernel
+        self.program = program
+        self.config = config or ReMonConfig()
+        if self.config.replicas < 1:
+            raise MonitorError("an MVEE needs at least one replica")
+        self.policy = self.config.policy()
+        self.group = ReplicaGroup()
+        self.fd_metadata = MonitorFdTable()
+        self.epoll_map = EpollShadowMap(self.config.replicas)
+        self.result = MveeResult()
+        self.shutting_down = False
+        #: Exceptions from monitor coroutines; surfaced by finalize().
+        self.monitor_failures: List[BaseException] = []
+        self.layouts = make_layouts(
+            self.config.replicas,
+            seed=self.config.seed,
+            aslr=self.config.aslr,
+            dcl=self.config.dcl,
+        )
+        self._runtimes: List[GuestRuntime] = []
+        self._started = False
+        self.master_exit_ns: Optional[int] = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        kernel = self.kernel
+        self.program.install_files(kernel)
+        pressure = kernel.config.costs.memory_pressure_per_replica
+        sensitivity = getattr(self.program, "cache_sensitivity", 1.0)
+        factor = 1.0 + pressure * (self.config.replicas - 1) * sensitivity
+        for layout in self.layouts:
+            process = kernel.create_process(
+                "%s.r%d" % (self.program.name, layout.index),
+                mmap_base=layout.mmap_base,
+                brk_base=layout.brk_base,
+            )
+            process.compute_factor = factor
+            self.group.add(process)
+
+        # Cross-process monitor.
+        self.ghumvee = Ghumvee(self)
+        self.ghumvee.attach_all()
+
+        # Kernel broker (shared per kernel).
+        self.broker = getattr(kernel, "ikb", None)
+        if self.broker is None:
+            self.broker = InKernelBroker(kernel)
+            kernel.syscall_hooks.append(self.broker)
+
+        # In-process monitor, unless the policy disables it.
+        self.ipmon: Optional[IpMonGroup] = None
+        if self.config.level != Level.NO_IPMON:
+            self.ipmon = IpMonGroup(
+                self,
+                self.policy,
+                self.config.rb_size,
+                force_spin=self.config.ipmon_force_spin,
+            )
+            for process, layout in zip(self.group.processes, self.layouts):
+                replica = IpmonReplica(
+                    self.ipmon,
+                    process,
+                    layout.index,
+                    self.fd_metadata.region,
+                )
+                replica.map_buffers()
+
+        # Record/replay agent for user-space synchronization.
+        self.rr_agent = (
+            RecordReplayAgent(kernel, self.config.replicas)
+            if self.config.use_rr_agent and self.config.replicas > 1
+            else None
+        )
+
+        for process, layout in zip(self.group.processes, self.layouts):
+            if self.rr_agent is not None:
+                agent = self.rr_agent
+
+                def hook(ctx, _agent=agent):
+                    ctx.rr_agent = _agent
+
+                process.ctx_hook = hook
+            runtime = GuestRuntime(
+                kernel, process, self._wrapped_program(), layout=layout
+            )
+            self._runtimes.append(runtime)
+
+    def _wrapped_program(self) -> Program:
+        base = self.program
+        ipmon_enabled = self.ipmon is not None
+
+        def main(ctx):
+            if ipmon_enabled:
+                yield from ctx.process.ipmon_replica.registration_preamble(ctx)
+            result = yield from base.main(ctx)
+            return result
+
+        return Program(base.name, main, seed=base.seed)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for runtime in self._runtimes:
+            runtime.start()
+        interval = self.config.rb_remap_interval_ns
+        if interval and self.ipmon is not None:
+            self.kernel.sim.spawn(self._rb_remap_loop(interval), name="ikb-remap")
+
+    def _rb_remap_loop(self, interval_ns: int):
+        from repro.sim import Sleep
+
+        while not self.shutting_down and not self.group.all_exited():
+            yield Sleep(interval_ns)
+            if self.shutting_down or self.group.all_exited():
+                return
+            for replica in self.ipmon.replicas:
+                if not replica.process.exited:
+                    replica.remap_rb()
+
+    def run(self, until: Optional[int] = None, max_steps: Optional[int] = None) -> MveeResult:
+        self.start()
+        self.kernel.sim.run(until=until, max_steps=max_steps)
+        return self.finalize()
+
+    def finalize(self) -> MveeResult:
+        if self.monitor_failures:
+            raise self.monitor_failures[0]
+        for process in self.group.processes:
+            for thread in process.threads.values():
+                task = thread.task
+                if task is not None and task.failure is not None:
+                    raise task.failure
+        result = self.result
+        result.exit_codes = [p.exit_code for p in self.group.processes]
+        result.wall_time_ns = (
+            self.master_exit_ns
+            if self.master_exit_ns is not None
+            else self.kernel.sim.now
+        )
+        result.monitored_calls = self.ghumvee.stats["monitored_calls"]
+        if self.ipmon is not None:
+            result.unmonitored_calls = self.ipmon.stats["unmonitored_calls"]
+            result.rb_resets = self.ipmon.stats["rb_resets"]
+        result.deferred_signals = self.ghumvee.stats["signals_deferred"]
+        result.stats = dict(self.ghumvee.stats)
+        result.stats.update(("broker_" + k, v) for k, v in self.broker.stats.items())
+        if self.ipmon is not None:
+            result.stats.update(("ipmon_" + k, v) for k, v in self.ipmon.stats.items())
+        if self.rr_agent is not None:
+            result.stats.update(("rr_" + k, v) for k, v in self.rr_agent.stats.items())
+        return result
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def divergence(self, report: DivergenceReport) -> None:
+        if self.shutting_down or self.result.divergence is not None:
+            return
+        self.result.divergence = report
+        # Detection is not teardown: the monitor must wake up and kill
+        # the replicas, which takes a ptrace round trip. Monitored calls
+        # stop being serviced immediately (GHUMVEE parks all stops once
+        # a divergence is flagged), but an unmonitored call already in
+        # flight can still complete — the §4 run-ahead window.
+        delay = self.kernel.config.costs.ptrace_roundtrip_ns()
+        reason = "divergence: %s" % report.detail
+        self.kernel.sim.call_at(
+            self.kernel.sim.now + delay, self.shutdown, reason
+        )
+
+    def ipmon_divergence(self, thread, req, master_blob, own_blob) -> None:
+        report = DivergenceReport(
+            self.kernel.sim.now,
+            thread.vtid,
+            req.name,
+            "slave argument record differs from master's (%d vs %d bytes)"
+            % (len(own_blob), len(master_blob)),
+            detected_by="ipmon",
+        )
+        self.divergence(report)
+
+    def shutdown(self, reason: str) -> None:
+        if self.shutting_down:
+            return
+        self.shutting_down = True
+        self.result.shutdown_reason = reason
+        for process in self.group.processes:
+            if not process.exited:
+                self.kernel.terminate_process(process, 137, signo=9)
+
+    def on_replica_thread_exit(self, stop) -> None:
+        process = stop.thread.process
+        if process.exited:
+            if self.group.index_of(process) == 0 and self.master_exit_ns is None:
+                self.master_exit_ns = self.kernel.sim.now
+            # A replica that dies while the others run on — and not as
+            # part of an agreed exit_group — is a divergence: diversity
+            # turned the attack into an observable crash (§4).
+            if (
+                not self.shutting_down
+                and not self.ghumvee.group_exiting
+                and not self.group.all_exited()
+            ):
+                self.divergence(
+                    DivergenceReport(
+                        self.kernel.sim.now,
+                        stop.thread.vtid,
+                        stop.req.name if stop.req else "",
+                        "replica %s terminated unexpectedly (sig=%d)"
+                        % (process.name, stop.signo),
+                        detected_by="exit",
+                    )
+                )
+        if self.group.all_exited() and not self.result.shutdown_reason:
+            self.result.shutdown_reason = "all replicas exited"
+
+    # ------------------------------------------------------------------
+    @property
+    def diverged(self) -> bool:
+        return self.result.diverged

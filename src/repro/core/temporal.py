@@ -1,0 +1,86 @@
+"""Temporal exemption policies (paper §3.4, second option).
+
+After GHUMVEE has approved a series of identical system calls, IP-MON
+may *probabilistically* exempt some fraction of the following identical
+calls within a time window. The paper stresses that deterministic
+variants ("exempt after N approvals in M ms") are insecure: an attacker
+can warm the window with benign calls and then slip a malicious call
+through unmonitored with certainty. We implement both the stochastic
+policy and the deliberately insecure deterministic one, so the security
+analysis can demonstrate the difference.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+Signature = Tuple[str, int]
+
+
+class TemporalPolicy:
+    """Stochastic window-based temporal exemption.
+
+    Args:
+        window_ns: how long an approval stays relevant.
+        threshold: identical approvals needed before exemption kicks in.
+        exempt_probability: chance an eligible call is exempted.
+        deterministic: if True, eligible calls are *always* exempted —
+            the insecure variant the paper warns about.
+        seed: monitor-private RNG seed (the attacker cannot observe it).
+    """
+
+    def __init__(
+        self,
+        window_ns: int = 50_000_000,
+        threshold: int = 8,
+        exempt_probability: float = 0.5,
+        deterministic: bool = False,
+        seed: int = 0xC0FFEE,
+    ):
+        self.window_ns = window_ns
+        self.threshold = threshold
+        self.exempt_probability = exempt_probability
+        self.deterministic = deterministic
+        self._rng = random.Random(seed)
+        self._approvals: Dict[Signature, Deque[int]] = {}
+        self.stats = {"approvals": 0, "exemptions": 0, "declines": 0}
+
+    def signature(self, req) -> Signature:
+        first = req.arg(0) if req.args else 0
+        if not isinstance(first, int):
+            first = hash(first) & 0xFFFFFFFF
+        return (req.name, first)
+
+    def record_approval(self, req, now_ns: int) -> None:
+        """GHUMVEE approved this (monitored) call."""
+        history = self._approvals.setdefault(self.signature(req), deque())
+        history.append(now_ns)
+        self._trim(history, now_ns)
+        self.stats["approvals"] += 1
+
+    def _trim(self, history: Deque[int], now_ns: int) -> None:
+        while history and history[0] < now_ns - self.window_ns:
+            history.popleft()
+
+    def eligible(self, req, now_ns: int) -> bool:
+        history = self._approvals.get(self.signature(req))
+        if not history:
+            return False
+        self._trim(history, now_ns)
+        return len(history) >= self.threshold
+
+    def should_exempt(self, req, now_ns: int) -> bool:
+        """IP-MON-side decision for one would-be-monitored call."""
+        if not self.eligible(req, now_ns):
+            self.stats["declines"] += 1
+            return False
+        if self.deterministic:
+            self.stats["exemptions"] += 1
+            return True
+        if self._rng.random() < self.exempt_probability:
+            self.stats["exemptions"] += 1
+            return True
+        self.stats["declines"] += 1
+        return False

@@ -1,0 +1,5 @@
+"""Calibrated cost model for the simulated machine."""
+
+from repro.costs.model import CostModel, MACHINES
+
+__all__ = ["CostModel", "MACHINES"]

@@ -1,0 +1,98 @@
+"""The virtual machine's timing model.
+
+All durations are virtual nanoseconds. The defaults model the paper's
+testbed — a dual eight-core Xeon E5-2660 (Sandy Bridge EP) running Linux
+3.13 — at the granularity the evaluation is sensitive to:
+
+* a *ptrace stop* (tracee traps, monitor wakes, monitor resumes tracee)
+  costs a few microseconds: two context switches with their TLB/cache
+  fallout plus the waitpid/ptrace syscalls themselves;
+* a native syscall costs a fraction of a microsecond;
+* IP-MON's unmonitored path costs some hundreds of nanoseconds: no
+  context switch, just RB bookkeeping and (for slaves) argument
+  comparison and result copying.
+
+These magnitudes — not their precise values — are what produce the
+paper's headline shape: monitoring cost is proportional to system-call
+density, and the CP/IP cost ratio of roughly 10–40× is what the five
+relaxation levels trade away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass
+class CostModel:
+    """Tunable timing parameters for the simulated machine."""
+
+    # -- plain kernel costs (paid by everything, including native runs) --
+    syscall_base_ns: int = 400
+    copy_ns_per_byte: float = 0.05
+
+    # -- context switching / ptrace (the CP monitor's currency) ---------
+    context_switch_ns: int = 1200
+    tlb_flush_penalty_ns: int = 900
+    ptrace_stop_ns: int = 3600  # one stop: trap + waitpid wakeup + resume
+    ptrace_peek_ns: int = 700  # PTRACE_PEEKDATA / process_vm_readv setup
+    ptrace_poke_ns: int = 750
+
+    # -- monitor work ------------------------------------------------------
+    monitor_dispatch_ns: int = 500  # per monitored call bookkeeping
+    compare_base_ns: int = 150  # per argument compared
+    compare_ns_per_byte: float = 0.12
+    replicate_ns_per_byte: float = 0.10
+
+    # -- IP-MON (the in-process monitor's currency) -------------------------
+    ikb_forward_ns: int = 120  # broker reroute, register save/restore
+    ipmon_entry_ns: int = 180  # entry point, policy check, token check
+    rb_write_base_ns: int = 160  # master: allocate + fill RB record
+    rb_read_base_ns: int = 140  # slave: locate + validate RB record
+    rb_ns_per_byte: float = 0.06  # RB memcpy (cache-hot shared memory)
+    spin_read_ns: int = 250  # slave spin-wait iteration
+    futex_wait_ns: int = 2600  # sleep + wakeup through the kernel
+    futex_wake_ns: int = 1100
+    rb_overflow_sync_ns: int = 25000  # GHUMVEE arbitration on RB reset
+
+    # -- memory-system interference (replicas share caches/DRAM) -----------
+    # Per extra replica beyond the first, compute segments are slowed by
+    # this fraction (cache and memory-bandwidth pressure; the paper's
+    # GHUMVEE-only PARSEC overheads are mostly this term).
+    memory_pressure_per_replica: float = 0.035
+
+    def ptrace_roundtrip_ns(self) -> int:
+        """A stop plus the context-switch fallout on both sides."""
+        return (
+            self.ptrace_stop_ns
+            + 2 * self.context_switch_ns
+            + 2 * self.tlb_flush_penalty_ns
+        )
+
+    def compare_cost_ns(self, nbytes: int, nargs: int = 1) -> int:
+        return int(self.compare_base_ns * nargs + self.compare_ns_per_byte * nbytes)
+
+    def replicate_cost_ns(self, nbytes: int) -> int:
+        return int(self.replicate_ns_per_byte * nbytes)
+
+    def rb_copy_ns(self, nbytes: int) -> int:
+        return int(self.rb_ns_per_byte * nbytes)
+
+    def with_overrides(self, **kwargs) -> "CostModel":
+        return replace(self, **kwargs)
+
+
+#: Named machine configurations used across the evaluation.
+MACHINES = {
+    # The paper's testbed: 2x 8-core E5-2660, 20 MB LLC per socket.
+    "xeon-e5-2660": CostModel(),
+    # A machine with slower context switches (older kernels / no PCID):
+    # used in ablations to show the CP/IP gap widening.
+    "slow-switch": CostModel(
+        context_switch_ns=2500, tlb_flush_penalty_ns=2000, ptrace_stop_ns=6000
+    ),
+    # An optimistic machine with tagged TLBs: the gap narrows but stays.
+    "tagged-tlb": CostModel(
+        context_switch_ns=800, tlb_flush_penalty_ns=150, ptrace_stop_ns=2500
+    ),
+}

@@ -1,0 +1,15 @@
+"""Automated software diversity for replicas (paper §4).
+
+ReMon runs replicas under the combined diversification of ASLR and
+Disjoint Code Layouts (DCL). ASLR randomizes each replica's mmap, heap
+and stack bases; DCL additionally guarantees that no virtual address
+holds executable code in more than one replica, which defeats
+traditional and ROP code-reuse attacks outright (an absolute code
+address can be valid in at most one replica, so the same malicious
+payload cannot work everywhere).
+"""
+
+from repro.diversity.aslr import ReplicaLayout, make_layouts
+from repro.diversity.dcl import layouts_code_disjoint
+
+__all__ = ["ReplicaLayout", "layouts_code_disjoint", "make_layouts"]

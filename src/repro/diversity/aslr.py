@@ -1,0 +1,106 @@
+"""Address-space layout randomization for replica processes."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.kernel.constants import PAGE_SIZE
+
+# Layout anchor points (mirroring x86-64 Linux).
+MMAP_TOP = 0x7FFF_FFFF_F000
+BRK_ANCHOR = 0x5655_0000_0000
+CODE_ANCHOR = 0x0000_5500_0000_0000
+
+#: Entropy (in bits of page-granular randomness) matching Linux defaults.
+MMAP_ENTROPY_BITS = 28
+BRK_ENTROPY_BITS = 13
+CODE_ENTROPY_BITS = 17
+
+DEFAULT_CODE_SIZE = 0x20_0000  # 2 MiB of text
+
+
+class ReplicaLayout:
+    """The address-space decisions for one replica.
+
+    Attributes:
+        index: replica number (0 = the eventual master).
+        code_base/code_size: where the program text is mapped (randomized
+            and, under DCL, disjoint across replicas).
+        mmap_base: top of the mmap area.
+        brk_base: heap anchor.
+    """
+
+    __slots__ = ("index", "code_base", "code_size", "mmap_base", "brk_base", "seed")
+
+    def __init__(self, index, code_base, code_size, mmap_base, brk_base, seed):
+        self.index = index
+        self.code_base = code_base
+        self.code_size = code_size
+        self.mmap_base = mmap_base
+        self.brk_base = brk_base
+        self.seed = seed
+
+    def describe(self) -> str:
+        return "replica %d: code@0x%x mmap@0x%x brk@0x%x" % (
+            self.index,
+            self.code_base,
+            self.mmap_base,
+            self.brk_base,
+        )
+
+    def __repr__(self):
+        return "ReplicaLayout(%s)" % self.describe()
+
+
+def _page_random(rng: random.Random, bits: int) -> int:
+    return rng.getrandbits(bits) * PAGE_SIZE
+
+
+def make_layouts(
+    count: int,
+    seed: int = 0,
+    aslr: bool = True,
+    dcl: bool = True,
+    code_size: int = DEFAULT_CODE_SIZE,
+) -> List["ReplicaLayout"]:
+    """Generate ``count`` diversified replica layouts.
+
+    With ``dcl`` enabled, code regions are guaranteed pairwise disjoint:
+    each replica's text is placed in its own slice of the code arena, so
+    no executable byte shares an address across replicas.
+    """
+    rng = random.Random(seed ^ 0xD15EA5E)
+    layouts: List[ReplicaLayout] = []
+    # DCL: partition the code arena into per-replica exclusive slices.
+    slice_size = max(code_size * 4, 1 << 28)
+    for index in range(count):
+        if aslr:
+            mmap_base = MMAP_TOP - _page_random(rng, MMAP_ENTROPY_BITS)
+            brk_base = BRK_ANCHOR + _page_random(rng, BRK_ENTROPY_BITS)
+        else:
+            mmap_base = MMAP_TOP - (1 << 30)
+            brk_base = BRK_ANCHOR
+        if dcl:
+            slice_base = CODE_ANCHOR + index * slice_size
+            jitter = _page_random(rng, CODE_ENTROPY_BITS) if aslr else 0
+            code_base = slice_base + (jitter % max(PAGE_SIZE, slice_size - code_size))
+            code_base &= ~(PAGE_SIZE - 1)
+        elif aslr:
+            code_base = CODE_ANCHOR + _page_random(rng, CODE_ENTROPY_BITS)
+        else:
+            code_base = CODE_ANCHOR
+        layouts.append(
+            ReplicaLayout(index, code_base, code_size, mmap_base, brk_base, seed + index)
+        )
+    return layouts
+
+
+def identical_layouts(count: int, code_size: int = DEFAULT_CODE_SIZE) -> List[ReplicaLayout]:
+    """Undiversified layouts (for attack-scenario baselines): every
+    replica has the same addresses, so a single absolute-address payload
+    works everywhere."""
+    return [
+        ReplicaLayout(i, CODE_ANCHOR, code_size, MMAP_TOP - (1 << 30), BRK_ANCHOR, i)
+        for i in range(count)
+    ]

@@ -1,0 +1,50 @@
+"""Disjoint Code Layouts (Volckaert et al., TDSC 2015 — paper ref [40]).
+
+DCL guarantees that no virtual address is mapped executable in more than
+one replica. A code-reuse payload (ROP chain, return-to-libc address)
+that is valid in one replica is therefore guaranteed invalid in every
+other replica, so diversified replicas cannot be compromised
+consistently — the attack produces observable divergence instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+def layouts_code_disjoint(layouts: Iterable) -> bool:
+    """Check the DCL invariant over a set of replica layouts."""
+    ranges: List[Tuple[int, int]] = sorted(
+        (layout.code_base, layout.code_base + layout.code_size) for layout in layouts
+    )
+    for (start_a, end_a), (start_b, _end_b) in zip(ranges, ranges[1:]):
+        if start_b < end_a:
+            return False
+    return True
+
+
+def spaces_code_disjoint(spaces: Iterable) -> bool:
+    """Check the DCL invariant over live address spaces: no executable
+    page may be mapped at the same address in two spaces."""
+    from repro.kernel.constants import PROT_EXEC
+
+    exec_ranges: List[Tuple[int, int]] = []
+    for space in spaces:
+        for mapping in space.mappings():
+            if mapping.prot & PROT_EXEC:
+                exec_ranges.append((mapping.start, mapping.end))
+    exec_ranges.sort()
+    for (start_a, end_a), (start_b, _end_b) in zip(exec_ranges, exec_ranges[1:]):
+        if start_b < end_a:
+            return False
+    return True
+
+
+def address_valid_in(layouts: Iterable, addr: int) -> List[int]:
+    """Which replicas consider ``addr`` a valid code address? Under DCL
+    the answer has at most one element — the property attacks rely on."""
+    return [
+        layout.index
+        for layout in layouts
+        if layout.code_base <= addr < layout.code_base + layout.code_size
+    ]

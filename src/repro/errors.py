@@ -1,0 +1,58 @@
+"""Top-level exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """An internal invariant of the discrete-event simulator was violated."""
+
+
+class KernelError(ReproError):
+    """An internal invariant of the simulated kernel was violated."""
+
+
+class GuestFault(ReproError):
+    """A guest program performed an illegal operation (e.g. a bad memory
+    access) that is not representable as a signal.
+
+    Most guest faults are delivered as simulated signals (SIGSEGV and
+    friends); this exception is reserved for situations where the guest
+    runtime itself is broken, such as yielding an unknown effect.
+    """
+
+
+class MonitorError(ReproError):
+    """The MVEE monitor detected an unrecoverable internal problem.
+
+    This is distinct from a *divergence*, which is an expected security
+    event and is reported through :class:`repro.core.ghumvee.Divergence`.
+    """
+
+
+class DivergenceError(ReproError):
+    """Replica behaviour diverged and the MVEE shut the replicas down.
+
+    Attributes:
+        report: a :class:`repro.core.events.DivergenceReport` describing
+            which replicas disagreed and on what.
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class PolicyError(ReproError):
+    """A monitoring relaxation policy was configured inconsistently."""
+
+
+class SecurityViolation(ReproError):
+    """An attack scenario performed an action the design forbids.
+
+    Raised by the hardened components (IK-B, IP-MON) when an attacker
+    bypasses a check that the real system enforces in hardware or in the
+    kernel; tests assert that these are raised where the paper claims the
+    design holds.
+    """

@@ -1,0 +1,15 @@
+"""Guest programs: the code that runs *inside* simulated processes.
+
+A guest program is a Python generator that yields
+:class:`~repro.guest.program.Compute` work items and
+:class:`~repro.kernel.syscalls.SyscallRequest` objects, and receives the
+syscall results back. Programs address memory through their process's
+:class:`~repro.kernel.memory.AddressSpace` — real virtual addresses that
+differ across diversified replicas.
+"""
+
+from repro.guest.libc import Libc
+from repro.guest.program import Compute, GuestContext, Program
+from repro.guest.runtime import GuestRuntime
+
+__all__ = ["Compute", "GuestContext", "GuestRuntime", "Libc", "Program"]

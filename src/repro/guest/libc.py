@@ -1,0 +1,327 @@
+"""A small libc for guest programs.
+
+Wraps raw system calls in coroutine helpers that manage guest-memory
+buffers: paths are written into the guest address space, read results
+are pulled back out, structures are decoded. Everything here runs *as
+guest code* — each helper is a generator the program ``yield from``s, so
+all the underlying syscalls flow through the kernel (and the MVEE).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+from repro.kernel import constants as C
+from repro.kernel.structs import (
+    EPOLL_EVENT_SIZE,
+    SOCKADDR_SIZE,
+    STAT_SIZE,
+    TIMESPEC_SIZE,
+    pack_epoll_event,
+    pack_sockaddr,
+    pack_timespec,
+    unpack_epoll_event,
+    unpack_stat,
+)
+
+ARENA_CHUNK = 1 << 20
+SCRATCH_SIZE = 1 << 16
+
+
+class Libc:
+    """Per-thread convenience layer over the syscall interface."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self._arena_base = 0
+        self._arena_off = 0
+        self._arena_size = 0
+        self._scratch = 0
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def malloc(self, size: int):
+        """Coroutine: allocate ``size`` bytes of guest memory."""
+        size = (size + 15) & ~15
+        if self._arena_off + size > self._arena_size:
+            chunk = max(size, ARENA_CHUNK)
+            base = yield self.ctx.sys.mmap(
+                0,
+                chunk,
+                C.PROT_READ | C.PROT_WRITE,
+                C.MAP_PRIVATE | C.MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+            if base < 0:
+                raise MemoryError("guest mmap failed: %d" % base)
+            self._arena_base = base
+            self._arena_off = 0
+            self._arena_size = chunk
+        addr = self._arena_base + self._arena_off
+        self._arena_off += size
+        return addr
+
+    def scratch(self, size: int = SCRATCH_SIZE):
+        """Coroutine: a reusable per-thread buffer (min 64 KiB)."""
+        if size > SCRATCH_SIZE:
+            addr = yield from self.malloc(size)
+            return addr
+        if not self._scratch:
+            self._scratch = yield from self.malloc(SCRATCH_SIZE)
+        return self._scratch
+
+    def push_bytes(self, data: bytes):
+        """Coroutine: copy ``data`` into fresh guest memory."""
+        addr = yield from self.malloc(max(1, len(data)))
+        self.ctx.mem.write(addr, data)
+        return addr
+
+    def push_cstr(self, text):
+        if isinstance(text, str):
+            text = text.encode()
+        addr = yield from self.push_bytes(text + b"\x00")
+        return addr
+
+    # ------------------------------------------------------------------
+    # Files
+    # ------------------------------------------------------------------
+    def open(self, path, flags: int = C.O_RDONLY, mode: int = 0o644):
+        addr = yield from self.push_cstr(path)
+        fd = yield self.ctx.sys.open(addr, flags, mode)
+        return fd
+
+    def close(self, fd: int):
+        result = yield self.ctx.sys.close(fd)
+        return result
+
+    def read(self, fd: int, count: int) -> Tuple[int, bytes]:
+        buf = yield from self.scratch(count)
+        ret = yield self.ctx.sys.read(fd, buf, count)
+        data = self.ctx.mem.read(buf, ret) if ret > 0 else b""
+        return ret, data
+
+    def pread(self, fd: int, count: int, offset: int) -> Tuple[int, bytes]:
+        buf = yield from self.scratch(count)
+        ret = yield self.ctx.sys.pread64(fd, buf, count, offset)
+        data = self.ctx.mem.read(buf, ret) if ret > 0 else b""
+        return ret, data
+
+    def write(self, fd: int, data: bytes) -> int:
+        buf = yield from self.scratch(len(data))
+        self.ctx.mem.write(buf, data)
+        ret = yield self.ctx.sys.write(fd, buf, len(data))
+        return ret
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        buf = yield from self.scratch(len(data))
+        self.ctx.mem.write(buf, data)
+        ret = yield self.ctx.sys.pwrite64(fd, buf, len(data), offset)
+        return ret
+
+    def stat(self, path) -> Tuple[int, Optional[dict]]:
+        path_addr = yield from self.push_cstr(path)
+        buf = yield from self.scratch(STAT_SIZE)
+        ret = yield self.ctx.sys.stat(path_addr, buf)
+        if ret < 0:
+            return ret, None
+        return ret, unpack_stat(self.ctx.mem.read(buf, STAT_SIZE))
+
+    def fstat(self, fd: int) -> Tuple[int, Optional[dict]]:
+        buf = yield from self.scratch(STAT_SIZE)
+        ret = yield self.ctx.sys.fstat(fd, buf)
+        if ret < 0:
+            return ret, None
+        return ret, unpack_stat(self.ctx.mem.read(buf, STAT_SIZE))
+
+    def access(self, path, mode: int = C.F_OK) -> int:
+        addr = yield from self.push_cstr(path)
+        ret = yield self.ctx.sys.access(addr, mode)
+        return ret
+
+    def pipe(self) -> Tuple[int, int]:
+        buf = yield from self.scratch(8)
+        ret = yield self.ctx.sys.pipe(buf)
+        if ret < 0:
+            return ret, ret
+        rfd, wfd = struct.unpack("<ii", self.ctx.mem.read(buf, 8))
+        return rfd, wfd
+
+    def getdents(self, fd: int, count: int = 4096) -> Tuple[int, bytes]:
+        buf = yield from self.scratch(count)
+        ret = yield self.ctx.sys.getdents(fd, buf, count)
+        data = self.ctx.mem.read(buf, ret) if ret > 0 else b""
+        return ret, data
+
+    def readlink(self, path, bufsize: int = 256) -> Tuple[int, bytes]:
+        path_addr = yield from self.push_cstr(path)
+        buf = yield from self.scratch(bufsize)
+        ret = yield self.ctx.sys.readlink(path_addr, buf, bufsize)
+        data = self.ctx.mem.read(buf, ret) if ret > 0 else b""
+        return ret, data
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def clock_gettime(self, clockid: int = C.CLOCK_MONOTONIC) -> int:
+        buf = yield from self.scratch(TIMESPEC_SIZE)
+        ret = yield self.ctx.sys.clock_gettime(clockid, buf)
+        if ret < 0:
+            return ret
+        sec, nsec = struct.unpack("<qq", self.ctx.mem.read(buf, TIMESPEC_SIZE))
+        return sec * 1_000_000_000 + nsec
+
+    def nanosleep(self, ns: int) -> int:
+        buf = yield from self.scratch(TIMESPEC_SIZE)
+        self.ctx.mem.write(buf, pack_timespec(ns))
+        ret = yield self.ctx.sys.nanosleep(buf, 0)
+        return ret
+
+    # ------------------------------------------------------------------
+    # Sockets
+    # ------------------------------------------------------------------
+    def socket(self, nonblocking: bool = False) -> int:
+        type_ = C.SOCK_STREAM | (C.SOCK_NONBLOCK if nonblocking else 0)
+        fd = yield self.ctx.sys.socket(C.AF_INET, type_, 0)
+        return fd
+
+    def bind(self, fd: int, ip: str, port: int) -> int:
+        addr = yield from self.push_bytes(pack_sockaddr(C.AF_INET, ip, port))
+        ret = yield self.ctx.sys.bind(fd, addr, SOCKADDR_SIZE)
+        return ret
+
+    def listen(self, fd: int, backlog: int = 128) -> int:
+        ret = yield self.ctx.sys.listen(fd, backlog)
+        return ret
+
+    def accept(self, fd: int) -> int:
+        ret = yield self.ctx.sys.accept(fd, 0, 0)
+        return ret
+
+    def connect(self, fd: int, ip: str, port: int) -> int:
+        addr = yield from self.push_bytes(pack_sockaddr(C.AF_INET, ip, port))
+        ret = yield self.ctx.sys.connect(fd, addr, SOCKADDR_SIZE)
+        return ret
+
+    def send(self, fd: int, data: bytes) -> int:
+        buf = yield from self.scratch(len(data))
+        self.ctx.mem.write(buf, data)
+        ret = yield self.ctx.sys.sendto(fd, buf, len(data), 0, 0, 0)
+        return ret
+
+    def recv(self, fd: int, count: int) -> Tuple[int, bytes]:
+        buf = yield from self.scratch(count)
+        ret = yield self.ctx.sys.recvfrom(fd, buf, count, 0, 0, 0)
+        data = self.ctx.mem.read(buf, ret) if ret > 0 else b""
+        return ret, data
+
+    def recv_exactly(self, fd: int, count: int) -> Tuple[int, bytes]:
+        """Loop recv() until ``count`` bytes arrive or the peer closes."""
+        out = bytearray()
+        while len(out) < count:
+            ret, data = yield from self.recv(fd, count - len(out))
+            if ret <= 0:
+                return ret, bytes(out)
+            out += data
+        return len(out), bytes(out)
+
+    def recv_until(self, fd: int, marker: bytes, limit: int = 1 << 20):
+        """Loop recv() until ``marker`` appears (HTTP-style framing)."""
+        out = bytearray()
+        while marker not in out and len(out) < limit:
+            ret, data = yield from self.recv(fd, 4096)
+            if ret <= 0:
+                return ret, bytes(out)
+            out += data
+        return len(out), bytes(out)
+
+    def shutdown(self, fd: int, how: int = C.SHUT_RDWR) -> int:
+        ret = yield self.ctx.sys.shutdown(fd, how)
+        return ret
+
+    def set_nonblocking(self, fd: int, enable: bool = True) -> int:
+        flags = yield self.ctx.sys.fcntl(fd, C.F_GETFL, 0)
+        if flags < 0:
+            return flags
+        if enable:
+            flags |= C.O_NONBLOCK
+        else:
+            flags &= ~C.O_NONBLOCK
+        ret = yield self.ctx.sys.fcntl(fd, C.F_SETFL, flags)
+        return ret
+
+    # ------------------------------------------------------------------
+    # epoll
+    # ------------------------------------------------------------------
+    def epoll_create(self) -> int:
+        fd = yield self.ctx.sys.epoll_create1(0)
+        return fd
+
+    def epoll_ctl(self, epfd: int, op: int, fd: int, events: int = 0, data: int = 0):
+        if op == C.EPOLL_CTL_DEL:
+            ret = yield self.ctx.sys.epoll_ctl(epfd, op, fd, 0)
+            return ret
+        buf = yield from self.scratch(EPOLL_EVENT_SIZE)
+        self.ctx.mem.write(buf, pack_epoll_event(events, data))
+        ret = yield self.ctx.sys.epoll_ctl(epfd, op, fd, buf)
+        return ret
+
+    def epoll_wait(self, epfd: int, maxevents: int = 32, timeout_ms: int = -1):
+        buf = yield from self.scratch(maxevents * EPOLL_EVENT_SIZE)
+        ret = yield self.ctx.sys.epoll_wait(epfd, buf, maxevents, timeout_ms)
+        if ret < 0:
+            return ret, []
+        events = []
+        raw = self.ctx.mem.read(buf, ret * EPOLL_EVENT_SIZE)
+        for i in range(ret):
+            events.append(
+                unpack_epoll_event(raw[i * EPOLL_EVENT_SIZE : (i + 1) * EPOLL_EVENT_SIZE])
+            )
+        return ret, events
+
+    # ------------------------------------------------------------------
+    # Futexes & user-space synchronization
+    # ------------------------------------------------------------------
+    def futex_wait(self, addr: int, expected: int, timeout_ns=0) -> int:
+        ret = yield self.ctx.sys.futex(addr, C.FUTEX_WAIT, expected, 0, 0, 0)
+        return ret
+
+    def futex_wake(self, addr: int, count: int = 1) -> int:
+        ret = yield self.ctx.sys.futex(addr, C.FUTEX_WAKE, count, 0, 0, 0)
+        return ret
+
+    def mutex(self) -> "GuestMutex":
+        """Coroutine: allocate a process-shared mutex word."""
+        addr = yield from self.malloc(4)
+        self.ctx.mem.write_u32(addr, 0)
+        return GuestMutex(addr)
+
+
+class GuestMutex:
+    """A futex-based mutex living in guest memory.
+
+    The fast (uncontended) path performs no system call at all — these
+    are exactly the user-space synchronization operations the paper's
+    record/replay agent must order (§2.3), and that VARAN cannot see.
+    """
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def lock(self, ctx):
+        yield from ctx.sync_point(("mutex", self.addr, "lock"))
+        while True:
+            value = ctx.mem.read_u32(self.addr)
+            if value == 0:
+                ctx.mem.write_u32(self.addr, 1)
+                return
+            ret = yield ctx.sys.futex(self.addr, C.FUTEX_WAIT, 1, 0, 0, 0)
+            del ret  # EAGAIN / 0 both mean "try again"
+
+    def unlock(self, ctx):
+        ctx.mem.write_u32(self.addr, 0)
+        yield ctx.sys.futex(self.addr, C.FUTEX_WAKE, 1, 0, 0, 0)

@@ -1,0 +1,19 @@
+"""A simulated Linux-like kernel substrate.
+
+The simulated kernel provides everything ReMon's design interacts with:
+processes and threads with real (byte-backed) address spaces, a VFS with
+regular files, pipes, sockets, epoll instances and timerfds, futexes,
+System V shared memory, POSIX-style signals, and a ptrace hook surface.
+
+System calls follow the Linux convention: handlers return a non-negative
+result on success and ``-errno`` on failure. All handlers are coroutines
+on the discrete-event simulator, so blocking calls (reads on empty pipes,
+``futex`` waits, ``epoll_wait`` …) suspend only the calling simulated
+thread.
+"""
+
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.process import Process, Thread
+from repro.kernel.syscalls import SyscallRequest
+
+__all__ = ["Kernel", "KernelConfig", "Process", "SyscallRequest", "Thread"]

@@ -1,0 +1,16 @@
+"""System-call handler modules.
+
+Importing this package registers every handler into
+:data:`repro.kernel.syscalls.SYSCALL_TABLE`.
+"""
+
+from repro.kernel.calls import (  # noqa: F401 - imported for registration
+    fs_calls,
+    ipc_calls,
+    mm_calls,
+    net_calls,
+    poll_calls,
+    proc_calls,
+    signal_calls,
+    time_calls,
+)

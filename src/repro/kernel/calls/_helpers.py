@@ -1,0 +1,36 @@
+"""Shared plumbing for syscall handlers."""
+
+from __future__ import annotations
+
+import types
+
+from repro.kernel import errno_codes as E
+
+
+def drive(value):
+    """Run ``value`` if it is a coroutine, else return it as-is.
+
+    File-object methods may be plain functions or coroutines; handlers
+    use ``result = yield from drive(obj.read(...))`` uniformly.
+    """
+    if isinstance(value, types.GeneratorType):
+        result = yield from value
+        return result
+    return value
+
+
+def get_entry(thread, fd: int):
+    """Look up an fd table entry; returns (entry, 0) or (None, -EBADF)."""
+    if not isinstance(fd, int) or fd < 0:
+        return None, -E.EBADF
+    entry = thread.process.fdtable.get(fd)
+    if entry is None:
+        return None, -E.EBADF
+    return entry, 0
+
+
+def ms_to_ns(ms: int):
+    """Convert a poll-style millisecond timeout (-1 = infinite) to ns."""
+    if ms is None or ms < 0:
+        return None
+    return ms * 1_000_000

@@ -1,0 +1,48 @@
+"""System V shared-memory calls and futexes."""
+
+from __future__ import annotations
+
+from repro.kernel import constants as C
+from repro.kernel import errno_codes as E
+from repro.kernel.structs import TIMESPEC_SIZE, unpack_timespec
+from repro.kernel.syscalls import syscall
+
+
+@syscall("shmget")
+def sys_shmget(kernel, thread, key, size, flags):
+    return kernel.shm.get(key, size, flags, thread.process.pid)
+
+
+@syscall("shmat")
+def sys_shmat(kernel, thread, shmid, addr=0, flags=0):
+    return kernel.shm.attach(
+        thread.process, shmid, addr or None, C.PROT_READ | C.PROT_WRITE
+    )
+
+
+@syscall("shmdt")
+def sys_shmdt(kernel, thread, addr):
+    return kernel.shm.detach(thread.process, addr)
+
+
+@syscall("shmctl")
+def sys_shmctl(kernel, thread, shmid, cmd, buf=0):
+    return kernel.shm.ctl(shmid, cmd)
+
+
+@syscall("futex")
+def sys_futex(kernel, thread, uaddr, op, val, timeout_addr=0, uaddr2=0, val3=0):
+    operation = op & ~C.FUTEX_PRIVATE_FLAG
+    space = thread.process.space
+    if operation == C.FUTEX_WAIT:
+        timeout_ns = None
+        if timeout_addr:
+            raw = space.read(timeout_addr, TIMESPEC_SIZE)
+            timeout_ns = unpack_timespec(raw)
+        result = yield from kernel.futexes.wait(
+            kernel, thread, space, uaddr, val, timeout_ns
+        )
+        return result
+    if operation == C.FUTEX_WAKE:
+        return kernel.futexes.wake(space, uaddr, val, kernel.sim)
+    return -E.ENOSYS

@@ -1,0 +1,80 @@
+"""Signal-related system calls."""
+
+from __future__ import annotations
+
+from repro.kernel import constants as C
+from repro.kernel import errno_codes as E
+from repro.kernel.process import SignalAction
+from repro.kernel.syscalls import syscall
+
+
+@syscall("rt_sigaction")
+def sys_rt_sigaction(kernel, thread, signo, handler=None, old_addr=0):
+    if not 1 <= signo < C.NSIG:
+        return -E.EINVAL
+    if signo in (C.SIGKILL, C.SIGSTOP) and handler not in (None, C.SIG_DFL):
+        return -E.EINVAL
+    if handler is None:
+        return 0  # query only
+    thread.process.signal_actions[signo] = SignalAction(handler)
+    return 0
+
+
+@syscall("rt_sigprocmask")
+def sys_rt_sigprocmask(kernel, thread, how, mask_bits, oldset_addr=0):
+    old = 0
+    for signo in thread.sigmask:
+        old |= 1 << (signo - 1)
+    if oldset_addr:
+        thread.process.space.write_u64(oldset_addr, old)
+    new_signals = {
+        signo for signo in range(1, C.NSIG) if mask_bits & (1 << (signo - 1))
+    }
+    if how == C.SIG_BLOCK:
+        thread.sigmask |= new_signals
+    elif how == C.SIG_UNBLOCK:
+        thread.sigmask -= new_signals
+    elif how == C.SIG_SETMASK:
+        thread.sigmask = set(new_signals)
+    else:
+        return -E.EINVAL
+    thread.sigmask.discard(C.SIGKILL)
+    thread.sigmask.discard(C.SIGSTOP)
+    return 0
+
+
+@syscall("rt_sigpending")
+def sys_rt_sigpending(kernel, thread, set_addr):
+    bits = 0
+    for pending in thread.pending:
+        bits |= 1 << (pending.signo - 1)
+    if set_addr:
+        thread.process.space.write_u64(set_addr, bits)
+    return 0
+
+
+@syscall("sigaltstack")
+def sys_sigaltstack(kernel, thread, ss=0, old_ss=0):
+    return 0
+
+
+@syscall("kill")
+def sys_kill(kernel, thread, pid, signo):
+    if signo == 0:
+        return 0 if kernel.process_by_pid(pid) else -E.ESRCH
+    target = kernel.process_by_pid(pid)
+    if target is None:
+        return -E.ESRCH
+    kernel.send_signal_to_process(target, signo, sender_pid=thread.process.pid)
+    return 0
+
+
+@syscall("tgkill")
+def sys_tgkill(kernel, thread, tgid, tid, signo):
+    target = kernel.thread_by_tid(tid)
+    if target is None or target.process.pid != tgid:
+        return -E.ESRCH
+    if signo == 0:
+        return 0
+    kernel.send_signal_to_thread(target, signo, sender_pid=thread.process.pid)
+    return 0

@@ -1,0 +1,234 @@
+"""ABI constants for the simulated kernel (x86-64 Linux values)."""
+
+PAGE_SIZE = 4096
+PAGE_MASK = PAGE_SIZE - 1
+
+# ---------------------------------------------------------------------------
+# open(2) flags
+# ---------------------------------------------------------------------------
+O_RDONLY = 0o0
+O_WRONLY = 0o1
+O_RDWR = 0o2
+O_ACCMODE = 0o3
+O_CREAT = 0o100
+O_EXCL = 0o200
+O_TRUNC = 0o1000
+O_APPEND = 0o2000
+O_NONBLOCK = 0o4000
+O_DIRECTORY = 0o200000
+O_CLOEXEC = 0o2000000
+
+AT_FDCWD = -100
+
+# lseek whence
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+# access(2) modes
+F_OK = 0
+X_OK = 1
+W_OK = 2
+R_OK = 4
+
+# fcntl(2) commands
+F_DUPFD = 0
+F_GETFD = 1
+F_SETFD = 2
+F_GETFL = 3
+F_SETFL = 4
+FD_CLOEXEC = 1
+
+# ---------------------------------------------------------------------------
+# mmap(2)
+# ---------------------------------------------------------------------------
+PROT_NONE = 0x0
+PROT_READ = 0x1
+PROT_WRITE = 0x2
+PROT_EXEC = 0x4
+
+MAP_SHARED = 0x01
+MAP_PRIVATE = 0x02
+MAP_FIXED = 0x10
+MAP_ANONYMOUS = 0x20
+
+MADV_NORMAL = 0
+MADV_DONTNEED = 4
+
+# ---------------------------------------------------------------------------
+# Signals
+# ---------------------------------------------------------------------------
+SIGHUP = 1
+SIGINT = 2
+SIGQUIT = 3
+SIGILL = 4
+SIGTRAP = 5
+SIGABRT = 6
+SIGBUS = 7
+SIGFPE = 8
+SIGKILL = 9
+SIGUSR1 = 10
+SIGSEGV = 11
+SIGUSR2 = 12
+SIGPIPE = 13
+SIGALRM = 14
+SIGTERM = 15
+SIGCHLD = 17
+SIGCONT = 18
+SIGSTOP = 19
+SIGSYS = 31
+NSIG = 64
+
+SIG_DFL = 0
+SIG_IGN = 1
+
+SIG_BLOCK = 0
+SIG_UNBLOCK = 1
+SIG_SETMASK = 2
+
+# Synchronous signals are produced by the executing instruction stream and
+# are therefore delivered immediately to all replicas (paper §2.2).
+SYNCHRONOUS_SIGNALS = frozenset({SIGILL, SIGTRAP, SIGBUS, SIGFPE, SIGSEGV, SIGSYS})
+
+# Default dispositions: signals whose default action terminates a process.
+FATAL_BY_DEFAULT = frozenset(
+    {
+        SIGHUP,
+        SIGINT,
+        SIGQUIT,
+        SIGILL,
+        SIGTRAP,
+        SIGABRT,
+        SIGBUS,
+        SIGFPE,
+        SIGKILL,
+        SIGUSR1,
+        SIGSEGV,
+        SIGUSR2,
+        SIGPIPE,
+        SIGALRM,
+        SIGTERM,
+        SIGSYS,
+    }
+)
+
+SIGNAL_NAMES = {
+    SIGHUP: "SIGHUP",
+    SIGINT: "SIGINT",
+    SIGQUIT: "SIGQUIT",
+    SIGILL: "SIGILL",
+    SIGTRAP: "SIGTRAP",
+    SIGABRT: "SIGABRT",
+    SIGBUS: "SIGBUS",
+    SIGFPE: "SIGFPE",
+    SIGKILL: "SIGKILL",
+    SIGUSR1: "SIGUSR1",
+    SIGSEGV: "SIGSEGV",
+    SIGUSR2: "SIGUSR2",
+    SIGPIPE: "SIGPIPE",
+    SIGALRM: "SIGALRM",
+    SIGTERM: "SIGTERM",
+    SIGCHLD: "SIGCHLD",
+    SIGCONT: "SIGCONT",
+    SIGSTOP: "SIGSTOP",
+    SIGSYS: "SIGSYS",
+}
+
+# ---------------------------------------------------------------------------
+# futex(2)
+# ---------------------------------------------------------------------------
+FUTEX_WAIT = 0
+FUTEX_WAKE = 1
+FUTEX_PRIVATE_FLAG = 128
+
+# ---------------------------------------------------------------------------
+# epoll(7)
+# ---------------------------------------------------------------------------
+EPOLL_CTL_ADD = 1
+EPOLL_CTL_DEL = 2
+EPOLL_CTL_MOD = 3
+
+EPOLLIN = 0x001
+EPOLLOUT = 0x004
+EPOLLERR = 0x008
+EPOLLHUP = 0x010
+EPOLLRDHUP = 0x2000
+EPOLLET = 1 << 31
+
+# poll(2) events share values with epoll's low bits
+POLLIN = 0x001
+POLLOUT = 0x004
+POLLERR = 0x008
+POLLHUP = 0x010
+POLLNVAL = 0x020
+
+# ---------------------------------------------------------------------------
+# Sockets
+# ---------------------------------------------------------------------------
+AF_INET = 2
+AF_UNIX = 1
+SOCK_STREAM = 1
+SOCK_DGRAM = 2
+SOCK_NONBLOCK = 0o4000
+SOCK_CLOEXEC = 0o2000000
+
+SOL_SOCKET = 1
+SO_REUSEADDR = 2
+SO_ERROR = 4
+SO_SNDBUF = 7
+SO_RCVBUF = 8
+SO_KEEPALIVE = 9
+
+SHUT_RD = 0
+SHUT_WR = 1
+SHUT_RDWR = 2
+
+# ---------------------------------------------------------------------------
+# clone(2) flags (subset)
+# ---------------------------------------------------------------------------
+CLONE_VM = 0x00000100
+CLONE_FS = 0x00000200
+CLONE_FILES = 0x00000400
+CLONE_SIGHAND = 0x00000800
+CLONE_THREAD = 0x00010000
+CLONE_THREAD_FLAGS = (
+    CLONE_VM | CLONE_FS | CLONE_FILES | CLONE_SIGHAND | CLONE_THREAD
+)
+
+# ---------------------------------------------------------------------------
+# System V IPC
+# ---------------------------------------------------------------------------
+IPC_PRIVATE = 0
+IPC_CREAT = 0o1000
+IPC_EXCL = 0o2000
+IPC_RMID = 0
+
+# ---------------------------------------------------------------------------
+# clockids
+# ---------------------------------------------------------------------------
+CLOCK_REALTIME = 0
+CLOCK_MONOTONIC = 1
+
+# ---------------------------------------------------------------------------
+# File types for stat(2) st_mode
+# ---------------------------------------------------------------------------
+S_IFMT = 0o170000
+S_IFSOCK = 0o140000
+S_IFLNK = 0o120000
+S_IFREG = 0o100000
+S_IFDIR = 0o040000
+S_IFCHR = 0o020000
+S_IFIFO = 0o010000
+
+# ---------------------------------------------------------------------------
+# Misc
+# ---------------------------------------------------------------------------
+UTSNAME = {
+    "sysname": "Linux",
+    "nodename": "remon-repro",
+    "release": "3.13.11-ikb",
+    "version": "#1 SMP (simulated)",
+    "machine": "x86_64",
+}
+
+DEFAULT_RLIMIT_NOFILE = 1024

@@ -1,0 +1,77 @@
+"""Errno values used by the simulated kernel.
+
+Values match x86-64 Linux so that traces read naturally next to real
+strace output. Syscall handlers return ``-code`` on failure, exactly as
+the real kernel ABI does.
+"""
+
+EPERM = 1
+ENOENT = 2
+ESRCH = 3
+EINTR = 4
+EIO = 5
+ENXIO = 6
+EBADF = 9
+ECHILD = 10
+EAGAIN = 11
+ENOMEM = 12
+EACCES = 13
+EFAULT = 14
+EBUSY = 16
+EEXIST = 17
+ENODEV = 19
+ENOTDIR = 20
+EISDIR = 21
+EINVAL = 22
+ENFILE = 23
+EMFILE = 24
+ENOTTY = 25
+EFBIG = 27
+ENOSPC = 28
+ESPIPE = 29
+EROFS = 30
+EPIPE = 32
+ERANGE = 34
+ENOSYS = 38
+ENOTEMPTY = 39
+ELOOP = 40
+ENODATA = 61
+ETIME = 62
+EOVERFLOW = 75
+ENAMETOOLONG = 36
+ENOTSOCK = 88
+EDESTADDRREQ = 89
+EMSGSIZE = 90
+EOPNOTSUPP = 95
+EADDRINUSE = 98
+EADDRNOTAVAIL = 99
+ENETUNREACH = 101
+ECONNABORTED = 103
+ECONNRESET = 104
+ENOBUFS = 105
+EISCONN = 106
+ENOTCONN = 107
+ETIMEDOUT = 110
+ECONNREFUSED = 111
+EALREADY = 114
+EINPROGRESS = 115
+
+_NAMES = {
+    value: name
+    for name, value in list(globals().items())
+    if name.isupper() and isinstance(value, int)
+}
+
+
+def errno_name(code: int) -> str:
+    """Return the symbolic name for an errno value (or ``E?<n>``)."""
+    return _NAMES.get(abs(code), "E?%d" % abs(code))
+
+
+def is_error(result: int) -> bool:
+    """True when a raw syscall return value encodes an error.
+
+    Linux encodes errors as the range [-4095, -1]; mmap results can be
+    large "negative" addresses, which is why the range check matters.
+    """
+    return isinstance(result, int) and -4095 <= result < 0

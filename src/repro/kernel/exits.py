@@ -1,0 +1,23 @@
+"""Control-flow exceptions used to unwind guest threads.
+
+These propagate out of syscall handlers, through the kernel's dispatch
+path, up to the guest thread runner, which converts them into thread or
+process teardown. They are not error conditions.
+"""
+
+
+class ThreadExitRequest(Exception):
+    """The calling thread invoked exit(2)."""
+
+    def __init__(self, code: int = 0):
+        super().__init__("thread exit (%d)" % code)
+        self.code = code
+
+
+class ProcessExitRequest(Exception):
+    """The calling thread invoked exit_group(2) (or died to a signal)."""
+
+    def __init__(self, code: int = 0, signal: int = 0):
+        super().__init__("process exit (code=%d, sig=%d)" % (code, signal))
+        self.code = code
+        self.signal = signal

@@ -1,0 +1,83 @@
+"""futex(2): fast userspace mutexes over guest memory words.
+
+Futex keys are derived from the *backing region* of the address, so a
+futex word inside a MAP_SHARED region (such as IP-MON's replication
+buffer) is correctly shared across processes even though each replica
+maps the region at a different virtual address — this is what makes the
+paper's cross-replica condition variables (§3.7) work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.kernel import errno_codes as E
+from repro.kernel.memory import AddressSpace, MemoryFault
+from repro.kernel.waitq import WaitQueue, wait_interruptible
+
+
+class FutexManager:
+    def __init__(self):
+        self._buckets: Dict[Tuple[int, int], WaitQueue] = {}
+        # Counters exposed to the cost model / benchmarks.
+        self.wait_count = 0
+        self.wake_count = 0
+        self.wakeups_delivered = 0
+
+    def key_for(self, space: AddressSpace, uaddr: int):
+        mapping = space.find_mapping(uaddr)
+        if mapping is None:
+            return None
+        return (id(mapping.region), mapping.region_offset + (uaddr - mapping.start))
+
+    def _bucket(self, key) -> WaitQueue:
+        queue = self._buckets.get(key)
+        if queue is None:
+            queue = WaitQueue("futex")
+            self._buckets[key] = queue
+        return queue
+
+    def wait(self, kernel, thread, space: AddressSpace, uaddr: int, expected: int, timeout_ns=None):
+        """Coroutine: FUTEX_WAIT semantics; returns 0/-errno."""
+        key = self.key_for(space, uaddr)
+        if key is None:
+            return -E.EFAULT
+        try:
+            current = space.read_u32(uaddr)
+        except MemoryFault:
+            return -E.EFAULT
+        if current != expected & 0xFFFFFFFF:
+            return -E.EAGAIN
+        self.wait_count += 1
+        queue = self._bucket(key)
+        event = queue.register()
+        status, _ = yield from wait_interruptible(thread, event, timeout_ns)
+        if status == "interrupted":
+            queue.unregister(event)
+            return -E.EINTR
+        if status == "timeout":
+            queue.unregister(event)
+            return -E.ETIMEDOUT
+        return 0
+
+    def wake(self, space: AddressSpace, uaddr: int, count: int, sim) -> int:
+        """FUTEX_WAKE semantics; returns number of waiters woken."""
+        key = self.key_for(space, uaddr)
+        if key is None:
+            return -E.EFAULT
+        self.wake_count += 1
+        queue = self._buckets.get(key)
+        if queue is None:
+            return 0
+        woken = queue.notify(sim, count)
+        self.wakeups_delivered += woken
+        return woken
+
+    def waiters(self, space: AddressSpace, uaddr: int) -> int:
+        """How many threads currently wait on this word (introspection —
+        used by IP-MON's 'skip FUTEX_WAKE when nobody waits' optimization)."""
+        key = self.key_for(space, uaddr)
+        if key is None:
+            return 0
+        queue = self._buckets.get(key)
+        return len(queue) if queue is not None else 0

@@ -1,0 +1,107 @@
+"""System V shared memory.
+
+The paper's IP-MON uses SysV IPC to create and map the replication
+buffer into every replica (§3.5). The MVEE restricts which segments may
+be created because shared writable memory between replicas is an
+unmonitored bi-directional channel (§2.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.kernel import constants as C
+from repro.kernel import errno_codes as E
+from repro.kernel.memory import SharedRegion, page_align_up
+
+
+class ShmSegment:
+    __slots__ = ("shmid", "key", "region", "size", "rmid_pending", "creator_pid")
+
+    def __init__(self, shmid: int, key: int, size: int, creator_pid: int):
+        self.shmid = shmid
+        self.key = key
+        self.size = size
+        self.region = SharedRegion(page_align_up(size), "shm:%d" % shmid)
+        self.rmid_pending = False
+        self.creator_pid = creator_pid
+
+
+class ShmManager:
+    def __init__(self):
+        self._segments: Dict[int, ShmSegment] = {}
+        self._by_key: Dict[int, int] = {}
+        self._ids = itertools.count(1)
+
+    def get(self, key: int, size: int, flags: int, pid: int) -> int:
+        """shmget(2); returns shmid or -errno."""
+        if key != C.IPC_PRIVATE and key in self._by_key:
+            if flags & C.IPC_CREAT and flags & C.IPC_EXCL:
+                return -E.EEXIST
+            shmid = self._by_key[key]
+            if size > self._segments[shmid].size:
+                return -E.EINVAL
+            return shmid
+        if not flags & C.IPC_CREAT and key != C.IPC_PRIVATE:
+            return -E.ENOENT
+        if size <= 0:
+            return -E.EINVAL
+        shmid = next(self._ids)
+        segment = ShmSegment(shmid, key, size, pid)
+        self._segments[shmid] = segment
+        if key != C.IPC_PRIVATE:
+            self._by_key[key] = shmid
+        return shmid
+
+    def segment(self, shmid: int) -> Optional[ShmSegment]:
+        return self._segments.get(shmid)
+
+    def attach(self, process, shmid: int, addr: Optional[int], prot: int) -> int:
+        """shmat(2); returns the mapped address or -errno."""
+        segment = self._segments.get(shmid)
+        if segment is None:
+            return -E.EINVAL
+        mapping = process.space.map(
+            addr,
+            len(segment.region),
+            prot,
+            name="shm:%d" % shmid,
+            region=segment.region,
+            shared=True,
+        )
+        process.shm_attachments[mapping.start] = shmid
+        return mapping.start
+
+    def detach(self, process, addr: int) -> int:
+        """shmdt(2)."""
+        shmid = process.shm_attachments.get(addr)
+        if shmid is None:
+            return -E.EINVAL
+        segment = self._segments.get(shmid)
+        length = len(segment.region) if segment else 0
+        process.space.unmap(addr, length)
+        del process.shm_attachments[addr]
+        if (
+            segment is not None
+            and segment.rmid_pending
+            and segment.region.attach_count == 0
+        ):
+            self._destroy(segment)
+        return 0
+
+    def ctl(self, shmid: int, cmd: int) -> int:
+        segment = self._segments.get(shmid)
+        if segment is None:
+            return -E.EINVAL
+        if cmd == C.IPC_RMID:
+            segment.rmid_pending = True
+            if segment.region.attach_count == 0:
+                self._destroy(segment)
+            return 0
+        return -E.EINVAL
+
+    def _destroy(self, segment: ShmSegment) -> None:
+        self._segments.pop(segment.shmid, None)
+        if segment.key in self._by_key and self._by_key[segment.key] == segment.shmid:
+            del self._by_key[segment.key]

@@ -1,0 +1,262 @@
+"""Stream sockets over a simulated network with configurable latency.
+
+The network is the netem analogue from the paper's server evaluation
+(§5.2): a single switch connecting all simulated hosts, applying a
+configurable one-way latency to every segment. Loopback traffic (a
+socket connecting to its own host) bypasses the latency, mirroring the
+network-loopback Phoronix benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Tuple
+
+from repro.kernel import constants as C
+from repro.kernel import errno_codes as E
+from repro.kernel.vfs import FileObject
+from repro.kernel.waitq import WaitQueue, wait_interruptible
+
+Address = Tuple[str, int]
+
+SOCKET_RCVBUF = 1 << 20
+
+
+class Network:
+    """A single-switch network shared by every simulated host."""
+
+    def __init__(self, latency_ns: int = 100_000, loopback_latency_ns: int = 5_000):
+        self.latency_ns = latency_ns
+        self.loopback_latency_ns = loopback_latency_ns
+        self.listeners: Dict[Address, "ListeningSocket"] = {}
+        self._ephemeral = 32768
+        # Counters used by benchmarks to report on-the-wire volume.
+        self.bytes_sent = 0
+        self.segments_sent = 0
+
+    def ephemeral_port(self) -> int:
+        self._ephemeral += 1
+        return self._ephemeral
+
+    def delay_between(self, a: Address, b: Address) -> int:
+        if a[0] == b[0]:
+            return self.loopback_latency_ns
+        return self.latency_ns
+
+    def bind_listener(self, addr: Address, sock: "ListeningSocket") -> int:
+        if addr in self.listeners:
+            return -E.EADDRINUSE
+        self.listeners[addr] = sock
+        return 0
+
+    def lookup(self, addr: Address) -> Optional["ListeningSocket"]:
+        exact = self.listeners.get(addr)
+        if exact is not None:
+            return exact
+        # 0.0.0.0 wildcard bind
+        return self.listeners.get(("0.0.0.0", addr[1]))
+
+
+class StreamSocket(FileObject):
+    """One endpoint of a connected (or connecting) stream."""
+
+    kind = "sock"
+
+    def __init__(self, kernel, host_ip: str, name: str = "sock"):
+        super().__init__(name)
+        self.kernel = kernel
+        self.host_ip = host_ip
+        self.local_addr: Address = (host_ip, 0)
+        self.peer_addr: Optional[Address] = None
+        self.peer: Optional["StreamSocket"] = None
+        self.rcvbuf = bytearray()
+        self.rcv_closed = False  # peer will send no more data
+        self.snd_closed = False  # we will send no more data
+        self.connected = False
+        self.connecting = False
+        self.error = 0
+        self.dataq = WaitQueue("sock-data")
+        self.connq = WaitQueue("sock-conn")
+        self.sockopts: Dict[Tuple[int, int], int] = {}
+
+    def st_mode(self) -> int:
+        return C.S_IFSOCK | 0o777
+
+    def poll_mask(self, kernel) -> int:
+        mask = 0
+        if self.rcvbuf:
+            mask |= C.POLLIN
+        if self.rcv_closed:
+            mask |= C.POLLIN | C.EPOLLRDHUP
+        if self.connected and not self.snd_closed:
+            mask |= C.POLLOUT
+        if self.error:
+            mask |= C.POLLERR
+        if self.rcv_closed and self.snd_closed:
+            mask |= C.POLLHUP
+        return mask
+
+    # -- data path --------------------------------------------------------
+    def _arrive(self, data: bytes) -> None:
+        """Called (scheduled) when a segment reaches this endpoint."""
+        if self.rcv_closed:
+            return
+        self.rcvbuf += data
+        self.dataq.notify_all(self.kernel.sim)
+        self.notify_pollers(self.kernel)
+
+    def _arrive_fin(self) -> None:
+        self.rcv_closed = True
+        self.dataq.notify_all(self.kernel.sim)
+        self.notify_pollers(self.kernel)
+
+    def send_bytes(self, data: bytes) -> int:
+        """Queue ``data`` toward the peer; returns bytes accepted or -errno."""
+        if not self.connected or self.peer is None:
+            return -E.EPIPE if self.snd_closed else -E.ENOTCONN
+        if self.snd_closed:
+            return -E.EPIPE
+        if self.peer.rcv_closed:
+            return -E.EPIPE
+        net = self.kernel.network
+        delay = net.delay_between(self.local_addr, self.peer_addr)
+        net.bytes_sent += len(data)
+        net.segments_sent += 1
+        peer = self.peer
+        payload = bytes(data)
+        self.kernel.sim.call_at(self.kernel.sim.now + delay, peer._arrive, payload)
+        return len(data)
+
+    def read(self, kernel, thread, ofd, count: int):
+        while not self.rcvbuf:
+            if self.rcv_closed:
+                return b""
+            if not self.connected:
+                return -E.ENOTCONN
+            if ofd.nonblocking:
+                return -E.EAGAIN
+            event = self.dataq.register()
+            status, _ = yield from wait_interruptible(thread, event)
+            if status == "interrupted":
+                self.dataq.unregister(event)
+                return -E.EINTR
+        chunk = bytes(self.rcvbuf[:count])
+        del self.rcvbuf[: len(chunk)]
+        return chunk
+
+    def write(self, kernel, thread, ofd, data: bytes):
+        result = self.send_bytes(data)
+        if result == -E.EPIPE:
+            kernel.send_signal_to_thread(thread, C.SIGPIPE)
+        return result
+        yield  # pragma: no cover
+
+    def shutdown(self, how: int) -> int:
+        if not self.connected:
+            return -E.ENOTCONN
+        if how in (C.SHUT_WR, C.SHUT_RDWR) and not self.snd_closed:
+            self.snd_closed = True
+            if self.peer is not None:
+                net = self.kernel.network
+                delay = net.delay_between(self.local_addr, self.peer_addr)
+                peer = self.peer
+                self.kernel.sim.call_at(
+                    self.kernel.sim.now + delay, peer._arrive_fin
+                )
+        if how in (C.SHUT_RD, C.SHUT_RDWR):
+            self.rcv_closed = True
+            self.dataq.notify_all(self.kernel.sim)
+        self.notify_pollers(self.kernel)
+        return 0
+
+    def on_last_close(self) -> None:
+        if self.connected and not self.snd_closed:
+            self.shutdown(C.SHUT_WR)
+        self.rcv_closed = True
+
+
+class ListeningSocket(FileObject):
+    """A bound, listening stream socket with an accept backlog."""
+
+    kind = "listen"
+
+    def __init__(self, kernel, host_ip: str, name: str = "listen"):
+        super().__init__(name)
+        self.kernel = kernel
+        self.host_ip = host_ip
+        self.local_addr: Address = (host_ip, 0)
+        self.backlog: deque = deque()
+        self.backlog_limit = 128
+        self.acceptq = WaitQueue("accept")
+        self.sockopts: Dict[Tuple[int, int], int] = {}
+
+    def st_mode(self) -> int:
+        return C.S_IFSOCK | 0o777
+
+    def poll_mask(self, kernel) -> int:
+        return C.POLLIN if self.backlog else 0
+
+    def _incoming(self, server_side: StreamSocket) -> None:
+        if len(self.backlog) >= self.backlog_limit:
+            # Drop the connection: the client sees a reset.
+            client = server_side.peer
+            if client is not None:
+                client.error = E.ECONNREFUSED
+                client.connq.notify_all(self.kernel.sim)
+            return
+        self.backlog.append(server_side)
+        self.acceptq.notify_all(self.kernel.sim)
+        self.notify_pollers(self.kernel)
+
+    def accept_one(self, kernel, thread, nonblocking: bool):
+        """Coroutine: pop one pending connection (or block)."""
+        while not self.backlog:
+            if nonblocking:
+                return -E.EAGAIN
+            event = self.acceptq.register()
+            status, _ = yield from wait_interruptible(thread, event)
+            if status == "interrupted":
+                self.acceptq.unregister(event)
+                return -E.EINTR
+        return self.backlog.popleft()
+
+
+def connect_sockets(kernel, client: StreamSocket, addr: Address):
+    """Coroutine implementing the TCP-ish three-way handshake.
+
+    Returns 0 on success or -errno. The client socket must not already
+    be connected. Non-blocking behaviour is handled by the caller.
+    """
+    listener = kernel.network.lookup(addr)
+    if listener is None:
+        return -E.ECONNREFUSED
+    if client.local_addr[1] == 0:
+        client.local_addr = (client.host_ip, kernel.network.ephemeral_port())
+    server_side = StreamSocket(
+        kernel, listener.host_ip, name="%s<-%s" % (listener.name, client.name)
+    )
+    server_side.local_addr = (listener.host_ip, addr[1])
+    server_side.peer_addr = client.local_addr
+    server_side.peer = client
+    server_side.connected = True
+    client.peer_addr = (listener.host_ip, addr[1])
+    client.peer = server_side
+    client.connecting = True
+
+    delay = kernel.network.delay_between(client.local_addr, addr)
+
+    def _deliver_syn():
+        listener._incoming(server_side)
+
+    kernel.sim.call_at(kernel.sim.now + delay, _deliver_syn)
+
+    def _complete():
+        if client.error == 0:
+            client.connected = True
+        client.connecting = False
+        client.connq.notify_all(kernel.sim)
+        client.notify_pollers(kernel)
+
+    kernel.sim.call_at(kernel.sim.now + 2 * delay, _complete)
+    return 0
+    yield  # pragma: no cover

@@ -1,0 +1,178 @@
+"""Binary layouts for kernel/userspace structures.
+
+The simulated kernel communicates with guests through real byte buffers
+inside the guests' address spaces, using fixed little-endian layouts.
+Keeping these binary keeps the MVEE honest: replicating a ``stat`` result
+or an ``epoll_event`` array really is a byte copy between address spaces,
+exactly as in the paper's monitors.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+# ---------------------------------------------------------------------------
+# struct stat (simplified, 80 bytes)
+#   st_dev, st_ino, st_mode, st_nlink, st_uid, st_gid, st_size,
+#   st_atime_ns, st_mtime_ns, st_ctime_ns
+# ---------------------------------------------------------------------------
+STAT_FMT = "<QQIIIIq qqq".replace(" ", "")
+STAT_SIZE = struct.calcsize(STAT_FMT)
+
+
+def pack_stat(
+    st_dev: int,
+    st_ino: int,
+    st_mode: int,
+    st_nlink: int,
+    st_uid: int,
+    st_gid: int,
+    st_size: int,
+    st_atime_ns: int = 0,
+    st_mtime_ns: int = 0,
+    st_ctime_ns: int = 0,
+) -> bytes:
+    return struct.pack(
+        STAT_FMT,
+        st_dev,
+        st_ino,
+        st_mode,
+        st_nlink,
+        st_uid,
+        st_gid,
+        st_size,
+        st_atime_ns,
+        st_mtime_ns,
+        st_ctime_ns,
+    )
+
+
+def unpack_stat(data: bytes) -> dict:
+    fields = struct.unpack(STAT_FMT, data[:STAT_SIZE])
+    keys = (
+        "st_dev",
+        "st_ino",
+        "st_mode",
+        "st_nlink",
+        "st_uid",
+        "st_gid",
+        "st_size",
+        "st_atime_ns",
+        "st_mtime_ns",
+        "st_ctime_ns",
+    )
+    return dict(zip(keys, fields))
+
+
+# ---------------------------------------------------------------------------
+# struct timeval / timespec
+# ---------------------------------------------------------------------------
+TIMEVAL_FMT = "<qq"
+TIMEVAL_SIZE = struct.calcsize(TIMEVAL_FMT)
+TIMESPEC_FMT = "<qq"
+TIMESPEC_SIZE = struct.calcsize(TIMESPEC_FMT)
+
+
+def pack_timeval(ns: int) -> bytes:
+    return struct.pack(TIMEVAL_FMT, ns // 1_000_000_000, (ns % 1_000_000_000) // 1000)
+
+
+def pack_timespec(ns: int) -> bytes:
+    return struct.pack(TIMESPEC_FMT, ns // 1_000_000_000, ns % 1_000_000_000)
+
+
+def unpack_timespec(data: bytes) -> int:
+    sec, nsec = struct.unpack(TIMESPEC_FMT, data[:TIMESPEC_SIZE])
+    return sec * 1_000_000_000 + nsec
+
+
+# ---------------------------------------------------------------------------
+# struct epoll_event: uint32 events + uint64 data (packed, 12 bytes)
+# ---------------------------------------------------------------------------
+EPOLL_EVENT_FMT = "<IQ"
+EPOLL_EVENT_SIZE = struct.calcsize(EPOLL_EVENT_FMT)
+
+
+def pack_epoll_event(events: int, data: int) -> bytes:
+    return struct.pack(EPOLL_EVENT_FMT, events & 0xFFFFFFFF, data & (1 << 64) - 1)
+
+
+def unpack_epoll_event(raw: bytes) -> Tuple[int, int]:
+    return struct.unpack(EPOLL_EVENT_FMT, raw[:EPOLL_EVENT_SIZE])
+
+
+# ---------------------------------------------------------------------------
+# struct iovec: void* iov_base + size_t iov_len
+# ---------------------------------------------------------------------------
+IOVEC_FMT = "<QQ"
+IOVEC_SIZE = struct.calcsize(IOVEC_FMT)
+
+
+def pack_iovec(base: int, length: int) -> bytes:
+    return struct.pack(IOVEC_FMT, base, length)
+
+
+def read_iovecs(space, iov_addr: int, iovcnt: int) -> List[Tuple[int, int]]:
+    """Read an iovec array from guest memory."""
+    raw = space.read(iov_addr, IOVEC_SIZE * iovcnt)
+    out = []
+    for i in range(iovcnt):
+        base, length = struct.unpack_from(IOVEC_FMT, raw, i * IOVEC_SIZE)
+        out.append((base, length))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# struct sockaddr_in (simplified, 16 bytes): family, port, 4-byte ip, pad
+# ---------------------------------------------------------------------------
+SOCKADDR_FMT = "<HH4s8s"
+SOCKADDR_SIZE = struct.calcsize(SOCKADDR_FMT)
+
+
+def pack_sockaddr(family: int, ip: str, port: int) -> bytes:
+    parts = bytes(int(p) for p in ip.split("."))
+    return struct.pack(SOCKADDR_FMT, family, port, parts, b"\x00" * 8)
+
+
+def unpack_sockaddr(raw: bytes) -> Tuple[int, str, int]:
+    family, port, ip_bytes, _pad = struct.unpack(SOCKADDR_FMT, raw[:SOCKADDR_SIZE])
+    ip = ".".join(str(b) for b in ip_bytes)
+    return family, ip, port
+
+
+# ---------------------------------------------------------------------------
+# struct pollfd: int fd, short events, short revents
+# ---------------------------------------------------------------------------
+POLLFD_FMT = "<ihh"
+POLLFD_SIZE = struct.calcsize(POLLFD_FMT)
+
+
+def pack_pollfd(fd: int, events: int, revents: int) -> bytes:
+    return struct.pack(POLLFD_FMT, fd, events, revents)
+
+
+def unpack_pollfd(raw: bytes) -> Tuple[int, int, int]:
+    return struct.unpack(POLLFD_FMT, raw[:POLLFD_SIZE])
+
+
+# ---------------------------------------------------------------------------
+# linux_dirent (simplified): u64 ino, u16 reclen, name bytes, NUL, u8 type
+# ---------------------------------------------------------------------------
+def pack_dirent(ino: int, name: bytes, dtype: int) -> bytes:
+    reclen = 8 + 2 + len(name) + 1 + 1
+    return struct.pack("<QH", ino, reclen) + name + b"\x00" + bytes([dtype])
+
+
+def unpack_dirents(raw: bytes) -> List[Tuple[int, bytes, int]]:
+    out = []
+    offset = 0
+    while offset + 10 <= len(raw):
+        ino, reclen = struct.unpack_from("<QH", raw, offset)
+        if reclen < 12 or offset + reclen > len(raw):
+            break
+        name = raw[offset + 10 : offset + reclen - 2]
+        dtype = raw[offset + reclen - 1]
+        out.append((ino, name, dtype))
+        offset += reclen
+    return out

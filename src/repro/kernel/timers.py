@@ -1,0 +1,96 @@
+"""timerfd objects and interval-timer helpers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel import constants as C
+from repro.kernel import errno_codes as E
+from repro.kernel.vfs import FileObject
+from repro.kernel.waitq import WaitQueue, wait_interruptible
+
+
+class TimerFD(FileObject):
+    kind = "timerfd"
+
+    def __init__(self, kernel, clockid: int = C.CLOCK_MONOTONIC, name: str = "timerfd"):
+        super().__init__(name)
+        self.kernel = kernel
+        self.clockid = clockid
+        self.next_expiry_ns: Optional[int] = None
+        self.interval_ns = 0
+        self.expirations = 0
+        self._generation = 0
+        self.dataq = WaitQueue("timerfd")
+
+    def st_mode(self) -> int:
+        return C.S_IFCHR | 0o600
+
+    def on_last_close(self) -> None:
+        # Disarm: nothing references the fd anymore, so the periodic
+        # rescheduling must stop (otherwise the timer outlives the
+        # process and keeps the simulation alive forever).
+        self._generation += 1
+        self.next_expiry_ns = None
+        self.interval_ns = 0
+
+    def settime(self, value_ns: int, interval_ns: int) -> tuple:
+        """Arm (or disarm with value 0) the timer; returns the previous
+        (remaining_ns, interval_ns) setting."""
+        now = self.kernel.sim.now
+        previous = (
+            max(0, (self.next_expiry_ns or now) - now) if self.next_expiry_ns else 0,
+            self.interval_ns,
+        )
+        self._generation += 1
+        self.expirations = 0
+        if value_ns == 0:
+            self.next_expiry_ns = None
+            self.interval_ns = 0
+            return previous
+        self.next_expiry_ns = now + value_ns
+        self.interval_ns = interval_ns
+        self._schedule(self._generation)
+        return previous
+
+    def gettime(self) -> tuple:
+        now = self.kernel.sim.now
+        remaining = max(0, (self.next_expiry_ns or now) - now) if self.next_expiry_ns else 0
+        return remaining, self.interval_ns
+
+    def _schedule(self, generation: int) -> None:
+        expiry = self.next_expiry_ns
+        if expiry is None:
+            return
+
+        def _fire():
+            if generation != self._generation or self.next_expiry_ns is None:
+                return
+            self.expirations += 1
+            if self.interval_ns > 0:
+                self.next_expiry_ns += self.interval_ns
+                self._schedule(generation)
+            else:
+                self.next_expiry_ns = None
+            self.dataq.notify_all(self.kernel.sim)
+            self.notify_pollers(self.kernel)
+
+        self.kernel.sim.call_at(expiry, _fire)
+
+    def poll_mask(self, kernel) -> int:
+        return C.POLLIN if self.expirations > 0 else 0
+
+    def read(self, kernel, thread, ofd, count: int):
+        if count < 8:
+            return -E.EINVAL
+        while self.expirations == 0:
+            if ofd.nonblocking:
+                return -E.EAGAIN
+            event = self.dataq.register()
+            status, _ = yield from wait_interruptible(thread, event)
+            if status == "interrupted":
+                self.dataq.unregister(event)
+                return -E.EINTR
+        value = self.expirations
+        self.expirations = 0
+        return value.to_bytes(8, "little")

@@ -1,0 +1,5 @@
+"""A ptrace-like tracing facility over the simulated kernel."""
+
+from repro.ptrace.api import Stop, Tracer
+
+__all__ = ["Stop", "Tracer"]

@@ -1,0 +1,26 @@
+"""Discrete-event simulation core.
+
+Everything in this reproduction — the simulated kernel, the guest
+programs, the MVEE monitors, the benchmark clients — runs as coroutine
+tasks on the :class:`~repro.sim.simulator.Simulator`. Tasks are plain
+Python generators that yield *effects* (:class:`~repro.sim.effects.Sleep`,
+:class:`~repro.sim.effects.WaitEvent`, :class:`~repro.sim.effects.Spawn`)
+and are resumed by the event loop with the effect's result.
+
+Time is virtual and counted in integer nanoseconds; nothing in the
+simulation ever consults the host clock, so runs are fully deterministic
+given their seeds.
+"""
+
+from repro.sim.effects import Effect, Event, Sleep, Spawn, WaitEvent
+from repro.sim.simulator import Simulator, Task
+
+__all__ = [
+    "Effect",
+    "Event",
+    "Simulator",
+    "Sleep",
+    "Spawn",
+    "Task",
+    "WaitEvent",
+]

@@ -1,0 +1,255 @@
+"""The discrete-event simulator driving every component of the system.
+
+The simulator owns a priority queue of timestamped callbacks and a set of
+coroutine tasks. A task is a Python generator; each value it yields is an
+:class:`~repro.sim.effects.Effect` describing what it wants to wait for,
+and the simulator resumes the generator with the effect's result once the
+wait is over. Nested coroutines compose with ``yield from``, which lets
+the kernel, the monitors and guest programs call into each other without
+ever blocking the host.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.effects import Effect, Event, Sleep, Spawn, WaitEvent
+
+# Sentinel distinguishing "timeout expired" from a fired event.
+_TIMED_OUT = object()
+
+
+class Task:
+    """A running coroutine plus its bookkeeping.
+
+    Attributes:
+        name: human-readable label used in traces and error messages.
+        done: whether the generator has finished.
+        result: the generator's return value once ``done`` is true.
+        done_event: an :class:`Event` fired (with ``result``) on completion.
+        failure: the exception that killed the task, if any.
+    """
+
+    __slots__ = (
+        "name",
+        "gen",
+        "done",
+        "result",
+        "done_event",
+        "failure",
+        "_wait_epoch",
+        "cancelled",
+    )
+
+    def __init__(self, gen: Iterator, name: str):
+        self.name = name
+        self.gen = gen
+        self.done = False
+        self.result: Any = None
+        self.done_event = Event("done:%s" % name)
+        self.failure: Optional[BaseException] = None
+        self.cancelled = False
+        # Incremented whenever the task is resumed; stale wakeups (e.g. a
+        # timeout firing after the event already resumed the task) check
+        # the epoch and become no-ops.
+        self._wait_epoch = 0
+
+    def __repr__(self):
+        state = "done" if self.done else "running"
+        return "Task(%s, %s)" % (self.name, state)
+
+
+class Simulator:
+    """Deterministic discrete-event loop with virtual-nanosecond time.
+
+    Args:
+        cores: number of CPU cores on the simulated machine. CPU-burning
+            sleeps (``Sleep(ns, cpu=True)``) are stretched when more of
+            them are active than there are cores, which is how the model
+            accounts for replicas competing for the machine.
+        trace: optional callable receiving ``(time_ns, message)`` for
+            debug tracing.
+    """
+
+    def __init__(self, cores: int = 16, trace: Optional[Callable] = None):
+        if cores < 1:
+            raise ValueError("a machine needs at least one core")
+        self.cores = cores
+        self.now = 0
+        self.trace = trace
+        self._queue: list = []
+        self._seq = 0
+        self._cpu_active = 0
+        self._live_tasks = 0
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def call_at(self, when: int, fn: Callable, *args) -> None:
+        """Schedule ``fn(*args)`` to run at virtual time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                "cannot schedule in the past: %d < %d" % (when, self.now)
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, fn, args))
+
+    def call_soon(self, fn: Callable, *args) -> None:
+        """Schedule ``fn(*args)`` at the current virtual time."""
+        self.call_at(self.now, fn, *args)
+
+    def spawn(self, gen: Iterator, name: str = "task") -> Task:
+        """Create a task from generator ``gen`` and start it immediately."""
+        task = Task(gen, name)
+        self._live_tasks += 1
+        self.call_soon(self._step, task, None, None)
+        return task
+
+    # ------------------------------------------------------------------
+    # Event operations
+    # ------------------------------------------------------------------
+    def fire(self, event: Event, value: Any = None) -> None:
+        """Fire ``event`` now, waking every waiter with ``value``."""
+        if event.fired:
+            return
+        event.fired = True
+        event.value = value
+        waiters, event._waiters = event._waiters, []
+        for task, epoch in waiters:
+            if task._wait_epoch == epoch and not task.done:
+                self.call_soon(self._step, task, (True, value), None)
+        listeners, event._listeners = event._listeners, []
+        for listener in listeners:
+            listener(value)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_steps: Optional[int] = None):
+        """Run until the queue drains, ``until`` is reached, or the step
+        budget is exhausted. Returns the final virtual time."""
+        while self._queue:
+            when, _seq, fn, args = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            if when > self.now:
+                self.now = when
+            fn(*args)
+            self._steps += 1
+            if max_steps is not None and self._steps >= max_steps:
+                raise SimulationError(
+                    "simulation exceeded %d steps at t=%d" % (max_steps, self.now)
+                )
+        return self.now
+
+    def run_task(self, gen: Iterator, name: str = "main", **kwargs) -> Any:
+        """Spawn ``gen``, run the simulation, and return its result."""
+        task = self.spawn(gen, name)
+        self.run(**kwargs)
+        if task.failure is not None:
+            raise task.failure
+        if not task.done:
+            raise SimulationError(
+                "task %s deadlocked: simulation drained at t=%d with the "
+                "task still waiting" % (task.name, self.now)
+            )
+        return task.result
+
+    # ------------------------------------------------------------------
+    # Task stepping
+    # ------------------------------------------------------------------
+    def _step(self, task: Task, send_value: Any, throw_exc) -> None:
+        if task.done:
+            return
+        task._wait_epoch += 1
+        try:
+            if throw_exc is not None:
+                item = task.gen.throw(throw_exc)
+            else:
+                item = task.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(task, stop.value, None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - task crash is terminal
+            self._finish(task, None, exc)
+            return
+        self._dispatch(task, item)
+
+    def _finish(self, task: Task, result: Any, failure) -> None:
+        task.done = True
+        task.result = result
+        task.failure = failure
+        self._live_tasks -= 1
+        self.fire(task.done_event, result)
+        if failure is not None and self.trace:
+            self.trace(self.now, "task %s failed: %r" % (task.name, failure))
+
+    def _dispatch(self, task: Task, item: Effect) -> None:
+        if isinstance(item, Sleep):
+            self._do_sleep(task, item)
+        elif isinstance(item, WaitEvent):
+            self._do_wait(task, item)
+        elif isinstance(item, Spawn):
+            child = self.spawn(item.gen, item.name)
+            self.call_soon(self._step, task, child, None)
+        else:
+            exc = SimulationError(
+                "task %s yielded a non-effect: %r" % (task.name, item)
+            )
+            self.call_soon(self._step, task, None, exc)
+
+    def _do_sleep(self, task: Task, item: Sleep) -> None:
+        ns = item.ns
+        if item.cpu:
+            self._cpu_active += 1
+            factor = max(1.0, self._cpu_active / float(self.cores))
+            ns = int(ns * factor)
+            epoch = task._wait_epoch
+
+            def _wake_cpu():
+                self._cpu_active -= 1
+                if task._wait_epoch == epoch and not task.done:
+                    self._step(task, None, None)
+
+            self.call_at(self.now + ns, _wake_cpu)
+        else:
+            epoch = task._wait_epoch
+
+            def _wake():
+                if task._wait_epoch == epoch and not task.done:
+                    self._step(task, None, None)
+
+            self.call_at(self.now + ns, _wake)
+
+    def _do_wait(self, task: Task, item: WaitEvent) -> None:
+        event = item.event
+        if event.fired:
+            self.call_soon(self._step, task, (True, event.value), None)
+            return
+        epoch = task._wait_epoch
+        event._waiters.append((task, epoch))
+        if item.timeout_ns is not None:
+
+            def _timeout():
+                if task._wait_epoch == epoch and not task.done:
+                    self._step(task, (False, None), None)
+
+            self.call_at(self.now + item.timeout_ns, _timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def live_tasks(self) -> int:
+        """Number of tasks that have been spawned and not yet finished."""
+        return self._live_tasks
+
+    @property
+    def steps(self) -> int:
+        """Total number of queue callbacks executed so far."""
+        return self._steps

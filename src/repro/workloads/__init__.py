@@ -1,0 +1,21 @@
+"""Workloads reconstructing the paper's evaluation suites (§5).
+
+The original evaluation ran PARSEC 2.1, SPLASH-2x, Phoronix and a set of
+real servers on a dual Xeon E5-2660. None of those binaries can run on
+this simulated substrate, so each benchmark is reconstructed as a guest
+program with the *system-call profile* that made the benchmark behave
+the way the paper reports: its syscall rate, its category mix across the
+Table 1 relaxation levels, its threading, and its compute/IO balance.
+
+Profiles are derived in :mod:`repro.workloads.profiles` from the paper's
+own per-benchmark bars (Figures 3 and 4): the drop between consecutive
+relaxation levels identifies how much of the benchmark's syscall traffic
+belongs to the category that level exempts. The derivation is inverted
+against *this simulator's* calibrated per-call costs, so regenerating
+the figures exercises the full ReMon stack rather than replaying
+constants — see DESIGN.md §5 for the fidelity argument.
+"""
+
+from repro.workloads.synthetic import CategoryMix, SyntheticWorkload, build_program
+
+__all__ = ["CategoryMix", "SyntheticWorkload", "build_program"]

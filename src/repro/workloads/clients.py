@@ -1,0 +1,193 @@
+"""Benchmark clients: ab, wrk and http_load analogues (§5.2).
+
+Clients run as ordinary (un-replicated) simulated processes on a
+separate host, so every request crosses the simulated network and pays
+its latency — the variable the paper's three scenarios (0.1 ms LAN,
+2 ms realistic, 5 ms comparison) sweep.
+
+The three tools differ the way the real ones do:
+
+* **ab** — fixed concurrency, a new connection per request
+  (``keepalive=False`` is ab's default);
+* **wrk** — fixed concurrency with keep-alive connections;
+* **http_load** — like ab but rate-paced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.guest.program import Program
+from repro.workloads.servers import REQUEST_SIZE
+
+
+@dataclass
+class ClientSpec:
+    tool: str = "ab"  # ab | wrk | http_load
+    concurrency: int = 8
+    total_requests: int = 120
+    #: pacing gap between requests per connection (http_load style)
+    pace_ns: int = 0
+
+    @property
+    def keepalive(self) -> bool:
+        return self.tool == "wrk"
+
+
+CLIENT_HOST = "10.0.0.99"
+
+
+class ClientResult:
+    """Filled in by the client program as it runs."""
+
+    def __init__(self):
+        self.started_ns: Optional[int] = None
+        self.finished_ns: Optional[int] = None
+        self.completed = 0
+        self.errors = 0
+        self.bytes_received = 0
+
+    @property
+    def duration_ns(self) -> int:
+        if self.started_ns is None or self.finished_ns is None:
+            return 0
+        return self.finished_ns - self.started_ns
+
+    def throughput_rps(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.completed / (self.duration_ns / 1e9)
+
+
+def build_client_program(
+    server_ip: str,
+    port: int,
+    spec: ClientSpec,
+    result: ClientResult,
+    name: str = "client",
+) -> Program:
+    """A load generator driving ``spec.total_requests`` requests."""
+
+    request_line = b"GET /payload".ljust(REQUEST_SIZE, b".")
+
+    def do_request(ctx, fd):
+        libc = ctx.libc
+        sent = yield from libc.send(fd, request_line)
+        if sent != REQUEST_SIZE:
+            return False
+        ret, header = yield from libc.recv(fd, 4096)
+        if ret <= 0:
+            return False
+        result.bytes_received += ret
+        return True
+
+    def take(counter) -> bool:
+        if counter["issued"] >= spec.total_requests:
+            return False
+        counter["issued"] += 1
+        return True
+
+    def connection_worker(ctx, counter):
+        libc = ctx.libc
+        if spec.keepalive:
+            if not take(counter):
+                return
+            fd = yield from libc.socket()
+            ret = yield from libc.connect(fd, server_ip, port)
+            if fd < 0 or ret != 0:
+                result.errors += 1
+                return
+            while True:
+                ok = yield from do_request(ctx, fd)
+                if ok:
+                    result.completed += 1
+                else:
+                    result.errors += 1
+                    break
+                if not take(counter):
+                    break
+                if spec.pace_ns:
+                    yield from libc.nanosleep(spec.pace_ns)
+            yield from libc.close(fd)
+            return
+        while take(counter):
+            fd = yield from libc.socket()
+            if fd < 0:
+                result.errors += 1
+                continue
+            ret = yield from libc.connect(fd, server_ip, port)
+            if ret != 0:
+                result.errors += 1
+                yield from libc.close(fd)
+                continue
+            ok = yield from do_request(ctx, fd)
+            if ok:
+                result.completed += 1
+            else:
+                result.errors += 1
+            yield from libc.close(fd)
+            if spec.pace_ns:
+                yield from libc.nanosleep(spec.pace_ns)
+
+    def main(ctx):
+        libc = ctx.libc
+        # Give the server time to bind its port.
+        yield from libc.nanosleep(2_000_000)
+        result.started_ns = ctx.kernel.sim.now
+        counter = {"issued": 0}
+        done_word = yield from libc.malloc(4)
+        ctx.mem.write_u32(done_word, 0)
+        workers = max(1, spec.concurrency)
+
+        def spawn(cctx, payload):
+            def body():
+                yield from connection_worker(cctx, payload)
+                value = cctx.mem.read_u32(done_word) + 1
+                cctx.mem.write_u32(done_word, value)
+                yield from cctx.libc.futex_wake(done_word, 1)
+
+            return body()
+
+        for _ in range(workers - 1):
+            yield ctx.spawn_thread(spawn, counter)
+        yield from connection_worker(ctx, counter)
+        while ctx.mem.read_u32(done_word) < workers - 1:
+            current = ctx.mem.read_u32(done_word)
+            yield from libc.futex_wait(done_word, current)
+        result.finished_ns = ctx.kernel.sim.now
+        # Ask the server to shut down.
+        fd = yield from libc.socket()
+        ret = yield from libc.connect(fd, server_ip, port)
+        if ret == 0:
+            yield from libc.send(fd, b"QUIT".ljust(REQUEST_SIZE, b"."))
+            yield from libc.close(fd)
+        return 0
+
+    return Program(name, main, seed=23)
+
+
+def run_server_benchmark(
+    kernel,
+    server_program: Program,
+    spec: ClientSpec,
+    port: int,
+    server_runner,
+) -> ClientResult:
+    """Drive one client/server pair to completion.
+
+    ``server_runner(kernel, server_program)`` must start the server
+    (natively, under ReMon, or under VARAN) without running the
+    simulation; this function then starts the client and runs the world.
+    Returns the populated :class:`ClientResult`.
+    """
+    from repro.guest import GuestRuntime
+
+    result = ClientResult()
+    handle = server_runner(kernel, server_program)
+    client_process = kernel.create_process("client", host_ip=CLIENT_HOST)
+    client = build_client_program("10.0.0.1", port, spec, result)
+    GuestRuntime(kernel, client_process, client).start()
+    kernel.sim.run(max_steps=400_000_000)
+    del handle
+    return result

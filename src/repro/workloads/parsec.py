@@ -1,0 +1,22 @@
+"""PARSEC 2.1 reconstruction (Figure 3, left half).
+
+The paper runs PARSEC with the largest inputs, four worker threads and
+two replicas, excluding ``canneal`` (intentional data races that diverge
+under any MVEE) and applying Segulja's data-race patches. Profiles are
+derived from the published per-benchmark bars; see
+:mod:`repro.workloads.profiles`.
+"""
+
+from repro.workloads.profiles import (
+    PARSEC_BENCHMARKS,
+    PARSEC_GEOMEAN_TARGETS,
+    derive_workload,
+    workloads_for,
+)
+
+__all__ = [
+    "PARSEC_BENCHMARKS",
+    "PARSEC_GEOMEAN_TARGETS",
+    "derive_workload",
+    "workloads_for",
+]

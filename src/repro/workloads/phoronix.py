@@ -1,0 +1,23 @@
+"""Phoronix reconstruction (Figure 4): all five relaxation levels.
+
+The eight benchmarks cover the whole spectrum the figure demonstrates:
+CPU-bound encoders that barely notice monitoring, phpbench's burst of
+process-local calls (exempt from BASE/NONSOCKET levels), unpack-linux's
+filesystem traffic, and the two network benchmarks whose overhead only
+falls once socket reads (SOCKET_RO) and writes (SOCKET_RW) run
+unmonitored.
+"""
+
+from repro.workloads.profiles import (
+    PHORONIX_BENCHMARKS,
+    PHORONIX_GEOMEAN_TARGETS,
+    derive_workload,
+    workloads_for,
+)
+
+__all__ = [
+    "PHORONIX_BENCHMARKS",
+    "PHORONIX_GEOMEAN_TARGETS",
+    "derive_workload",
+    "workloads_for",
+]

@@ -1,0 +1,306 @@
+"""Server applications reconstructed for the §5.2 evaluation.
+
+Each server the paper measured is modelled with its real concurrency
+architecture and per-request system-call pattern:
+
+============ ======== ========== ========= ======================
+server        workers  I/O model  response  per-request extras
+============ ======== ========== ========= ======================
+apache        4        accept     10 KiB    file pread + log write
+thttpd        1        poll       4 KiB     file pread
+lighttpd      1        epoll      4 KiB     file pread + log write
+nginx         4        epoll      4 KiB     file pread
+redis         1        epoll      64 B      —
+memcached     4        epoll      128 B     —
+beanstalkd    1        epoll      128 B     —
+============ ======== ========== ========= ======================
+
+All servers speak the same tiny line-oriented protocol the clients in
+:mod:`repro.workloads.clients` generate: a fixed-size request line; the
+response is a header plus a payload. A request beginning with ``QUIT``
+asks the server to shut down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.guest.program import Compute, Program
+from repro.kernel import constants as C
+
+REQUEST_SIZE = 64
+HEADER = b"OK 200\n"
+
+
+@dataclass
+class ServerSpec:
+    name: str
+    port: int
+    workers: int = 1
+    io_model: str = "epoll"  # epoll | poll | accept
+    response_bytes: int = 4096
+    file_io: bool = False
+    log_writes: bool = False
+    service_ns: int = 8_000
+
+    def program(self) -> Program:
+        return build_server_program(self)
+
+
+#: The nine §5.2 configurations (server names match Figure 5's labels).
+SERVERS = {
+    "apache-ab": ServerSpec(
+        "apache-ab", 8100, workers=4, io_model="accept", response_bytes=10240,
+        file_io=True, log_writes=True, service_ns=110_000,
+    ),
+    "thttpd-ab": ServerSpec(
+        "thttpd-ab", 8101, workers=1, io_model="poll", response_bytes=4096,
+        file_io=True, service_ns=90_000,
+    ),
+    "lighttpd-ab": ServerSpec(
+        "lighttpd-ab", 8102, workers=1, io_model="epoll", response_bytes=4096,
+        file_io=True, log_writes=True, service_ns=80_000,
+    ),
+    "lighttpd-http_load": ServerSpec(
+        "lighttpd-http_load", 8103, workers=1, io_model="epoll",
+        response_bytes=4096, file_io=True, log_writes=True, service_ns=80_000,
+    ),
+    "lighttpd-wrk": ServerSpec(
+        "lighttpd-wrk", 8104, workers=1, io_model="epoll", response_bytes=4096,
+        file_io=True, log_writes=True, service_ns=80_000,
+    ),
+    "nginx-wrk": ServerSpec(
+        "nginx-wrk", 8105, workers=4, io_model="epoll", response_bytes=4096,
+        file_io=True, service_ns=60_000,
+    ),
+    "redis": ServerSpec(
+        "redis", 8106, workers=1, io_model="epoll", response_bytes=64,
+        service_ns=15_000,
+    ),
+    "memcached": ServerSpec(
+        "memcached", 8107, workers=4, io_model="epoll", response_bytes=128,
+        service_ns=15_000,
+    ),
+    "beanstalkd": ServerSpec(
+        "beanstalkd", 8108, workers=1, io_model="epoll", response_bytes=128,
+        service_ns=18_000,
+    ),
+}
+
+EPOLL_IDLE_TIMEOUT_MS = 25
+
+
+def build_server_program(spec: ServerSpec) -> Program:
+    """Compile a server spec into a guest program."""
+
+    def main(ctx):
+        libc = ctx.libc
+        # Every real network server does this: a peer that hangs up
+        # mid-response must not kill the process.
+        yield ctx.sys.rt_sigaction(C.SIGPIPE, C.SIG_IGN)
+        listener = yield from libc.socket()
+        assert listener >= 0, listener
+        ret = yield from libc.bind(listener, "0.0.0.0", spec.port)
+        assert ret == 0, ret
+        ret = yield from libc.listen(listener, 128)
+        assert ret == 0, ret
+        yield from libc.set_nonblocking(listener)
+
+        stop_word = yield from libc.malloc(4)
+        ctx.mem.write_u32(stop_word, 0)
+        done_word = yield from libc.malloc(4)
+        ctx.mem.write_u32(done_word, 0)
+        shared = {"listener": listener, "stop": stop_word, "done": done_word}
+
+        def spawn_worker(cctx, payload):
+            def body():
+                yield from _worker(cctx, spec, payload)
+                value = cctx.mem.read_u32(payload["done"]) + 1
+                cctx.mem.write_u32(payload["done"], value)
+                yield from cctx.libc.futex_wake(payload["done"], 1)
+
+            return body()
+
+        for _ in range(spec.workers - 1):
+            tid = yield ctx.spawn_thread(spawn_worker, shared)
+            assert tid > 0, tid
+
+        yield from _worker(ctx, spec, shared)
+        while ctx.mem.read_u32(done_word) < spec.workers - 1:
+            current = ctx.mem.read_u32(done_word)
+            yield from libc.futex_wait(done_word, current)
+        return 0
+
+    files = {}
+    if spec.file_io:
+        files["/var/www/%s.payload" % spec.name] = bytes(spec.response_bytes)
+    return Program(spec.name, main, seed=11, files=files)
+
+
+def _worker(ctx, spec: ServerSpec, shared):
+    if spec.io_model == "accept":
+        yield from _accept_worker(ctx, spec, shared)
+    elif spec.io_model == "poll":
+        yield from _poll_worker(ctx, spec, shared)
+    else:
+        yield from _epoll_worker(ctx, spec, shared)
+
+
+def _open_resources(ctx, spec):
+    libc = ctx.libc
+    resources = {}
+    if spec.file_io:
+        fd = yield from libc.open("/var/www/%s.payload" % spec.name)
+        assert fd >= 0, fd
+        resources["file_fd"] = fd
+    if spec.log_writes:
+        fd = yield from libc.open(
+            "/var/log_%s.txt" % spec.name, C.O_WRONLY | C.O_CREAT | C.O_APPEND
+        )
+        assert fd >= 0, fd
+        resources["log_fd"] = fd
+    return resources
+
+
+def _handle_request(ctx, spec, resources, conn, request: bytes):
+    """Service one request; returns False when it was QUIT."""
+    libc = ctx.libc
+    if request.startswith(b"QUIT"):
+        ctx.mem.write_u32(resources["stop"], 1)
+        return False
+    yield Compute(spec.service_ns)
+    if spec.file_io:
+        ret, _data = yield from libc.pread(
+            resources["file_fd"], min(spec.response_bytes, 4096), 0
+        )
+        assert ret >= 0, ret
+    body = HEADER + b"x" * spec.response_bytes
+    sent = yield from libc.send(conn, body)
+    if spec.log_writes and sent > 0:
+        yield from libc.write(resources["log_fd"], b"GET /payload 200\n")
+    return sent > 0
+
+
+def _accept_worker(ctx, spec, shared):
+    """Blocking thread-per-connection model (apache prefork style)."""
+    libc = ctx.libc
+    resources = yield from _open_resources(ctx, spec)
+    resources["stop"] = shared["stop"]
+    listener = shared["listener"]
+    while not ctx.mem.read_u32(shared["stop"]):
+        conn = yield from libc.accept(listener)
+        if conn == -11:  # EAGAIN: racing with other workers
+            yield from libc.nanosleep(200_000)
+            continue
+        if conn < 0:
+            break
+        keep_going = True
+        while keep_going:
+            ret, request = yield from libc.recv(conn, REQUEST_SIZE)
+            if ret <= 0:
+                break
+            keep_going = yield from _handle_request(
+                ctx, spec, resources, conn, request
+            )
+        yield from libc.close(conn)
+
+
+def _poll_worker(ctx, spec, shared):
+    """poll(2)-based single-threaded loop (thttpd style)."""
+    import struct
+
+    from repro.kernel.structs import POLLFD_SIZE, pack_pollfd, unpack_pollfd
+
+    libc = ctx.libc
+    resources = yield from _open_resources(ctx, spec)
+    resources["stop"] = shared["stop"]
+    listener = shared["listener"]
+    conns = []
+    MAXFDS = 64
+    fds_buf = yield from libc.malloc(MAXFDS * POLLFD_SIZE)
+    while not ctx.mem.read_u32(shared["stop"]):
+        watch = [listener] + conns
+        for index, fd in enumerate(watch):
+            ctx.mem.write(
+                fds_buf + index * POLLFD_SIZE, pack_pollfd(fd, C.POLLIN, 0)
+            )
+        ready = yield ctx.sys.poll(fds_buf, len(watch), EPOLL_IDLE_TIMEOUT_MS)
+        if ready <= 0:
+            continue
+        for index, fd in enumerate(watch):
+            raw = ctx.mem.read(fds_buf + index * POLLFD_SIZE, POLLFD_SIZE)
+            _fd, _ev, revents = unpack_pollfd(raw)
+            if not revents:
+                continue
+            if fd == listener:
+                conn = yield from libc.accept(listener)
+                if conn >= 0:
+                    conns.append(conn)
+                continue
+            ret, request = yield from libc.recv(fd, REQUEST_SIZE)
+            if ret <= 0:
+                yield from libc.close(fd)
+                conns.remove(fd)
+                continue
+            alive = yield from _handle_request(ctx, spec, resources, fd, request)
+            if not alive:
+                yield from libc.close(fd)
+                conns.remove(fd)
+
+
+def _epoll_worker(ctx, spec, shared):
+    """epoll-based loop (lighttpd/nginx/redis/memcached/beanstalkd)."""
+    libc = ctx.libc
+    resources = yield from _open_resources(ctx, spec)
+    resources["stop"] = shared["stop"]
+    listener = shared["listener"]
+    epfd = yield from libc.epoll_create()
+    assert epfd >= 0, epfd
+    # Real servers store a connection-object pointer in epoll data; we
+    # mimic that by tagging descriptors with a per-replica "pointer"
+    # derived from the heap — exercising the shadow map (§3.9).
+    listener_tag = ctx.process.space.brk_base + listener
+    ret = yield from libc.epoll_ctl(
+        epfd, C.EPOLL_CTL_ADD, listener, C.EPOLLIN, data=listener_tag
+    )
+    assert ret == 0, ret
+    tag_to_fd = {listener_tag: listener}
+    while not ctx.mem.read_u32(shared["stop"]):
+        count, events = yield from libc.epoll_wait(
+            epfd, maxevents=16, timeout_ms=EPOLL_IDLE_TIMEOUT_MS
+        )
+        if count < 0:
+            break
+        for _revents, tag in events:
+            fd = tag_to_fd.get(tag)
+            if fd is None:
+                continue
+            if fd == listener:
+                conn = yield from libc.accept(listener)
+                if conn < 0:
+                    continue
+                yield from libc.set_nonblocking(conn)
+                conn_tag = ctx.process.space.brk_base + 0x1000 + conn
+                tag_to_fd[conn_tag] = conn
+                ret = yield from libc.epoll_ctl(
+                    epfd, C.EPOLL_CTL_ADD, conn, C.EPOLLIN, data=conn_tag
+                )
+                assert ret == 0, ret
+                continue
+            ret, request = yield from libc.recv(fd, REQUEST_SIZE)
+            if ret == -11:  # EAGAIN
+                continue
+            if ret <= 0:
+                yield from libc.epoll_ctl(epfd, C.EPOLL_CTL_DEL, fd)
+                yield from libc.close(fd)
+                tag_to_fd.pop(
+                    next((t for t, f in tag_to_fd.items() if f == fd), None), None
+                )
+                continue
+            alive = yield from _handle_request(ctx, spec, resources, fd, request)
+            if not alive:
+                yield from libc.epoll_ctl(epfd, C.EPOLL_CTL_DEL, fd)
+                yield from libc.close(fd)
+                tag_to_fd.pop(
+                    next((t for t, f in tag_to_fd.items() if f == fd), None), None
+                )

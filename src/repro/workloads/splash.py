@@ -1,0 +1,18 @@
+"""SPLASH-2x reconstruction (Figure 3, right half).
+
+``cholesky`` is excluded (gcc incompatibility in the original study).
+"""
+
+from repro.workloads.profiles import (
+    SPLASH_BENCHMARKS,
+    SPLASH_GEOMEAN_TARGETS,
+    derive_workload,
+    workloads_for,
+)
+
+__all__ = [
+    "SPLASH_BENCHMARKS",
+    "SPLASH_GEOMEAN_TARGETS",
+    "derive_workload",
+    "workloads_for",
+]

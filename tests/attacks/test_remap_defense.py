@@ -1,0 +1,57 @@
+"""RB remapping (§4 extension) as a defense against leaked pointers."""
+
+from repro.attacks.analysis import run_attack
+from repro.guest.program import Compute, Program
+
+
+def stale_pointer_program(outcome):
+    """The attacker leaked the RB address early; by the time the payload
+    fires, IK-B has moved the buffer and the pointer is stale."""
+
+    def main(ctx):
+        rb = None
+        if ctx.process.replica_index == 0:
+            rb = next(
+                (m for m in ctx.mem.mappings() if m.name == "[ipmon-rb]"), None
+            )
+            if rb is not None:
+                outcome.notes["leaked_at"] = rb.start
+        # Time passes; the broker remaps the RB under our feet.
+        for iteration in range(20):
+            yield Compute(50_000)
+            _pid = yield ctx.sys.getpid()
+            if rb is not None and iteration >= 14:
+                # Fire the payload: scribble over the record the slave
+                # has not validated yet, via the leaked address.
+                mapping = ctx.mem.find_mapping(outcome.notes["leaked_at"])
+                if mapping is not None and mapping.name == "[ipmon-rb]":
+                    # Blanket the active lane area (the in-flight records
+                    # live a few KiB into lane 0).
+                    ctx.mem.write(
+                        outcome.notes["leaked_at"] + 64, b"\xff" * 8192,
+                        check_prot=False,
+                    )
+                    outcome.effect_occurred = True
+                    outcome.effect = "tampered via leaked pointer"
+                else:
+                    outcome.notes["pointer_stale"] = True
+        yield Compute(10_000)
+        _pid = yield ctx.sys.getpid()
+        return 0
+
+    return Program("stale-leak", main)
+
+
+def test_remap_invalidates_leaked_pointer():
+    outcome, result = run_attack(
+        stale_pointer_program, rb_remap_interval_ns=120_000
+    )
+    assert not result.diverged, result.divergence
+    assert outcome.blocked
+    assert outcome.notes.get("pointer_stale") is True
+
+
+def test_without_remap_the_leak_stays_usable():
+    outcome, result = run_attack(stale_pointer_program)
+    assert outcome.effect_occurred  # tampering went through...
+    assert result.diverged  # ... and was detected as divergence

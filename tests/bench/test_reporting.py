@@ -1,0 +1,83 @@
+"""Reporting helpers used by the benchmark harness."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.reporting import Table, geomean, ordering_preserved, shape_check
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == 2.0
+
+    def test_empty_is_zero(self):
+        assert geomean([]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = geomean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=10),
+        st.floats(min_value=0.5, max_value=2.0),
+    )
+    def test_scaling(self, values, factor):
+        assert math.isclose(
+            geomean([v * factor for v in values]), geomean(values) * factor,
+            rel_tol=1e-9,
+        )
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("Title", ["name", "value"])
+        table.add("short", 1.0)
+        table.add("a-much-longer-name", 123.456)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        data_lines = lines[4:]
+        assert len({line.index("1.00") for line in data_lines[:1]}) == 1
+        assert "a-much-longer-name" in text
+
+    def test_floats_formatted(self):
+        table = Table("T", ["x"])
+        table.add(3.14159)
+        assert "3.14" in table.render()
+
+
+class TestShapeCheck:
+    def test_within_tolerance_is_quiet(self):
+        notes = shape_check({"a": 2.0}, {"a": 2.4})
+        assert notes == []
+
+    def test_large_deviation_flagged(self):
+        notes = shape_check({"a": 3.0}, {"a": 1.1})
+        assert len(notes) == 1
+
+    def test_near_native_values_ignored(self):
+        # 1.02 vs 1.04: both are noise-level overheads.
+        assert shape_check({"a": 1.02}, {"a": 1.04}) == []
+
+    def test_missing_measurement_flagged(self):
+        assert shape_check({"a": 2.0}, {}) == ["a: missing measurement"]
+
+
+class TestOrderingPreserved:
+    def test_matching_order(self):
+        paper = {"x": 1.1, "y": 2.0, "z": 3.0}
+        measured = {"x": 1.2, "y": 2.5, "z": 2.9}
+        assert ordering_preserved(paper, measured)
+
+    def test_violated_order(self):
+        paper = {"x": 1.1, "y": 3.0}
+        measured = {"x": 3.0, "y": 1.1}
+        assert not ordering_preserved(paper, measured)
+
+    def test_paper_ties_allow_either_order(self):
+        paper = {"x": 1.50, "y": 1.51}
+        measured = {"x": 1.9, "y": 1.2}
+        assert ordering_preserved(paper, measured)

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.guest import GuestRuntime
+from repro.kernel import Kernel, KernelConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(cores=16)
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def run_guest(program, kernel=None, max_steps=2_000_000):
+    """Run a single program natively (no MVEE) to completion.
+
+    Returns (kernel, process, exit_code).
+    """
+    kernel = kernel or Kernel()
+    program.install_files(kernel)
+    process = kernel.create_process(program.name)
+    runtime = GuestRuntime(kernel, process, program)
+    _thread, task = runtime.start()
+    kernel.sim.run(max_steps=max_steps)
+    if task.failure is not None:
+        raise task.failure
+    assert process.exited, "guest did not exit (deadlock at t=%d)" % kernel.sim.now
+    return kernel, process, process.exit_code
+
+
+@pytest.fixture
+def guest_runner():
+    return run_guest

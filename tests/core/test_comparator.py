@@ -1,0 +1,196 @@
+"""Deep argument comparison tests (the cross-replica checks)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.comparator import (
+    compare_blobs,
+    compare_requests,
+    serialize_args,
+)
+from repro.kernel.memory import AddressSpace
+from repro.kernel.syscalls import SyscallRequest
+
+RW = 3
+
+
+def make_spaces():
+    """Two address spaces with different layouts (ASLR stand-in)."""
+    a = AddressSpace(0x7F00_0000_0000, 0x5555_0000_0000)
+    b = AddressSpace(0x7E80_0000_0000, 0x5666_0000_0000)
+    return a, b
+
+
+def put(space, data: bytes) -> int:
+    mapping = space.map(None, max(4096, len(data)), RW)
+    space.write(mapping.start, data)
+    return mapping.start
+
+
+class TestEquivalence:
+    def test_same_buffer_content_different_addresses_match(self):
+        a, b = make_spaces()
+        addr_a = put(a, b"payload\x00")
+        addr_b = put(b, b"payload\x00")
+        assert addr_a != addr_b
+        req_a = SyscallRequest("write", (3, addr_a, 7))
+        req_b = SyscallRequest("write", (3, addr_b, 7))
+        mismatch, nbytes = compare_requests([(req_a, a), (req_b, b)])
+        assert mismatch is None
+        assert nbytes >= 14
+
+    def test_different_buffer_content_detected(self):
+        a, b = make_spaces()
+        req_a = SyscallRequest("write", (3, put(a, b"AAAA"), 4))
+        req_b = SyscallRequest("write", (3, put(b, b"BBBB"), 4))
+        mismatch, _ = compare_requests([(req_a, a), (req_b, b)])
+        assert mismatch is not None
+        assert mismatch.index == 1
+
+    def test_different_fd_detected(self):
+        a, b = make_spaces()
+        req_a = SyscallRequest("read", (3, put(a, b"x"), 1))
+        req_b = SyscallRequest("read", (4, put(b, b"x"), 1))
+        mismatch, _ = compare_requests([(req_a, a), (req_b, b)])
+        assert mismatch is not None
+        assert mismatch.index == 0
+
+    def test_different_syscall_name_detected(self):
+        a, b = make_spaces()
+        mismatch, _ = compare_requests(
+            [(SyscallRequest("getpid", ()), a), (SyscallRequest("getuid", ()), b)]
+        )
+        assert mismatch is not None
+
+    def test_cstr_paths_compared_by_content(self):
+        a, b = make_spaces()
+        req_a = SyscallRequest("open", (put(a, b"/etc/passwd\x00"), 0, 0))
+        req_b = SyscallRequest("open", (put(b, b"/etc/shadow\x00"), 0, 0))
+        mismatch, _ = compare_requests([(req_a, a), (req_b, b)])
+        assert mismatch is not None
+
+    def test_output_buffers_compared_by_nullness_only(self):
+        a, b = make_spaces()
+        # read()'s buffer is an *output*: its contents may differ.
+        addr_a = put(a, b"GARBAGE1")
+        addr_b = put(b, b"other!!!")
+        req_a = SyscallRequest("read", (3, addr_a, 8))
+        req_b = SyscallRequest("read", (3, addr_b, 8))
+        mismatch, _ = compare_requests([(req_a, a), (req_b, b)])
+        assert mismatch is None
+        # ... but NULL vs non-NULL differs.
+        req_null = SyscallRequest("read", (3, 0, 8))
+        mismatch, _ = compare_requests([(req_a, a), (req_null, b)])
+        assert mismatch is not None
+
+    def test_callable_shapes(self):
+        a, b = make_spaces()
+        import repro.kernel.constants as C
+
+        handler = lambda ctx, s: None  # noqa: E731
+        other = lambda ctx, s: None  # noqa: E731
+        # Two different function objects = same shape (real handlers at
+        # different DCL addresses).
+        m, _ = compare_requests(
+            [
+                (SyscallRequest("rt_sigaction", (10, handler, 0)), a),
+                (SyscallRequest("rt_sigaction", (10, other, 0)), b),
+            ]
+        )
+        assert m is None
+        # Handler vs SIG_IGN differs.
+        m, _ = compare_requests(
+            [
+                (SyscallRequest("rt_sigaction", (10, handler, 0)), a),
+                (SyscallRequest("rt_sigaction", (10, C.SIG_IGN, 0)), b),
+            ]
+        )
+        assert m is not None
+
+    def test_epoll_event_data_ignored_events_compared(self):
+        from repro.kernel.structs import pack_epoll_event
+
+        a, b = make_spaces()
+        ev_a = put(a, pack_epoll_event(1, 0xAAAA0000))
+        ev_b = put(b, pack_epoll_event(1, 0xBBBB0000))
+        m, _ = compare_requests(
+            [
+                (SyscallRequest("epoll_ctl", (4, 1, 7, ev_a)), a),
+                (SyscallRequest("epoll_ctl", (4, 1, 7, ev_b)), b),
+            ]
+        )
+        assert m is None
+        ev_c = put(b, pack_epoll_event(4, 0xBBBB0000))  # different mask
+        m, _ = compare_requests(
+            [
+                (SyscallRequest("epoll_ctl", (4, 1, 7, ev_a)), a),
+                (SyscallRequest("epoll_ctl", (4, 1, 7, ev_c)), b),
+            ]
+        )
+        assert m is not None
+
+    def test_iovec_gathered_content_compared(self):
+        from repro.kernel.structs import pack_iovec
+
+        a, b = make_spaces()
+        pa1, pa2 = put(a, b"hel"), put(a, b"lo")
+        pb1, pb2 = put(b, b"hel"), put(b, b"lo")
+        iov_a = put(a, pack_iovec(pa1, 3) + pack_iovec(pa2, 2))
+        iov_b = put(b, pack_iovec(pb1, 3) + pack_iovec(pb2, 2))
+        m, _ = compare_requests(
+            [
+                (SyscallRequest("writev", (3, iov_a, 2)), a),
+                (SyscallRequest("writev", (3, iov_b, 2)), b),
+            ]
+        )
+        assert m is None
+
+    def test_arg_count_mismatch_detected(self):
+        a, b = make_spaces()
+        m = compare_blobs(
+            [
+                serialize_args(SyscallRequest("ioctl", (3, 1, 2)), a),
+                serialize_args(SyscallRequest("ioctl", (3, 1)), b),
+            ]
+        )
+        assert m is not None
+
+    def test_faulting_pointer_degrades_gracefully(self):
+        a, b = make_spaces()
+        req_a = SyscallRequest("open", (0xDEAD0000, 0, 0))  # bad pointer
+        req_b = SyscallRequest("open", (0xDEAD0000, 0, 0))
+        m, _ = compare_requests([(req_a, a), (req_b, b)])
+        assert m is None  # both fault identically
+
+    def test_unknown_syscall_compares_raw(self):
+        a, b = make_spaces()
+        m, _ = compare_requests(
+            [
+                (SyscallRequest("frobnicate", (1, 2)), a),
+                (SyscallRequest("frobnicate", (1, 3)), b),
+            ]
+        )
+        assert m is not None
+
+
+class TestBlobEncoding:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        name=st.sampled_from(["getpid", "read", "write", "lseek"]),
+        args=st.lists(st.integers(min_value=0, max_value=1 << 32), max_size=3),
+    )
+    def test_encode_is_deterministic(self, name, args):
+        a, _ = make_spaces()
+        req = SyscallRequest(name, tuple(args))
+        blob1 = serialize_args(req, a)
+        blob2 = serialize_args(req, a)
+        assert blob1.encode() == blob2.encode()
+
+    def test_encoded_blob_is_bytes_suitable_for_rb(self):
+        a, _ = make_spaces()
+        addr = put(a, b"content\x00")
+        blob = serialize_args(SyscallRequest("open", (addr, 0, 0o644)), a)
+        encoded = blob.encode()
+        assert isinstance(encoded, bytes)
+        assert encoded.startswith(b"open")
+        assert b"content" in encoded

@@ -1,0 +1,74 @@
+"""Whole-system determinism: identical configurations produce identical
+virtual timelines — the property that makes the evaluation reproducible."""
+
+from repro.baselines import run_native
+from repro.core import Level, ReMon, ReMonConfig
+from repro.guest.program import Compute, Program
+from repro.kernel import Kernel
+from repro.workloads.synthetic import CategoryMix, SyntheticWorkload, build_program
+
+
+def workload_program():
+    workload = SyntheticWorkload(
+        "det",
+        native_ms=3.0,
+        mix=CategoryMix({"base": 5000, "file_ro": 8000, "futex": 4000}),
+        threads=2,
+    )
+    return build_program(workload)
+
+
+def run_once(level, seed=0):
+    kernel = Kernel()
+    mvee = ReMon(
+        kernel, workload_program(), ReMonConfig(replicas=2, level=level, seed=seed)
+    )
+    result = mvee.run(max_steps=40_000_000)
+    assert not result.diverged, result.divergence
+    return result
+
+
+def test_native_runs_are_identical():
+    a = run_native(workload_program())
+    b = run_native(workload_program())
+    assert a.wall_time_ns == b.wall_time_ns
+    assert a.syscalls == b.syscalls
+
+
+def test_mvee_runs_are_identical():
+    a = run_once(Level.NONSOCKET_RW)
+    b = run_once(Level.NONSOCKET_RW)
+    assert a.wall_time_ns == b.wall_time_ns
+    assert a.monitored_calls == b.monitored_calls
+    assert a.unmonitored_calls == b.unmonitored_calls
+    assert a.stats == b.stats
+
+
+def test_ghumvee_only_runs_are_identical():
+    a = run_once(Level.NO_IPMON)
+    b = run_once(Level.NO_IPMON)
+    assert a.wall_time_ns == b.wall_time_ns
+
+
+def test_different_diversity_seed_changes_layout_not_behaviour():
+    a = run_once(Level.NONSOCKET_RW, seed=1)
+    b = run_once(Level.NONSOCKET_RW, seed=2)
+    # Same logical behaviour...
+    assert a.monitored_calls == b.monitored_calls
+    assert a.unmonitored_calls == b.unmonitored_calls
+    assert a.exit_codes == b.exit_codes
+
+
+def test_compute_only_program_timing_exact():
+    def main(ctx):
+        yield Compute(123_456)
+        return 0
+
+    times = set()
+    for _ in range(3):
+        kernel = Kernel()
+        mvee = ReMon(kernel, Program("exact", main), ReMonConfig(replicas=3))
+        result = mvee.run(max_steps=10_000_000)
+        assert not result.diverged
+        times.add(result.wall_time_ns)
+    assert len(times) == 1

@@ -1,0 +1,140 @@
+"""Monitor fd metadata / file map, and IK-B broker unit tests."""
+
+import pytest
+
+from repro.core.fdtable import FileMapView, MonitorFdTable
+from repro.core.ikb import InKernelBroker
+from repro.kernel import Kernel
+from repro.kernel.syscalls import SyscallRequest
+
+
+class TestMonitorFdTable:
+    def test_stdio_prepopulated(self):
+        table = MonitorFdTable()
+        assert table.kind_of(0) == "chr"
+        assert table.kind_of(1) == "chr"
+
+    def test_open_close_cycle(self):
+        table = MonitorFdTable()
+        table.record_open(5, "sock", nonblocking=True)
+        assert table.kind_of(5) == "sock"
+        assert table.is_nonblocking(5)
+        table.record_close(5)
+        assert table.kind_of(5) is None
+
+    def test_dup_copies_metadata(self):
+        table = MonitorFdTable()
+        table.record_open(4, "pipe")
+        table.record_dup(4, 9)
+        assert table.kind_of(9) == "pipe"
+
+    def test_filemap_page_bytes(self):
+        table = MonitorFdTable()
+        table.record_open(7, "sock", nonblocking=True)
+        view = FileMapView(table.region)
+        assert view.fd_kind(7) == "sock"
+        assert view.is_nonblocking(7)
+        table.record_nonblocking(7, False)
+        assert not view.is_nonblocking(7)
+
+    def test_special_files_marked(self):
+        table = MonitorFdTable()
+        table.record_open(3, "reg", special=True)
+        view = FileMapView(table.region)
+        assert view.fd_kind(3) == "special"
+
+    def test_may_block_prediction(self):
+        table = MonitorFdTable()
+        table.record_open(3, "reg")
+        table.record_open(4, "sock")
+        table.record_open(5, "sock", nonblocking=True)
+        view = FileMapView(table.region)
+        assert not view.may_block("read", 3)  # regular files never block
+        assert view.may_block("read", 4)
+        assert not view.may_block("read", 5)  # O_NONBLOCK
+        assert not view.may_block("read", 99)  # unknown fd
+
+    def test_out_of_range_fd(self):
+        view = FileMapView(MonitorFdTable().region)
+        assert view.fd_kind(100_000) is None
+
+
+class TestBrokerVerifier:
+    def make(self):
+        kernel = Kernel()
+        broker = InKernelBroker(kernel)
+        process = kernel.create_process("p")
+        thread = kernel.create_thread(process)
+        return kernel, broker, thread
+
+    def drive(self, gen):
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+    def test_restart_without_outstanding_token_fails(self):
+        kernel, broker, thread = self.make()
+        req = SyscallRequest("getpid", (), site="ipmon", token=999)
+        ok, _ = self.drive(broker.restart_call(thread, req))
+        assert ok is False
+        assert broker.stats["verification_failures"] == 1
+
+    def test_token_is_single_use(self):
+        kernel, broker, thread = self.make()
+        broker._outstanding[thread.tid] = (42, "getpid")
+        req = SyscallRequest("getpid", (), site="ipmon", token=42)
+        ok, result = self.drive(broker.restart_call(thread, req))
+        assert ok is True and result == thread.process.pid
+        # Replay: the token is gone.
+        ok, _ = self.drive(broker.restart_call(thread, req))
+        assert ok is False
+
+    def test_wrong_token_value_rejected(self):
+        kernel, broker, thread = self.make()
+        broker._outstanding[thread.tid] = (42, "getpid")
+        req = SyscallRequest("getpid", (), site="ipmon", token=43)
+        ok, _ = self.drive(broker.restart_call(thread, req))
+        assert ok is False
+
+    def test_different_syscall_than_authorized_rejected(self):
+        """§3: 'if IP-MON executes a different system call ... IK-B
+        revokes the token'."""
+        kernel, broker, thread = self.make()
+        broker._outstanding[thread.tid] = (42, "getpid")
+        req = SyscallRequest("getuid", (), site="ipmon", token=42)
+        ok, _ = self.drive(broker.restart_call(thread, req))
+        assert ok is False
+
+    def test_wrong_site_rejected(self):
+        """The restart must originate at IP-MON's entry point."""
+        kernel, broker, thread = self.make()
+        broker._outstanding[thread.tid] = (42, "getpid")
+        req = SyscallRequest("getpid", (), site="app", token=42)
+        ok, _ = self.drive(broker.restart_call(thread, req))
+        assert ok is False
+
+    def test_revoke_token(self):
+        kernel, broker, thread = self.make()
+        broker._outstanding[thread.tid] = (42, "getpid")
+        broker.revoke_token(thread)
+        assert thread.tid not in broker._outstanding
+        assert broker.stats["tokens_revoked"] == 1
+
+    def test_intercept_ignores_unregistered_processes(self):
+        kernel, broker, thread = self.make()
+        assert broker.intercept(thread, SyscallRequest("read", (0, 0, 0))) is None
+
+    def test_registration_syscall_validates_rb_pointer(self):
+        """§3.5: 'The RB pointer must be valid and must point to a
+        writable region.'"""
+        from repro.kernel.syscalls import SYSCALL_TABLE
+
+        kernel, broker, thread = self.make()
+        thread.process.ipmon_replica = object()
+        handler = SYSCALL_TABLE["ipmon_register"]
+        result = handler(
+            kernel, thread, frozenset({"read"}), 0xDEAD0000, lambda *a: None
+        )
+        assert result == -14  # -EFAULT

@@ -1,0 +1,139 @@
+"""GHUMVEE's authoritative fd metadata, observed through real runs."""
+
+from repro.core import Level, ReMon, ReMonConfig
+from repro.guest.program import Program
+from repro.kernel import Kernel
+from repro.kernel import constants as C
+
+
+def run(program, level=Level.NONSOCKET_RW):
+    kernel = Kernel()
+    mvee = ReMon(kernel, program, ReMonConfig(replicas=2, level=level))
+    result = mvee.run(max_steps=20_000_000)
+    assert not result.diverged, result.divergence
+    return mvee, result
+
+
+def test_open_records_kind_in_file_map():
+    probes = {}
+
+    def main(ctx):
+        libc = ctx.libc
+        reg = yield from libc.open("/data/f")
+        sock = yield from libc.socket()
+        rfd, wfd = yield from libc.pipe()
+        epfd = yield from libc.epoll_create()
+        tfd = yield ctx.sys.timerfd_create(C.CLOCK_MONOTONIC, 0)
+        probes.setdefault("fds", (reg, sock, rfd, wfd, epfd, tfd))
+        return 0
+
+    mvee, _ = run(Program("kinds", main, files={"/data/f": b"x"}))
+    reg, sock, rfd, wfd, epfd, tfd = probes["fds"]
+    meta = mvee.fd_metadata
+    assert meta.kind_of(reg) == "reg"
+    assert meta.kind_of(sock) == "sock"
+    assert meta.kind_of(rfd) == "pipe"
+    assert meta.kind_of(wfd) == "pipe"
+    assert meta.kind_of(epfd) == "epoll"
+    assert meta.kind_of(tfd) == "timerfd"
+
+
+def test_listen_upgrades_socket_kind():
+    probes = {}
+
+    def main(ctx):
+        libc = ctx.libc
+        sock = yield from libc.socket()
+        yield from libc.bind(sock, "0.0.0.0", 7500)
+        yield from libc.listen(sock)
+        # A follow-up monitored call re-records via FD_CREATE paths:
+        client = yield from libc.socket()
+        yield from libc.connect(client, ctx.process.host_ip, 7500)
+        conn = yield from libc.accept(sock)
+        probes["conn"] = conn
+        return 0
+
+    mvee, _ = run(Program("listen", main))
+    assert mvee.fd_metadata.kind_of(probes["conn"]) == "sock"
+
+
+def test_close_clears_metadata():
+    probes = {}
+
+    def main(ctx):
+        fd = yield from ctx.libc.open("/data/f")
+        probes["fd"] = fd
+        yield from ctx.libc.close(fd)
+        return 0
+
+    mvee, _ = run(Program("close-meta", main, files={"/data/f": b"x"}))
+    assert mvee.fd_metadata.kind_of(probes["fd"]) is None
+
+
+def test_fcntl_setfl_updates_nonblocking_bit():
+    probes = {}
+
+    def main(ctx):
+        libc = ctx.libc
+        sock = yield from libc.socket()
+        probes["fd"] = sock
+        yield from libc.set_nonblocking(sock, True)
+        return 0
+
+    mvee, _ = run(Program("nb-meta", main))
+    assert mvee.fd_metadata.is_nonblocking(probes["fd"])
+
+
+def test_dup_propagates_metadata():
+    probes = {}
+
+    def main(ctx):
+        libc = ctx.libc
+        sock = yield from libc.socket()
+        dup = yield ctx.sys.dup(sock)
+        probes["dup"] = dup
+        return 0
+
+    mvee, _ = run(Program("dup-meta", main))
+    assert mvee.fd_metadata.kind_of(probes["dup"]) == "sock"
+
+
+def test_proc_maps_fd_marked_special():
+    probes = {}
+
+    def main(ctx):
+        fd = yield from ctx.libc.open("/proc/self/maps")
+        probes["fd"] = fd
+        return 0
+
+    mvee, _ = run(Program("special-meta", main))
+    info = mvee.fd_metadata.info(probes["fd"])
+    assert info is not None and info.special
+
+
+def test_file_map_drives_ipmon_policy_decision():
+    """End to end: the metadata GHUMVEE records is what IP-MON's
+    MAYBE_CHECKED consults — reads on the regular file fly through
+    IP-MON while reads on the socket are forwarded."""
+
+    def main(ctx):
+        libc = ctx.libc
+        reg = yield from libc.open("/data/f")
+        listener = yield from libc.socket()
+        yield from libc.bind(listener, "0.0.0.0", 7501)
+        yield from libc.listen(listener)
+        client = yield from libc.socket()
+        yield from libc.connect(client, ctx.process.host_ip, 7501)
+        conn = yield from libc.accept(listener)
+        yield from libc.send(client, b"z" * 64)
+        for _ in range(5):
+            ret, _ = yield from libc.read(reg, 32)
+        ret, _ = yield from libc.read(conn, 64)
+        return 0
+
+    mvee, result = run(
+        Program("policy-drive", main, files={"/data/f": bytes(256)}),
+        level=Level.NONSOCKET_RW,
+    )
+    assert result.stats["ipmon_unmonitored_calls"] >= 5
+    assert result.stats["ipmon_forwarded_conditional"] >= 1

@@ -1,0 +1,188 @@
+"""IP-MON mechanism tests: dispositions, waiting strategies, stats."""
+
+from repro.core import Level, ReMon, ReMonConfig
+from repro.guest.program import Compute, Program
+from repro.kernel import Kernel
+from repro.kernel import constants as C
+
+
+def run_mvee(program, level=Level.NONSOCKET_RW, replicas=2, **cfg):
+    kernel = Kernel()
+    mvee = ReMon(kernel, program, ReMonConfig(replicas=replicas, level=level, **cfg))
+    result = mvee.run(max_steps=40_000_000)
+    return kernel, mvee, result
+
+
+class TestDispositions:
+    def test_futex_executes_in_every_replica(self):
+        """futex is ALLCALL: a master-only futex_wake could never wake a
+        slave's threads."""
+        wakes = {}
+
+        def main(ctx):
+            libc = ctx.libc
+            word = yield from libc.malloc(4)
+            ctx.mem.write_u32(word, 0)
+            done = yield from libc.malloc(4)
+            ctx.mem.write_u32(done, 0)
+
+            def sleeper(cctx, arg):
+                def body():
+                    yield from cctx.libc.futex_wait(arg, 0)
+                    cctx.mem.write_u32(done, 1)
+                    yield from cctx.libc.futex_wake(done, 1)
+
+                return body()
+
+            yield ctx.spawn_thread(sleeper, word)
+            yield Compute(200_000)
+            ctx.mem.write_u32(word, 1)
+            woken = yield from libc.futex_wake(word, 1)
+            wakes.setdefault(ctx.process.replica_index, woken)
+            while ctx.mem.read_u32(done) == 0:
+                yield from libc.futex_wait(done, 0)
+            return 0
+
+        _k, _m, result = run_mvee(Program("allcall", main))
+        assert not result.diverged, result.divergence
+        # Each replica woke its *own* sleeper.
+        assert wakes == {0: 1, 1: 1}
+
+    def test_nanosleep_mastercall_keeps_replicas_aligned(self):
+        def main(ctx):
+            before = yield from ctx.libc.clock_gettime()
+            yield from ctx.libc.nanosleep(2_000_000)
+            after = yield from ctx.libc.clock_gettime()
+            # Time comes from the master, so every replica observes the
+            # same elapsed interval.
+            assert after - before >= 2_000_000
+            return 0
+
+        _k, _m, result = run_mvee(Program("sleep-mc", main), level=Level.BASE)
+        assert not result.diverged
+
+
+class TestConditionalForwarding:
+    def socket_reader(self):
+        def main(ctx):
+            libc = ctx.libc
+            listener = yield from libc.socket()
+            yield from libc.bind(listener, "0.0.0.0", 7300)
+            yield from libc.listen(listener)
+            client = yield from libc.socket()
+            assert (yield from libc.connect(client, ctx.process.host_ip, 7300)) == 0
+            conn = yield from libc.accept(listener)
+            yield from libc.send(client, b"D" * 640)
+            for _ in range(10):
+                ret, _ = yield from libc.read(conn, 64)
+                assert ret == 64
+            return 0
+
+        return Program("sock-read", main)
+
+    def test_socket_reads_forwarded_below_socket_ro(self):
+        _k, _m, result = run_mvee(self.socket_reader(), level=Level.NONSOCKET_RW)
+        assert not result.diverged
+        assert result.stats["ipmon_forwarded_conditional"] >= 10
+
+    def test_socket_reads_unmonitored_at_socket_ro(self):
+        _k, _m, result = run_mvee(self.socket_reader(), level=Level.SOCKET_RO)
+        assert not result.diverged
+        assert result.stats["ipmon_forwarded_conditional"] == 0
+
+    def test_unsafe_fcntl_commands_forwarded(self):
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield from libc.open("/data/f")
+            before = ctx.kernel.ikb.stats["forwarded_to_ipmon"]
+            flags = yield ctx.sys.fcntl(fd, C.F_GETFL, 0)  # safe: query
+            after_query = ctx.kernel.ikb.stats["forwarded_to_ipmon"]
+            assert after_query > before
+            monitored_before = ctx.process.kernel.ikb.stats["forwarded_to_monitor"]
+            yield ctx.sys.fcntl(fd, C.F_SETFL, flags | C.O_NONBLOCK)  # mutating
+            monitored_after = ctx.process.kernel.ikb.stats["forwarded_to_monitor"]
+            assert monitored_after > monitored_before
+            return 0
+
+        _k, _m, result = run_mvee(Program("fcntl-split", main, files={"/data/f": b"x"}))
+        assert not result.diverged
+
+
+class TestWaitingStrategies:
+    def blocking_reader(self, rounds=5):
+        """Master blocks in reads on a slowly-fed pipe, so slaves use
+        the futex condvar path."""
+
+        def main(ctx):
+            libc = ctx.libc
+            rfd, wfd = yield from libc.pipe()
+
+            def feeder(cctx, arg):
+                def body():
+                    for _ in range(rounds):
+                        yield from cctx.libc.nanosleep(300_000)
+                        yield from cctx.libc.write(arg, b"x" * 16)
+
+                return body()
+
+            yield ctx.spawn_thread(feeder, wfd)
+            for _ in range(rounds):
+                ret, _ = yield from libc.read(rfd, 16)
+                assert ret == 16
+            return 0
+
+        return Program("blocking-read", main)
+
+    def test_blocking_calls_use_futex_condvars(self):
+        _k, _m, result = run_mvee(self.blocking_reader())
+        assert not result.diverged
+        assert result.stats["ipmon_futex_waits"] >= 1
+
+    def test_force_spin_avoids_futexes(self):
+        _k, _m, result = run_mvee(self.blocking_reader(), ipmon_force_spin=True)
+        assert not result.diverged
+        assert result.stats["ipmon_futex_waits"] == 0
+        assert result.stats["ipmon_spin_iterations"] > 0
+
+    def test_wake_skipped_when_no_waiter(self):
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield from libc.open("/data/f")
+            for _ in range(20):
+                yield Compute(50_000)  # slaves keep pace; no one waits
+                yield from libc.pread(fd, 64, 0)
+            return 0
+
+        _k, _m, result = run_mvee(Program("nowait", main, files={"/data/f": bytes(128)}))
+        assert not result.diverged
+        assert result.stats["ipmon_futex_wakes_skipped"] >= 10
+
+
+class TestStatsPlumbing:
+    def test_result_stats_include_all_components(self):
+        def main(ctx):
+            yield from ctx.libc.stat("/data/f")
+            _pid = yield ctx.sys.getpid()
+            return 0
+
+        _k, _m, result = run_mvee(Program("stats", main, files={"/data/f": b"x"}))
+        assert not result.diverged
+        for key in (
+            "monitored_calls",
+            "broker_tokens_issued",
+            "broker_forwarded_to_ipmon",
+            "ipmon_unmonitored_calls",
+        ):
+            assert key in result.stats, key
+        assert result.stats["broker_tokens_issued"] >= result.unmonitored_calls
+
+    def test_single_replica_skips_slave_machinery(self):
+        def main(ctx):
+            for _ in range(5):
+                _pid = yield ctx.sys.getpid()
+            return 0
+
+        _k, _m, result = run_mvee(Program("solo", main), replicas=1)
+        assert not result.diverged
+        assert result.unmonitored_calls >= 5
+        assert result.stats["ipmon_futex_waits"] == 0

@@ -1,0 +1,127 @@
+"""Table 1 policy tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    CONDITIONAL,
+    Level,
+    RelaxationPolicy,
+    UNCONDITIONAL,
+    always_monitored,
+)
+from repro.errors import PolicyError
+
+
+class TestTableOne:
+    def test_base_level_contents(self):
+        base = UNCONDITIONAL[Level.BASE]
+        for name in ("gettimeofday", "getpid", "uname", "sched_yield", "nanosleep"):
+            assert name in base
+
+    def test_conditional_read_family(self):
+        assert "read" in CONDITIONAL[Level.NONSOCKET_RO]
+        assert "read" in CONDITIONAL[Level.SOCKET_RO]
+        assert "write" in CONDITIONAL[Level.NONSOCKET_RW]
+        assert "write" in CONDITIONAL[Level.SOCKET_RW]
+
+    def test_resource_management_always_monitored(self):
+        for name in (
+            "open",
+            "close",
+            "socket",
+            "accept",
+            "mmap",
+            "mprotect",
+            "clone",
+            "kill",
+            "rt_sigaction",
+            "exit_group",
+            "dup2",
+            "pipe",
+        ):
+            assert always_monitored(name), name
+
+    def test_relaxable_calls_are_not_always_monitored(self):
+        for name in ("read", "write", "gettimeofday", "epoll_wait", "sendto"):
+            assert not always_monitored(name), name
+
+    def test_unmonitored_sets_grow_monotonically(self):
+        sizes = []
+        for level in list(Level)[1:]:
+            sizes.append(len(RelaxationPolicy(level).unmonitored_set()))
+        assert sizes == sorted(sizes)
+        lower = RelaxationPolicy(Level.BASE).unmonitored_set()
+        for level in list(Level)[2:]:
+            upper = RelaxationPolicy(level).unmonitored_set()
+            assert lower <= upper
+            lower = upper
+
+    def test_paper_counts_ipmon_fast_path(self):
+        """The paper says IP-MON supports a fast path of ~67 calls."""
+        full = RelaxationPolicy(Level.SOCKET_RW).unmonitored_set()
+        assert 55 <= len(full) <= 80
+
+
+class TestConditionalDecisions:
+    def test_socket_read_needs_socket_ro(self):
+        for level, expected in (
+            (Level.NONSOCKET_RO, False),
+            (Level.NONSOCKET_RW, False),
+            (Level.SOCKET_RO, True),
+            (Level.SOCKET_RW, True),
+        ):
+            policy = RelaxationPolicy(level)
+            assert policy.allows_fd_kind("read", "sock", False) is expected, level
+
+    def test_file_read_allowed_from_nonsocket_ro(self):
+        assert RelaxationPolicy(Level.NONSOCKET_RO).allows_fd_kind("read", "reg", False)
+        assert not RelaxationPolicy(Level.BASE).allows_fd_kind("read", "reg", False)
+
+    def test_socket_write_needs_socket_rw(self):
+        assert not RelaxationPolicy(Level.SOCKET_RO).allows_fd_kind("write", "sock", False)
+        assert RelaxationPolicy(Level.SOCKET_RW).allows_fd_kind("write", "sock", False)
+
+    def test_pipe_write_allowed_from_nonsocket_rw(self):
+        assert RelaxationPolicy(Level.NONSOCKET_RW).allows_fd_kind("write", "pipe", False)
+        assert not RelaxationPolicy(Level.NONSOCKET_RO).allows_fd_kind("write", "pipe", False)
+
+    def test_special_files_never_allowed(self):
+        policy = RelaxationPolicy(Level.SOCKET_RW)
+        assert not policy.allows_fd_kind("read", "special", False)
+        assert not policy.allows_fd_kind("read", None, False)
+
+    def test_minimum_level_for(self):
+        assert RelaxationPolicy().minimum_level_for("getpid") == Level.BASE
+        assert RelaxationPolicy().minimum_level_for("stat") == Level.NONSOCKET_RO
+        assert RelaxationPolicy().minimum_level_for("fsync") == Level.NONSOCKET_RW
+        assert (
+            RelaxationPolicy().minimum_level_for("read", fd_kind="sock")
+            == Level.SOCKET_RO
+        )
+        assert RelaxationPolicy().minimum_level_for("open") is None
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(PolicyError):
+            RelaxationPolicy(42)
+
+    @given(st.sampled_from(sorted(UNCONDITIONAL[Level.BASE])))
+    def test_base_calls_unconditional_at_every_level(self, name):
+        for level in list(Level)[1:]:
+            assert RelaxationPolicy(level).allows_unconditionally(name)
+
+
+class TestPaperExamples:
+    def test_listing1_read_is_maybe_checked(self):
+        """Listing 1: read's MAYBE_CHECKED consults can_read(fd)."""
+        policy = RelaxationPolicy(Level.NONSOCKET_RO)
+        assert policy.is_conditional("read")
+        assert not policy.allows_unconditionally("read")
+
+    def test_mprotect_and_mremap_always_monitored(self):
+        """§3.1: calls that could adversely affect IP-MON are forced to
+        GHUMVEE."""
+        assert always_monitored("mprotect")
+        assert always_monitored("mremap")
+        assert always_monitored("munmap")

@@ -1,0 +1,72 @@
+"""Property sweep: ReMon must be transparent for *any* benign workload.
+
+For randomly drawn syscall mixes, thread counts, levels and replica
+counts, a run must (1) not diverge, (2) finish with identical exit
+codes, (3) never be faster than native, and (4) route every call to
+exactly one of the two monitors.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.native import run_native
+from repro.core import Level, ReMon, ReMonConfig
+from repro.kernel import Kernel
+from repro.workloads.synthetic import CATEGORIES, CategoryMix, SyntheticWorkload, build_program
+
+mix_strategy = st.fixed_dictionaries(
+    {},
+    optional={
+        category: st.integers(min_value=500, max_value=20_000)
+        for category in CATEGORIES
+    },
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    rates=mix_strategy,
+    threads=st.integers(min_value=1, max_value=3),
+    level=st.sampled_from(
+        [Level.BASE, Level.NONSOCKET_RO, Level.NONSOCKET_RW, Level.SOCKET_RW]
+    ),
+    replicas=st.integers(min_value=2, max_value=3),
+)
+def test_remon_transparent_for_random_workloads(rates, threads, level, replicas):
+    workload = SyntheticWorkload(
+        name="prop",
+        native_ms=1.5,
+        mix=CategoryMix({k: float(v) for k, v in rates.items()}),
+        threads=threads,
+        seed=17,
+    )
+    native = run_native(build_program(workload))
+    assert native.exit_code == 0
+
+    kernel = Kernel()
+    mvee = ReMon(
+        kernel,
+        build_program(workload),
+        ReMonConfig(replicas=replicas, level=level),
+    )
+    result = mvee.run(max_steps=100_000_000)
+
+    assert not result.diverged, result.divergence
+    assert result.exit_codes == [0] * replicas
+    # Monitoring can only slow things down.
+    assert result.wall_time_ns >= native.wall_time_ns * 0.999
+    # Conservation: every broker-routed call ends up somewhere sane.
+    issued = result.stats["broker_forwarded_to_ipmon"]
+    completed = result.stats["ipmon_unmonitored_calls"]
+    forwarded = (
+        result.stats["ipmon_forwarded_conditional"]
+        + result.stats["ipmon_forwarded_signals"]
+        + result.stats["ipmon_forwarded_size"]
+    )
+    assert completed + forwarded <= issued
+    # Tokens are issued per forward and never multiplied.
+    assert result.stats["broker_tokens_issued"] == issued

@@ -1,0 +1,185 @@
+"""Replication buffer unit tests (paper §3.2, §3.7)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rb import (
+    FLAG_FORWARDED,
+    FLAG_MAY_BLOCK,
+    HEADER_SIZE,
+    STATE_ALLOCATED,
+    STATE_ARGS_READY,
+    STATE_RESULTS_READY,
+    ReplicationBuffer,
+)
+from repro.sim import Simulator
+
+
+def make_rb(size=1 << 16, lanes=4):
+    return ReplicationBuffer(size=size, lanes=lanes)
+
+
+class TestRecordLifecycle:
+    def test_record_state_machine(self):
+        rb = make_rb()
+        lane = rb.lane(0)
+        record = lane.reserve(64)
+        assert record.state() == STATE_ALLOCATED
+        record.write_args(b"argblob", FLAG_MAY_BLOCK)
+        assert record.state() == STATE_ARGS_READY
+        assert record.read_args() == b"argblob"
+        assert record.flags() == FLAG_MAY_BLOCK
+        record.write_results(42, b"payload")
+        assert record.state() == STATE_RESULTS_READY
+        result, payload = record.read_results()
+        assert (result, payload) == (42, b"payload")
+
+    def test_negative_results_roundtrip(self):
+        rb = make_rb()
+        record = rb.lane(0).reserve(32)
+        record.write_args(b"", 0)
+        record.write_results(-11, b"")  # -EAGAIN
+        result, payload = record.read_results()
+        assert result == -11
+
+    def test_record_bytes_live_in_region(self):
+        """The payload really occupies the shared region: an attacker
+        with the region can tamper (the §4 scenario)."""
+        rb = make_rb()
+        lane = rb.lane(0)
+        record = lane.reserve(64)
+        record.write_args(b"sensitive-args", 0)
+        assert b"sensitive-args" in bytes(rb.region.data)
+        # Tampering through the region is visible through the record.
+        idx = bytes(rb.region.data).index(b"sensitive-args")
+        rb.region.data[idx : idx + 4] = b"EVIL"
+        assert record.read_args().startswith(b"EVIL")
+
+    def test_waiter_counting(self):
+        rb = make_rb()
+        record = rb.lane(0).reserve(32)
+        record.write_args(b"", 0)
+        assert record.waiters() == 0
+        record.add_waiter(+1)
+        record.add_waiter(+1)
+        assert record.waiters() == 2
+        record.add_waiter(-1)
+        assert record.waiters() == 1
+        record.add_waiter(-5)
+        assert record.waiters() == 0  # clamped
+
+    def test_lanes_do_not_overlap_and_respect_header(self):
+        rb = make_rb(size=1 << 16, lanes=4)
+        lanes = [rb.lane(v) for v in range(4)]
+        assert all(lane is not None for lane in lanes)
+        ranges = sorted((l.base, l.base + l.size) for l in lanes)
+        assert ranges[0][0] >= ReplicationBuffer.HEADER_RESERVED
+        for (s1, e1), (s2, _e2) in zip(ranges, ranges[1:]):
+            assert e1 <= s2
+        assert ranges[-1][1] <= rb.size
+
+    def test_lane_limit(self):
+        rb = make_rb(lanes=2)
+        assert rb.lane(0) is not None
+        assert rb.lane(1) is not None
+        assert rb.lane(2) is None
+
+
+class TestConsumption:
+    def test_slave_reads_in_order(self):
+        sim = Simulator()
+        rb = make_rb()
+        lane = rb.lane(0)
+        rb.attach_slave_to_lane(lane, 1)
+        for i in range(5):
+            record = lane.reserve(32)
+            record.write_args(b"blob%d" % i, 0)
+        seen = []
+        while True:
+            record = lane.next_record_for(1)
+            if record is None:
+                break
+            seen.append(record.read_args())
+            lane.consume(1, sim)
+        assert seen == [b"blob%d" % i for i in range(5)]
+
+    def test_slaves_caught_up(self):
+        sim = Simulator()
+        rb = make_rb()
+        lane = rb.lane(0)
+        rb.attach_slave_to_lane(lane, 1)
+        rb.attach_slave_to_lane(lane, 2)
+        lane.reserve(32).write_args(b"x", 0)
+        assert not lane.slaves_caught_up()
+        lane.consume(1, sim)
+        assert not lane.slaves_caught_up()
+        lane.consume(2, sim)
+        assert lane.slaves_caught_up()
+
+    def test_reset_clears_positions(self):
+        sim = Simulator()
+        rb = make_rb()
+        lane = rb.lane(0)
+        rb.attach_slave_to_lane(lane, 1)
+        for _ in range(3):
+            lane.reserve(128).write_args(b"y", 0)
+            lane.consume(1, sim)
+        used_before = lane.master_offset
+        assert used_before > 0
+        lane.reset(sim)
+        assert lane.master_offset == 0
+        assert lane.master_seq == 0
+        assert lane.consumed[1] == 0
+        assert lane.resets == 1
+
+    def test_has_room_accounting(self):
+        rb = make_rb(size=8192, lanes=2)
+        lane = rb.lane(0)
+        record_bytes = 256
+        count = 0
+        while lane.has_room(record_bytes):
+            lane.reserve(record_bytes)
+            count += 1
+        assert count == lane.size // (HEADER_SIZE + record_bytes)
+        assert not lane.has_room(record_bytes)
+
+    def test_fits_rejects_oversized_records(self):
+        rb = make_rb(size=8192, lanes=2)
+        lane = rb.lane(0)
+        assert lane.fits(100)
+        assert not lane.fits(lane.size)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    blobs=st.lists(st.binary(min_size=0, max_size=200), min_size=1, max_size=10),
+    payloads=st.lists(st.binary(min_size=0, max_size=200), min_size=1, max_size=10),
+)
+def test_property_records_are_isolated(blobs, payloads):
+    """Adjacent records never corrupt each other."""
+    rb = make_rb(size=1 << 18, lanes=2)
+    lane = rb.lane(0)
+    records = []
+    for blob, payload in zip(blobs, payloads):
+        record = lane.reserve(len(blob) + len(payload) + 16)
+        record.write_args(blob, 0)
+        record.write_results(len(payload), payload)
+        records.append((record, blob, payload))
+    for record, blob, payload in records:
+        assert record.read_args() == blob
+        result, got = record.read_results()
+        assert result == len(payload)
+        assert got == payload
+
+
+def test_signals_pending_flag_in_reserved_header():
+    from repro.core.rb import ReplicationBuffer
+
+    rb = ReplicationBuffer(size=1 << 16, lanes=2)
+    lane = rb.lane(0)
+    record = lane.reserve(64)
+    record.write_args(b"A" * 40, FLAG_FORWARDED)
+    # The flag byte (offset 0) is outside every lane.
+    assert rb.region.data[0] == 0
+    rb.region.data[0] = 1
+    assert record.read_args() == b"A" * 40  # record untouched

@@ -1,0 +1,74 @@
+"""The §4 extension: periodic RB remapping by IK-B."""
+
+from repro.core import Level, ReMon, ReMonConfig
+from repro.guest.program import Compute, Program
+from repro.kernel import Kernel
+
+
+def busy_program(iterations=40):
+    def main(ctx):
+        libc = ctx.libc
+        fd = yield from libc.open("/data/f")
+        for _ in range(iterations):
+            yield Compute(20_000)
+            ret, _ = yield from libc.pread(fd, 256, 0)
+            assert ret == 256, ret
+        return 0
+
+    return Program("remap-busy", main, files={"/data/f": bytes(512)})
+
+
+def test_rb_moves_and_replication_survives():
+    kernel = Kernel()
+    mvee = ReMon(
+        kernel,
+        busy_program(),
+        ReMonConfig(replicas=2, rb_remap_interval_ns=150_000),
+    )
+    bases = {0: set(), 1: set()}
+
+    def sample():
+        for replica in mvee.ipmon.replicas:
+            bases[replica.replica_index].add(replica.rb_base_for_tests)
+        if not mvee.group.all_exited():
+            kernel.sim.call_at(kernel.sim.now + 100_000, sample)
+
+    kernel.sim.call_at(0, sample)
+    result = mvee.run(max_steps=40_000_000)
+    assert not result.diverged, result.divergence
+    assert result.exit_codes == [0, 0]
+    # The buffer actually moved, in every replica, more than once.
+    assert len(bases[0]) >= 3
+    assert len(bases[1]) >= 3
+    assert result.stats.get("ipmon_rb_remaps", 0) >= 2
+    # ... and unmonitored replication kept working throughout.
+    assert result.unmonitored_calls >= 30
+
+
+def test_leaked_rb_pointer_goes_stale_after_remap():
+    kernel = Kernel()
+    mvee = ReMon(
+        kernel,
+        busy_program(iterations=20),
+        ReMonConfig(replicas=2, rb_remap_interval_ns=100_000),
+    )
+    mvee.start()
+    kernel.sim.run(until=50_000)
+    master_replica = mvee.ipmon.replicas[0]
+    leaked = master_replica.rb_base_for_tests
+    kernel.sim.run(until=600_000)  # several remap intervals pass
+    master = mvee.group.master()
+    mapping = master.space.find_mapping(leaked)
+    # The old address no longer maps the RB.
+    assert mapping is None or mapping.name != "[ipmon-rb]"
+    assert master_replica.rb_base_for_tests != leaked
+    kernel.sim.run(max_steps=40_000_000)
+    assert not mvee.result.diverged
+
+
+def test_remap_disabled_by_default():
+    kernel = Kernel()
+    mvee = ReMon(kernel, busy_program(iterations=10), ReMonConfig(replicas=2))
+    result = mvee.run(max_steps=20_000_000)
+    assert not result.diverged
+    assert result.stats.get("ipmon_rb_remaps", 0) == 0

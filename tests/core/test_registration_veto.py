@@ -1,0 +1,43 @@
+"""§3.5: GHUMVEE arbitrates (and may veto) IP-MON registration."""
+
+from repro.core import Level, ReMon, ReMonConfig
+from repro.guest.program import Program
+from repro.kernel import Kernel
+
+
+def io_program():
+    def main(ctx):
+        libc = ctx.libc
+        fd = yield from libc.open("/data/f")
+        for _ in range(10):
+            ret, _ = yield from libc.pread(fd, 64, 0)
+            assert ret == 64
+        return 0
+
+    return Program("veto", main, files={"/data/f": bytes(128)})
+
+
+def test_vetoed_registration_falls_back_to_cp_monitoring():
+    kernel = Kernel()
+    mvee = ReMon(
+        kernel,
+        io_program(),
+        ReMonConfig(replicas=2, level=Level.NONSOCKET_RW,
+                    allow_ipmon_registration=False),
+    )
+    result = mvee.run(max_steps=20_000_000)
+    assert not result.diverged, result.divergence
+    assert result.exit_codes == [0, 0]
+    # No call ever reached IP-MON: the broker has no registration.
+    assert result.unmonitored_calls == 0
+    assert result.stats["broker_forwarded_to_ipmon"] == 0
+    assert result.monitored_calls >= 10
+    assert mvee.ghumvee.stats.get("ipmon_registrations_denied", 0) >= 1
+
+
+def test_allowed_registration_enables_fast_path():
+    kernel = Kernel()
+    mvee = ReMon(kernel, io_program(), ReMonConfig(replicas=2))
+    result = mvee.run(max_steps=20_000_000)
+    assert not result.diverged
+    assert result.unmonitored_calls >= 10

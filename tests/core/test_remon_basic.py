@@ -1,0 +1,194 @@
+"""End-to-end MVEE runs: replicas execute real programs in lockstep."""
+
+import pytest
+
+from repro.core import Level, ReMon, ReMonConfig
+from repro.guest.program import Compute, Program
+from repro.kernel import Kernel
+from repro.kernel import constants as C
+
+
+def run_mvee(program, replicas=2, level=Level.NONSOCKET_RW, kernel=None, **cfg):
+    kernel = kernel or Kernel()
+    config = ReMonConfig(replicas=replicas, level=level, **cfg)
+    mvee = ReMon(kernel, program, config)
+    result = mvee.run(max_steps=5_000_000)
+    return kernel, mvee, result
+
+
+def file_io_program():
+    def main(ctx):
+        libc = ctx.libc
+        fd = yield from libc.open("/data/input.txt")
+        assert fd >= 0, fd
+        ret, data = yield from libc.read(fd, 64)
+        assert data == b"payload", (ret, data)
+        yield from libc.close(fd)
+        out = yield from libc.open("/tmp/out.txt", C.O_WRONLY | C.O_CREAT)
+        yield from libc.write(out, b"result:" + data)
+        yield from libc.close(out)
+        return 7
+
+    return Program("fileio", main, files={"/data/input.txt": b"payload"})
+
+
+def test_two_replicas_run_to_completion():
+    _k, mvee, result = run_mvee(file_io_program())
+    assert not result.diverged, result.divergence
+    assert result.exit_codes == [7, 7]
+    assert result.monitored_calls > 0
+
+
+def test_replicas_have_diversified_layouts():
+    _k, mvee, _result = run_mvee(file_io_program())
+    bases = {p.space.mmap_base for p in mvee.group.processes}
+    assert len(bases) == 2
+    from repro.diversity.dcl import layouts_code_disjoint
+
+    assert layouts_code_disjoint(mvee.layouts)
+
+
+def test_only_master_performs_external_writes():
+    kernel, mvee, result = run_mvee(file_io_program())
+    assert not result.diverged
+    node, err = kernel.fs.resolve("/tmp/out.txt")
+    assert err == 0
+    assert bytes(node.data) == b"result:payload"
+
+
+def test_unmonitored_calls_happen_at_relaxed_level():
+    _k, _m, relaxed = run_mvee(file_io_program(), level=Level.NONSOCKET_RW)
+    assert relaxed.unmonitored_calls > 0
+
+    _k2, _m2, strict = run_mvee(file_io_program(), level=Level.NO_IPMON)
+    assert strict.unmonitored_calls == 0
+    assert strict.monitored_calls > relaxed.monitored_calls
+
+
+def test_no_ipmon_is_slower_than_relaxed():
+    _k, _m, strict = run_mvee(file_io_program(), level=Level.NO_IPMON)
+    _k2, _m2, relaxed = run_mvee(file_io_program(), level=Level.NONSOCKET_RW)
+    assert not strict.diverged and not relaxed.diverged
+    assert strict.wall_time_ns > relaxed.wall_time_ns
+
+
+def test_single_replica_mvee_works():
+    _k, _m, result = run_mvee(file_io_program(), replicas=1)
+    assert not result.diverged
+    assert result.exit_codes == [7]
+
+
+def test_three_replicas():
+    _k, _m, result = run_mvee(file_io_program(), replicas=3)
+    assert not result.diverged, result.divergence
+    assert result.exit_codes == [7, 7, 7]
+
+
+def test_compute_heavy_program_low_overhead():
+    def main(ctx):
+        for _ in range(20):
+            yield Compute(100_000)
+            _pid = yield ctx.sys.getpid()
+        return 0
+
+    program = Program("cpu", main)
+    kernel, _m, result = run_mvee(program)
+    assert not result.diverged
+
+
+def test_getpid_consistent_across_replicas():
+    seen = []
+
+    def main(ctx):
+        pid = yield ctx.sys.getpid()
+        seen.append((ctx.process.replica_index, pid))
+        return 0
+
+    _k, mvee, result = run_mvee(Program("pids", main))
+    assert not result.diverged
+    pids = {pid for _idx, pid in seen}
+    # The monitor replicates the master's pid to keep results consistent.
+    assert len(pids) == 1
+    assert pids == {mvee.group.master().pid}
+
+
+def test_gettimeofday_consistent_across_replicas():
+    seen = {}
+
+    def main(ctx):
+        yield Compute(1000)
+        ns = yield from ctx.libc.clock_gettime(C.CLOCK_REALTIME)
+        seen[ctx.process.replica_index] = ns
+        return 0
+
+    _k, _m, result = run_mvee(Program("time", main))
+    assert not result.diverged
+    assert seen[0] == seen[1]
+
+
+def test_threads_under_mvee():
+    def main(ctx):
+        libc = ctx.libc
+        rfd, wfd = yield from libc.pipe()
+
+        def child(cctx, arg):
+            def body():
+                yield Compute(5_000)
+                ret = yield from cctx.libc.write(arg, b"hi")
+                assert ret == 2, ret
+            return body()
+
+        yield ctx.spawn_thread(child, wfd)
+        ret, data = yield from libc.read(rfd, 16)
+        assert data == b"hi", data
+        return 0
+
+    _k, _m, result = run_mvee(Program("threads", main))
+    assert not result.diverged, result.divergence
+
+
+def test_sockets_under_mvee_against_external_client():
+    from repro.guest import GuestRuntime
+
+    kernel = Kernel()
+    transcript = {}
+
+    def server_main(ctx):
+        libc = ctx.libc
+        fd = yield from libc.socket()
+        assert (yield from libc.bind(fd, "0.0.0.0", 9000)) == 0
+        assert (yield from libc.listen(fd)) == 0
+        conn = yield from libc.accept(fd)
+        assert conn >= 0, conn
+        ret, data = yield from libc.recv(conn, 64)
+        yield from libc.send(conn, b"echo:" + data)
+        yield from libc.close(conn)
+        return 0
+
+    def client_main(ctx):
+        libc = ctx.libc
+        yield from libc.nanosleep(3_000_000)
+        fd = yield from libc.socket()
+        ret = yield from libc.connect(fd, "10.0.0.1", 9000)
+        assert ret == 0, ret
+        yield from libc.send(fd, b"hello")
+        ret, data = yield from libc.recv(fd, 64)
+        transcript["reply"] = data
+        return 0
+
+    program = Program("echo-server", server_main)
+    config = ReMonConfig(replicas=2, level=Level.SOCKET_RW)
+    mvee = ReMon(kernel, program, config)
+    client_process = kernel.create_process("client", host_ip="10.0.0.99")
+    GuestRuntime(kernel, client_process, Program("client", client_main)).start()
+    result = mvee.run(max_steps=5_000_000)
+    assert not result.diverged, result.divergence
+    assert transcript["reply"] == b"echo:hello"
+    assert result.exit_codes == [0, 0]
+
+
+@pytest.mark.parametrize("level", list(Level))
+def test_all_levels_complete(level):
+    _k, _m, result = run_mvee(file_io_program(), level=level)
+    assert not result.diverged, (level, result.divergence)
+    assert result.exit_codes == [7, 7]

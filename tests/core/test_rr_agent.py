@@ -1,0 +1,92 @@
+"""Record/replay agent tests (§2.3)."""
+
+from repro.core import Level, ReMon, ReMonConfig
+from repro.guest.program import Compute, Program
+from repro.kernel import Kernel
+
+
+def racy_program(rounds=6, logs=None):
+    """Two threads contend on a mutex and append to a shared log; the
+    acquisition order determines the log content."""
+    logs = logs if logs is not None else {}
+
+    def main(ctx):
+        libc = ctx.libc
+        mutex = yield from libc.mutex()
+        log_addr = yield from libc.malloc(256)
+        pos_addr = yield from libc.malloc(4)
+        ctx.mem.write_u32(pos_addr, 0)
+        done = yield from libc.malloc(4)
+        ctx.mem.write_u32(done, 0)
+
+        def record(cctx, tag):
+            pos = cctx.mem.read_u32(pos_addr)
+            cctx.mem.write(log_addr + pos, tag)
+            cctx.mem.write_u32(pos_addr, pos + 1)
+
+        def worker(cctx, payload):
+            tag, m = payload
+
+            def body():
+                for _ in range(rounds):
+                    yield from m.lock(cctx)
+                    record(cctx, tag)
+                    yield Compute(500)
+                    yield from m.unlock(cctx)
+                cctx.mem.write_u32(done, cctx.mem.read_u32(done) + 1)
+                yield from cctx.libc.futex_wake(done, 1)
+
+            return body()
+
+        yield ctx.spawn_thread(worker, (b"A", mutex))
+        yield ctx.spawn_thread(worker, (b"B", mutex))
+        while ctx.mem.read_u32(done) < 2:
+            current = ctx.mem.read_u32(done)
+            yield from libc.futex_wait(done, current)
+        length = ctx.mem.read_u32(pos_addr)
+        index = getattr(ctx.process, "replica_index", 0)
+        logs[index] = ctx.mem.read(log_addr, length)
+        return 0
+
+    program = Program("racy", main)
+    program.logs = logs
+    return program
+
+
+def test_rr_agent_records_and_replays_sync_order():
+    kernel = Kernel()
+    logs = {}
+    program = racy_program(logs=logs)
+    mvee = ReMon(kernel, program, ReMonConfig(replicas=2, level=Level.NONSOCKET_RW))
+    result = mvee.run(max_steps=20_000_000)
+    assert not result.diverged, result.divergence
+    assert result.stats["rr_recorded"] > 0
+    assert result.stats["rr_replayed"] == result.stats["rr_recorded"]
+    assert logs[0] == logs[1]
+    assert set(logs[0]) <= {ord("A"), ord("B")}
+    assert len(logs[0]) == 12
+
+
+def test_rr_agent_handles_three_replicas():
+    kernel = Kernel()
+    logs = {}
+    program = racy_program(rounds=4, logs=logs)
+    mvee = ReMon(kernel, program, ReMonConfig(replicas=3))
+    result = mvee.run(max_steps=40_000_000)
+    assert not result.diverged, result.divergence
+    assert logs[0] == logs[1] == logs[2]
+
+
+def test_rr_agent_disabled_for_single_replica():
+    kernel = Kernel()
+    mvee = ReMon(kernel, racy_program(rounds=2), ReMonConfig(replicas=1))
+    assert mvee.rr_agent is None
+    result = mvee.run(max_steps=20_000_000)
+    assert not result.diverged
+
+
+def test_sync_point_is_free_natively():
+    from tests.conftest import run_guest
+
+    _k, _p, code = run_guest(racy_program(rounds=3))
+    assert code == 0

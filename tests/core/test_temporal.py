@@ -1,0 +1,78 @@
+"""Temporal exemption policy unit tests (§3.4)."""
+
+from repro.core.temporal import TemporalPolicy
+from repro.kernel.syscalls import SyscallRequest
+
+
+def req(fd=3):
+    return SyscallRequest("read", (fd, 0x1000, 64))
+
+
+class TestEligibility:
+    def test_not_eligible_before_threshold(self):
+        policy = TemporalPolicy(threshold=3)
+        policy.record_approval(req(), 0)
+        policy.record_approval(req(), 10)
+        assert not policy.eligible(req(), 20)
+        policy.record_approval(req(), 20)
+        assert policy.eligible(req(), 30)
+
+    def test_window_expiry_trims_history(self):
+        policy = TemporalPolicy(threshold=2, window_ns=1000)
+        policy.record_approval(req(), 0)
+        policy.record_approval(req(), 100)
+        assert policy.eligible(req(), 500)
+        assert not policy.eligible(req(), 5_000)  # approvals aged out
+
+    def test_signature_distinguishes_fd(self):
+        policy = TemporalPolicy(threshold=1)
+        policy.record_approval(req(fd=3), 0)
+        assert policy.eligible(req(fd=3), 10)
+        assert not policy.eligible(req(fd=4), 10)
+
+    def test_signature_distinguishes_syscall(self):
+        policy = TemporalPolicy(threshold=1)
+        policy.record_approval(req(), 0)
+        other = SyscallRequest("write", (3, 0x1000, 64))
+        assert not policy.eligible(other, 10)
+
+    def test_non_integer_first_arg_tolerated(self):
+        policy = TemporalPolicy(threshold=1)
+        weird = SyscallRequest("ipmon_register", (frozenset({"read"}), 0, None))
+        policy.record_approval(weird, 0)
+        assert policy.eligible(weird, 10)
+
+
+class TestExemptionDecisions:
+    def test_deterministic_policy_always_exempts_when_eligible(self):
+        policy = TemporalPolicy(threshold=2, deterministic=True)
+        for t in range(2):
+            policy.record_approval(req(), t)
+        assert all(policy.should_exempt(req(), 100) for _ in range(20))
+        assert policy.stats["exemptions"] == 20
+
+    def test_stochastic_policy_exempts_at_configured_rate(self):
+        policy = TemporalPolicy(threshold=1, exempt_probability=0.5, seed=42)
+        policy.record_approval(req(), 0)
+        outcomes = [policy.should_exempt(req(), 10) for _ in range(400)]
+        rate = sum(outcomes) / len(outcomes)
+        assert 0.40 <= rate <= 0.60
+
+    def test_zero_probability_never_exempts(self):
+        policy = TemporalPolicy(threshold=1, exempt_probability=0.0)
+        policy.record_approval(req(), 0)
+        assert not any(policy.should_exempt(req(), 10) for _ in range(50))
+
+    def test_ineligible_never_exempts_even_deterministic(self):
+        policy = TemporalPolicy(threshold=5, deterministic=True)
+        assert not policy.should_exempt(req(), 10)
+        assert policy.stats["declines"] == 1
+
+    def test_seeded_rng_deterministic(self):
+        a = TemporalPolicy(threshold=1, exempt_probability=0.5, seed=7)
+        b = TemporalPolicy(threshold=1, exempt_probability=0.5, seed=7)
+        a.record_approval(req(), 0)
+        b.record_approval(req(), 0)
+        assert [a.should_exempt(req(), 1) for _ in range(50)] == [
+            b.should_exempt(req(), 1) for _ in range(50)
+        ]

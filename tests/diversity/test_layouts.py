@@ -1,0 +1,86 @@
+"""ASLR and DCL property tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diversity.aslr import identical_layouts, make_layouts
+from repro.diversity.dcl import (
+    address_valid_in,
+    layouts_code_disjoint,
+    spaces_code_disjoint,
+)
+from repro.kernel.constants import PAGE_SIZE
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    count=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=1 << 32),
+)
+def test_dcl_layouts_always_disjoint(count, seed):
+    layouts = make_layouts(count, seed=seed)
+    assert layouts_code_disjoint(layouts)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    count=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=1 << 32),
+    probe=st.integers(min_value=0, max_value=(1 << 24)),
+)
+def test_any_address_is_code_in_at_most_one_replica(count, seed, probe):
+    layouts = make_layouts(count, seed=seed)
+    addr = layouts[probe % count].code_base + (probe % layouts[0].code_size)
+    assert len(address_valid_in(layouts, addr)) <= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1 << 32))
+def test_aslr_randomizes_every_base(seed):
+    a = make_layouts(2, seed=seed)
+    b = make_layouts(2, seed=seed + 1)
+    assert a[0].mmap_base != b[0].mmap_base or a[0].brk_base != b[0].brk_base
+
+
+def test_layouts_are_page_aligned():
+    for layout in make_layouts(7, seed=3):
+        assert layout.code_base % PAGE_SIZE == 0
+        assert layout.mmap_base % PAGE_SIZE == 0
+        assert layout.brk_base % PAGE_SIZE == 0
+
+
+def test_layouts_deterministic_for_seed():
+    a = make_layouts(3, seed=77)
+    b = make_layouts(3, seed=77)
+    assert [(l.code_base, l.mmap_base, l.brk_base) for l in a] == [
+        (l.code_base, l.mmap_base, l.brk_base) for l in b
+    ]
+
+
+def test_identical_layouts_are_not_disjoint():
+    layouts = identical_layouts(2)
+    assert not layouts_code_disjoint(layouts)
+    assert len(address_valid_in(layouts, layouts[0].code_base + 10)) == 2
+
+
+def test_no_aslr_layouts_still_dcl_disjoint():
+    layouts = make_layouts(3, seed=0, aslr=False, dcl=True)
+    assert layouts_code_disjoint(layouts)
+    # Without ASLR the bases are deterministic anchors.
+    assert layouts[0].mmap_base == make_layouts(3, seed=9, aslr=False)[0].mmap_base
+
+
+def test_live_mvee_spaces_satisfy_dcl():
+    from repro.core import ReMon, ReMonConfig
+    from repro.guest.program import Compute, Program
+    from repro.kernel import Kernel
+
+    def main(ctx):
+        yield Compute(1000)
+        return 0
+
+    kernel = Kernel()
+    mvee = ReMon(kernel, Program("dcl", main), ReMonConfig(replicas=4))
+    result = mvee.run(max_steps=4_000_000)
+    assert not result.diverged
+    assert spaces_code_disjoint([p.space for p in mvee.group.processes])

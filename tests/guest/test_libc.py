@@ -1,0 +1,168 @@
+"""Guest libc layer tests."""
+
+from repro.guest.program import Compute, Program
+from repro.kernel import constants as C
+from tests.conftest import run_guest
+
+
+class TestMalloc:
+    def test_returns_aligned_distinct_chunks(self):
+        def main(ctx):
+            libc = ctx.libc
+            addrs = []
+            for size in (1, 16, 100, 4096):
+                addr = yield from libc.malloc(size)
+                assert addr % 16 == 0
+                addrs.append((addr, size))
+            ranges = sorted((a, a + ((s + 15) & ~15)) for a, s in addrs)
+            for (s1, e1), (s2, _e2) in zip(ranges, ranges[1:]):
+                assert e1 <= s2
+            return 0
+
+        _k, _p, code = run_guest(Program("malloc", main))
+        assert code == 0
+
+    def test_arena_grows_beyond_chunk(self):
+        def main(ctx):
+            libc = ctx.libc
+            big = yield from libc.malloc(3 << 20)  # > 1 MiB arena chunk
+            ctx.mem.write(big, b"fits")
+            ctx.mem.write(big + (3 << 20) - 4, b"end!")
+            return 0
+
+        _k, _p, code = run_guest(Program("bigalloc", main))
+        assert code == 0
+
+    def test_push_cstr_nul_terminates(self):
+        def main(ctx):
+            addr = yield from ctx.libc.push_cstr("hello")
+            assert ctx.mem.read(addr, 6) == b"hello\x00"
+            addr2 = yield from ctx.libc.push_cstr(b"bytes")
+            assert ctx.mem.read_cstr(addr2) == b"bytes"
+            return 0
+
+        _k, _p, code = run_guest(Program("cstr", main))
+        assert code == 0
+
+    def test_scratch_reused_for_small_sizes(self):
+        def main(ctx):
+            libc = ctx.libc
+            a = yield from libc.scratch(1024)
+            b = yield from libc.scratch(2048)
+            assert a == b
+            c = yield from libc.scratch(1 << 20)
+            assert c != a
+            return 0
+
+        _k, _p, code = run_guest(Program("scratch", main))
+        assert code == 0
+
+
+class TestSocketHelpers:
+    def test_recv_exactly_loops(self):
+        def main(ctx):
+            libc = ctx.libc
+            listener = yield from libc.socket()
+            yield from libc.bind(listener, "0.0.0.0", 7100)
+            yield from libc.listen(listener)
+            client = yield from libc.socket()
+            yield from libc.connect(client, ctx.process.host_ip, 7100)
+            conn = yield from libc.accept(listener)
+            # Three small sends, one exact receive.
+            for chunk in (b"aa", b"bb", b"cc"):
+                yield from libc.send(client, chunk)
+            ret, data = yield from libc.recv_exactly(conn, 6)
+            assert (ret, data) == (6, b"aabbcc")
+            return 0
+
+        _k, _p, code = run_guest(Program("exactly", main))
+        assert code == 0
+
+    def test_recv_until_marker(self):
+        def main(ctx):
+            libc = ctx.libc
+            listener = yield from libc.socket()
+            yield from libc.bind(listener, "0.0.0.0", 7101)
+            yield from libc.listen(listener)
+            client = yield from libc.socket()
+            yield from libc.connect(client, ctx.process.host_ip, 7101)
+            conn = yield from libc.accept(listener)
+            yield from libc.send(client, b"GET / HTTP/1.0\r\n\r\nbody")
+            ret, data = yield from libc.recv_until(conn, b"\r\n\r\n")
+            assert b"\r\n\r\n" in data
+            return 0
+
+        _k, _p, code = run_guest(Program("until", main))
+        assert code == 0
+
+
+class TestMutex:
+    def test_uncontended_lock_makes_no_syscalls(self):
+        def main(ctx):
+            libc = ctx.libc
+            mutex = yield from libc.mutex()
+            before = ctx.thread.syscall_count
+            yield from mutex.lock(ctx)
+            locked_count = ctx.thread.syscall_count
+            yield from mutex.unlock(ctx)
+            # The fast-path lock performs zero syscalls (the futex-free
+            # path VARAN cannot observe, §6); unlock issues one wake.
+            assert locked_count == before
+            return 0
+
+        _k, _p, code = run_guest(Program("fastpath", main))
+        assert code == 0
+
+    def test_contended_lock_blocks_until_unlock(self):
+        order = []
+
+        def main(ctx):
+            libc = ctx.libc
+            mutex = yield from libc.mutex()
+            yield from mutex.lock(ctx)
+
+            def contender(cctx, m):
+                def body():
+                    order.append("child-wants")
+                    yield from m.lock(cctx)
+                    order.append("child-got")
+                    yield from m.unlock(cctx)
+
+                return body()
+
+            yield ctx.spawn_thread(contender, mutex)
+            yield Compute(100_000)
+            order.append("main-unlocks")
+            yield from mutex.unlock(ctx)
+            yield from libc.nanosleep(1_000_000)
+            return 0
+
+        _k, _p, code = run_guest(Program("contend", main))
+        assert code == 0
+        assert order == ["child-wants", "main-unlocks", "child-got"]
+
+
+class TestStatHelpers:
+    def test_stat_decodes_struct(self):
+        def main(ctx):
+            ret, st = yield from ctx.libc.stat("/data/f")
+            assert ret == 0
+            assert st["st_size"] == 6
+            assert st["st_mode"] & C.S_IFREG
+            ret, st = yield from ctx.libc.stat("/nope")
+            assert ret < 0 and st is None
+            return 0
+
+        _k, _p, code = run_guest(Program("stat", main, files={"/data/f": b"sized."}))
+        assert code == 0
+
+    def test_clock_gettime_monotonic(self):
+        def main(ctx):
+            t1 = yield from ctx.libc.clock_gettime()
+            yield Compute(5000)
+            t2 = yield from ctx.libc.clock_gettime()
+            assert t2 >= t1 + 5000
+            return 0
+
+        _k, _p, code = run_guest(Program("clock", main))
+        assert code == 0

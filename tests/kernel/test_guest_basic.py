@@ -1,0 +1,361 @@
+"""End-to-end guest programs exercising the kernel substrate natively."""
+
+from repro.guest.program import Compute, Program
+from repro.kernel import constants as C
+from repro.kernel import errno_codes as E
+from tests.conftest import run_guest
+
+RESULTS = {}
+
+
+def test_hello_file_io():
+    def main(ctx):
+        libc = ctx.libc
+        fd = yield from libc.open("/data/greeting.txt")
+        assert fd >= 0
+        ret, data = yield from libc.read(fd, 100)
+        RESULTS["read"] = (ret, data)
+        yield from libc.close(fd)
+        return 0
+
+    program = Program("hello", main, files={"/data/greeting.txt": b"hello world"})
+    _kernel, _process, code = run_guest(program)
+    assert code == 0
+    assert RESULTS["read"] == (11, b"hello world")
+
+
+def test_write_then_read_back():
+    def main(ctx):
+        libc = ctx.libc
+        fd = yield from libc.open("/tmp/out.txt", C.O_WRONLY | C.O_CREAT)
+        wrote = yield from libc.write(fd, b"abc123")
+        assert wrote == 6
+        yield from libc.close(fd)
+        fd = yield from libc.open("/tmp/out.txt")
+        ret, data = yield from libc.read(fd, 32)
+        assert (ret, data) == (6, b"abc123")
+        return 0
+
+    _k, _p, code = run_guest(Program("rw", main))
+    assert code == 0
+
+
+def test_missing_file_returns_enoent():
+    def main(ctx):
+        fd = yield from ctx.libc.open("/no/such/file")
+        return -fd  # make the errno the exit code
+
+    _k, _p, code = run_guest(Program("missing", main))
+    assert code == E.ENOENT
+
+
+def test_compute_advances_clock():
+    def main(ctx):
+        yield Compute(1_000_000)
+        return 0
+
+    kernel, _p, code = run_guest(Program("compute", main))
+    assert code == 0
+    assert kernel.sim.now >= 1_000_000
+
+
+def test_pipe_between_threads():
+    seen = {}
+
+    def main(ctx):
+        libc = ctx.libc
+        rfd, wfd = yield from libc.pipe()
+        assert rfd >= 0 and wfd >= 0
+
+        def child(cctx, arg):
+            def body():
+                ret = yield from cctx.libc.write(arg, b"ping")
+                assert ret == 4
+            return body()
+
+        tid = yield ctx.spawn_thread(child, wfd)
+        assert tid > 0
+        ret, data = yield from libc.read(rfd, 16)
+        seen["msg"] = data
+        return 0
+
+    _k, _p, code = run_guest(Program("pipes", main))
+    assert code == 0
+    assert seen["msg"] == b"ping"
+
+
+def test_pipe_blocking_read_waits_for_writer():
+    order = []
+
+    def main(ctx):
+        libc = ctx.libc
+        rfd, wfd = yield from libc.pipe()
+
+        def writer(cctx, arg):
+            def body():
+                yield from cctx.libc.nanosleep(5_000_000)
+                yield from cctx.libc.write(arg, b"late")
+                order.append("wrote")
+            return body()
+
+        yield ctx.spawn_thread(writer, wfd)
+        ret, data = yield from libc.read(rfd, 16)
+        order.append("read:%s" % data.decode())
+        return 0
+
+    kernel, _p, code = run_guest(Program("blocking-pipe", main))
+    assert code == 0
+    assert order == ["wrote", "read:late"]
+    assert kernel.sim.now >= 5_000_000
+
+
+def test_stat_and_getdents():
+    def main(ctx):
+        libc = ctx.libc
+        ret, st = yield from libc.stat("/data/a.txt")
+        assert ret == 0
+        assert st["st_size"] == 4
+        fd = yield from libc.open("/data", C.O_RDONLY | C.O_DIRECTORY)
+        ret, raw = yield from libc.getdents(fd)
+        assert ret > 0
+        from repro.kernel.structs import unpack_dirents
+
+        names = [name for _ino, name, _t in unpack_dirents(raw)]
+        assert b"a.txt" in names and b"b.txt" in names
+        return 0
+
+    program = Program(
+        "dents", main, files={"/data/a.txt": b"aaaa", "/data/b.txt": b"bb"}
+    )
+    _k, _p, code = run_guest(program)
+    assert code == 0
+
+
+def test_tcp_client_server_roundtrip():
+    """Two separate processes talk over the simulated network."""
+    from repro.guest import GuestRuntime
+    from repro.kernel import Kernel
+
+    kernel = Kernel()
+    transcript = {}
+
+    def server_main(ctx):
+        libc = ctx.libc
+        fd = yield from libc.socket()
+        assert (yield from libc.bind(fd, "0.0.0.0", 8080)) == 0
+        assert (yield from libc.listen(fd)) == 0
+        conn = yield from libc.accept(fd)
+        assert conn >= 0
+        ret, data = yield from libc.recv(conn, 64)
+        transcript["server_got"] = data
+        yield from libc.send(conn, b"pong:" + data)
+        yield from libc.close(conn)
+        return 0
+
+    def client_main(ctx):
+        libc = ctx.libc
+        yield from libc.nanosleep(1_000_000)  # let the server bind
+        fd = yield from libc.socket()
+        ret = yield from libc.connect(fd, "10.0.0.1", 8080)
+        assert ret == 0
+        yield from libc.send(fd, b"ping")
+        ret, data = yield from libc.recv(fd, 64)
+        transcript["client_got"] = data
+        return 0
+
+    sproc = kernel.create_process("server", host_ip="10.0.0.1")
+    cproc = kernel.create_process("client", host_ip="10.0.0.2")
+    GuestRuntime(kernel, sproc, Program("server", server_main)).start()
+    GuestRuntime(kernel, cproc, Program("client", client_main)).start()
+    kernel.sim.run()
+    assert transcript["server_got"] == b"ping"
+    assert transcript["client_got"] == b"pong:ping"
+    # Cross-host traffic paid network latency both ways.
+    assert kernel.sim.now > 2 * kernel.config.network_latency_ns
+
+
+def test_epoll_event_delivery():
+    def main(ctx):
+        libc = ctx.libc
+        rfd, wfd = yield from libc.pipe()
+        epfd = yield from libc.epoll_create()
+        assert epfd >= 0
+        ret = yield from libc.epoll_ctl(
+            epfd, C.EPOLL_CTL_ADD, rfd, C.EPOLLIN, data=0xDEADBEEF
+        )
+        assert ret == 0
+
+        def writer(cctx, arg):
+            def body():
+                yield from cctx.libc.nanosleep(2_000_000)
+                yield from cctx.libc.write(arg, b"x")
+            return body()
+
+        yield ctx.spawn_thread(writer, wfd)
+        ret, events = yield from libc.epoll_wait(epfd)
+        assert ret == 1
+        revents, data = events[0]
+        assert revents & C.EPOLLIN
+        assert data == 0xDEADBEEF
+        return 0
+
+    _k, _p, code = run_guest(Program("epoll", main))
+    assert code == 0
+
+
+def test_futex_wait_wake_between_threads():
+    order = []
+
+    def main(ctx):
+        libc = ctx.libc
+        word = yield from libc.malloc(4)
+        ctx.mem.write_u32(word, 0)
+
+        def waker(cctx, arg):
+            def body():
+                yield from cctx.libc.nanosleep(1_000_000)
+                cctx.mem.write_u32(arg, 1)
+                woken = yield from cctx.libc.futex_wake(arg, 1)
+                order.append("woke:%d" % woken)
+            return body()
+
+        yield ctx.spawn_thread(waker, word)
+        ret = yield from libc.futex_wait(word, 0)
+        order.append("wait:%d" % ret)
+        assert ctx.mem.read_u32(word) == 1
+        return 0
+
+    _k, _p, code = run_guest(Program("futex", main))
+    assert code == 0
+    assert order == ["woke:1", "wait:0"]
+
+
+def test_guest_mutex_mutual_exclusion():
+    trace = []
+
+    def main(ctx):
+        libc = ctx.libc
+        mutex = yield from libc.mutex()
+        done = yield from libc.malloc(4)
+        ctx.mem.write_u32(done, 0)
+
+        def contender(cctx, arg):
+            def body():
+                yield from arg.lock(cctx)
+                trace.append("child-in")
+                yield Compute(1000)
+                trace.append("child-out")
+                yield from arg.unlock(cctx)
+                cctx.mem.write_u32(done, 1)
+                yield from cctx.libc.futex_wake(done, 1)
+            return body()
+
+        yield from mutex.lock(ctx)
+        trace.append("main-in")
+        yield ctx.spawn_thread(contender, mutex)
+        yield Compute(5000)
+        trace.append("main-out")
+        yield from mutex.unlock(ctx)
+        while ctx.mem.read_u32(done) == 0:
+            yield from libc.futex_wait(done, 0)
+        return 0
+
+    _k, _p, code = run_guest(Program("mutex", main))
+    assert code == 0
+    assert trace == ["main-in", "main-out", "child-in", "child-out"]
+
+
+def test_signal_handler_runs_on_kill():
+    hits = []
+
+    def main(ctx):
+        def handler(hctx, signo):
+            hits.append(signo)
+
+        yield ctx.sys.rt_sigaction(C.SIGUSR1, handler)
+        yield ctx.sys.kill(ctx.process.pid, C.SIGUSR1)
+        yield Compute(100)
+        return 0
+
+    _k, _p, code = run_guest(Program("sig", main))
+    assert code == 0
+    assert hits == [C.SIGUSR1]
+
+
+def test_fatal_signal_kills_process():
+    def main(ctx):
+        yield ctx.sys.kill(ctx.process.pid, C.SIGTERM)
+        yield Compute(10_000)
+        return 0
+
+    _k, process, code = run_guest(Program("fatal", main))
+    assert code == 128 + C.SIGTERM
+    assert process.exited
+
+
+def test_sigsegv_on_wild_write():
+    def main(ctx):
+        ctx.mem.write(0xDEAD0000, b"boom")
+        yield Compute(1)
+        return 0
+
+    _k, _p, code = run_guest(Program("segv", main))
+    assert code == 128 + C.SIGSEGV
+
+
+def test_nanosleep_advances_time():
+    def main(ctx):
+        yield from ctx.libc.nanosleep(3_000_000)
+        return 0
+
+    kernel, _p, code = run_guest(Program("sleep", main))
+    assert code == 0
+    assert kernel.sim.now >= 3_000_000
+
+
+def test_getpid_and_uname():
+    def main(ctx):
+        pid = yield ctx.sys.getpid()
+        assert pid == ctx.process.pid
+        buf = yield from ctx.libc.malloc(390)
+        ret = yield ctx.sys.uname(buf)
+        assert ret == 0
+        sysname = ctx.mem.read(buf, 5)
+        assert sysname == b"Linux"
+        return 0
+
+    _k, _p, code = run_guest(Program("ids", main))
+    assert code == 0
+
+
+def test_brk_and_mmap_grow_address_space():
+    def main(ctx):
+        base = yield ctx.sys.brk(0)
+        new = yield ctx.sys.brk(base + 8192)
+        assert new >= base + 8192
+        ctx.mem.write(base, b"heap")
+        addr = yield ctx.sys.mmap(
+            0, 4096, C.PROT_READ | C.PROT_WRITE, C.MAP_PRIVATE | C.MAP_ANONYMOUS, -1, 0
+        )
+        assert addr > 0
+        ctx.mem.write(addr, b"mapped")
+        assert ctx.mem.read(addr, 6) == b"mapped"
+        ret = yield ctx.sys.munmap(addr, 4096)
+        assert ret == 0
+        return 0
+
+    _k, _p, code = run_guest(Program("mm", main))
+    assert code == 0
+
+
+def test_proc_maps_readable():
+    def main(ctx):
+        libc = ctx.libc
+        fd = yield from libc.open("/proc/self/maps")
+        assert fd >= 0
+        ret, data = yield from libc.read(fd, 65536)
+        assert b"text:" in data
+        return 0
+
+    _k, _p, code = run_guest(Program("maps", main))
+    assert code == 0

@@ -1,0 +1,180 @@
+"""Unit and property tests for the address-space model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import constants as C
+from repro.kernel.memory import (
+    AddressSpace,
+    MemoryFault,
+    SharedRegion,
+    page_align_down,
+    page_align_up,
+)
+
+RW = C.PROT_READ | C.PROT_WRITE
+
+
+def make_space():
+    return AddressSpace(0x7F00_0000_0000, 0x5555_0000_0000)
+
+
+class TestMapping:
+    def test_map_read_write_roundtrip(self):
+        space = make_space()
+        mapping = space.map(None, 8192, RW, name="test")
+        space.write(mapping.start + 100, b"hello world")
+        assert space.read(mapping.start + 100, 11) == b"hello world"
+
+    def test_mappings_do_not_overlap(self):
+        space = make_space()
+        for _ in range(50):
+            space.map(None, 4096 * 3, RW)
+        mappings = space.mappings()
+        for a, b in zip(mappings, mappings[1:]):
+            assert a.end <= b.start
+
+    def test_map_fixed_clobbers_overlap(self):
+        space = make_space()
+        first = space.map(0x1000_0000, 8192, RW, fixed=True)
+        space.write(first.start, b"AAAA")
+        second = space.map(0x1000_0000, 4096, RW, fixed=True)
+        assert space.read(second.start, 4) == b"\x00\x00\x00\x00"
+        # The non-clobbered tail of the first mapping survives.
+        assert space.find_mapping(0x1000_1000) is not None
+
+    def test_unmap_middle_splits(self):
+        space = make_space()
+        mapping = space.map(0x2000_0000, 4096 * 3, RW, fixed=True)
+        space.write(mapping.start, b"A" * (4096 * 3))
+        space.unmap(mapping.start + 4096, 4096)
+        assert space.find_mapping(mapping.start) is not None
+        assert space.find_mapping(mapping.start + 4096) is None
+        assert space.find_mapping(mapping.start + 8192) is not None
+        # Both remainders kept their bytes.
+        assert space.read(mapping.start, 4096) == b"A" * 4096
+        assert space.read(mapping.start + 8192, 4096) == b"A" * 4096
+
+    def test_read_unmapped_faults(self):
+        space = make_space()
+        with pytest.raises(MemoryFault):
+            space.read(0xDEAD_0000, 4)
+
+    def test_write_readonly_faults(self):
+        space = make_space()
+        mapping = space.map(None, 4096, C.PROT_READ)
+        with pytest.raises(MemoryFault):
+            space.write(mapping.start, b"x")
+        space.write(mapping.start, b"x", check_prot=False)  # ptrace path
+
+    def test_read_crosses_contiguous_mappings(self):
+        space = make_space()
+        first = space.map(0x3000_0000, 4096, RW, fixed=True)
+        space.map(0x3000_1000, 4096, RW, fixed=True)
+        space.write(first.start + 4090, b"ABCDEFGHIJ")
+        assert space.read(first.start + 4090, 10) == b"ABCDEFGHIJ"
+
+    def test_protect_splits_mapping(self):
+        space = make_space()
+        mapping = space.map(0x4000_0000, 4096 * 3, RW, fixed=True)
+        space.protect(mapping.start + 4096, 4096, C.PROT_READ)
+        with pytest.raises(MemoryFault):
+            space.write(mapping.start + 4096, b"x")
+        space.write(mapping.start, b"x")
+        space.write(mapping.start + 8192, b"x")
+
+    def test_brk_grows_heap(self):
+        space = make_space()
+        base = space.brk_current
+        new = space.brk(base + 10_000)
+        assert new >= base + 10_000
+        space.write(base, b"heap-data")
+        assert space.read(base, 9) == b"heap-data"
+
+    def test_brk_shrink_request_is_ignored_below_base(self):
+        space = make_space()
+        base = space.brk_current
+        assert space.brk(base - 4096) == base
+
+    def test_cstr_reading(self):
+        space = make_space()
+        mapping = space.map(None, 4096, RW)
+        space.write(mapping.start, b"hello\x00trailing")
+        assert space.read_cstr(mapping.start) == b"hello"
+
+    def test_u32_u64_accessors(self):
+        space = make_space()
+        mapping = space.map(None, 4096, RW)
+        space.write_u64(mapping.start, 0x1122334455667788)
+        assert space.read_u64(mapping.start) == 0x1122334455667788
+        space.write_u32(mapping.start + 8, 0xDEADBEEF)
+        assert space.read_u32(mapping.start + 8) == 0xDEADBEEF
+
+
+class TestSharedRegions:
+    def test_shared_region_visible_across_spaces(self):
+        region = SharedRegion(8192, "shared")
+        space_a = make_space()
+        space_b = AddressSpace(0x7E00_0000_0000, 0x5666_0000_0000)
+        map_a = space_a.map(None, 8192, RW, region=region, shared=True)
+        map_b = space_b.map(None, 8192, RW, region=region, shared=True)
+        assert map_a.start != map_b.start
+        space_a.write(map_a.start + 16, b"cross-process")
+        assert space_b.read(map_b.start + 16, 13) == b"cross-process"
+
+    def test_attach_counting(self):
+        region = SharedRegion(4096)
+        space = make_space()
+        mapping = space.map(None, 4096, RW, region=region, shared=True)
+        assert region.attach_count == 1
+        space.unmap(mapping.start, 4096)
+        assert region.attach_count == 0
+
+
+class TestAlignmentHelpers:
+    @given(st.integers(min_value=0, max_value=1 << 48))
+    def test_page_align_invariants(self, addr):
+        down = page_align_down(addr)
+        up = page_align_up(addr)
+        assert down <= addr <= up
+        assert down % C.PAGE_SIZE == 0
+        assert up % C.PAGE_SIZE == 0
+        assert up - down in (0, C.PAGE_SIZE)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3000),
+            st.binary(min_size=1, max_size=128),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_last_write_wins(writes):
+    """Overlapping writes behave like writes to a flat bytearray."""
+    space = make_space()
+    mapping = space.map(None, 4096, RW)
+    model = bytearray(4096)
+    for offset, data in writes:
+        space.write(mapping.start + offset, data)
+        model[offset : offset + len(data)] = data
+    assert space.read(mapping.start, 4096) == bytes(model)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=1 << 20), min_size=1, max_size=12)
+)
+def test_property_allocations_disjoint_and_page_aligned(sizes):
+    space = make_space()
+    mappings = [space.map(None, size, RW) for size in sizes]
+    for mapping, size in zip(mappings, sizes):
+        assert mapping.start % C.PAGE_SIZE == 0
+        assert mapping.length >= size
+    ordered = sorted(mappings, key=lambda m: m.start)
+    for a, b in zip(ordered, ordered[1:]):
+        assert a.end <= b.start

@@ -1,0 +1,274 @@
+"""Coverage for the long tail of system calls."""
+
+import struct
+
+from repro.guest.program import Compute, Program
+from repro.kernel import constants as C
+from repro.kernel import errno_codes as E
+from tests.conftest import run_guest
+
+
+class TestIdentityAndInfo:
+    def test_id_getters(self):
+        def main(ctx):
+            assert (yield ctx.sys.getuid()) == 1000
+            assert (yield ctx.sys.geteuid()) == 1000
+            assert (yield ctx.sys.getgid()) == 1000
+            assert (yield ctx.sys.getegid()) == 1000
+            assert (yield ctx.sys.getppid()) == 1
+            pid = yield ctx.sys.getpid()
+            assert (yield ctx.sys.getpgrp()) == pid
+            tid = yield ctx.sys.gettid()
+            assert tid == ctx.thread.tid
+            return 0
+
+        _k, _p, code = run_guest(Program("ids", main))
+        assert code == 0
+
+    def test_getcwd(self):
+        def main(ctx):
+            buf = yield from ctx.libc.malloc(64)
+            ret = yield ctx.sys.getcwd(buf, 64)
+            assert ret == 2
+            assert ctx.mem.read_cstr(buf) == b"/"
+            ret = yield ctx.sys.getcwd(buf, 1)
+            assert ret == -E.ERANGE
+            return 0
+
+        _k, _p, code = run_guest(Program("cwd", main))
+        assert code == 0
+
+    def test_sysinfo_uptime(self):
+        def main(ctx):
+            yield Compute(3_000_000_000)
+            buf = yield from ctx.libc.malloc(64)
+            assert (yield ctx.sys.sysinfo(buf)) == 0
+            uptime = struct.unpack_from("<q", ctx.mem.read(buf, 8))[0]
+            assert uptime >= 3
+            return 0
+
+        _k, _p, code = run_guest(Program("sysinfo", main))
+        assert code == 0
+
+    def test_times_accumulates_utime(self):
+        def main(ctx):
+            yield Compute(50_000_000)  # 50 ms of CPU
+            buf = yield from ctx.libc.malloc(32)
+            yield ctx.sys.times(buf)
+            utime_ticks = struct.unpack_from("<q", ctx.mem.read(buf, 8))[0]
+            assert utime_ticks >= 4  # 100 Hz ticks
+            return 0
+
+        _k, _p, code = run_guest(Program("times", main))
+        assert code == 0
+
+    def test_getrusage(self):
+        def main(ctx):
+            yield Compute(20_000_000)
+            buf = yield from ctx.libc.malloc(144)
+            assert (yield ctx.sys.getrusage(0, buf)) == 0
+            sec, usec = struct.unpack_from("<qq", ctx.mem.read(buf, 16))
+            assert sec * 1_000_000 + usec >= 19_000
+            return 0
+
+        _k, _p, code = run_guest(Program("rusage", main))
+        assert code == 0
+
+    def test_time_and_gettimeofday_agree(self):
+        def main(ctx):
+            tv = yield from ctx.libc.malloc(16)
+            yield ctx.sys.gettimeofday(tv, 0)
+            sec = struct.unpack_from("<q", ctx.mem.read(tv, 8))[0]
+            t = yield ctx.sys.time(0)
+            assert abs(t - sec) <= 1
+            assert t > 1_700_000_000  # a modern epoch
+            return 0
+
+        _k, _p, code = run_guest(Program("tod", main))
+        assert code == 0
+
+    def test_trivial_calls_succeed(self):
+        def main(ctx):
+            assert (yield ctx.sys.sched_yield()) == 0
+            assert (yield ctx.sys.capget(0, 0)) == 0
+            assert (yield ctx.sys.prctl(1, 2, 3, 4, 5)) == 0
+            assert (yield ctx.sys.sync()) == 0
+            assert (yield ctx.sys.madvise(0, 4096, 4)) == 0
+            assert (yield ctx.sys.getpriority(0, 0)) == 20
+            assert (yield ctx.sys.set_tid_address(0)) == ctx.thread.tid
+            assert (yield ctx.sys.sigaltstack(0, 0)) == 0
+            return 0
+
+        _k, _p, code = run_guest(Program("trivial", main))
+        assert code == 0
+
+    def test_unknown_syscall_enosys(self):
+        def main(ctx):
+            from repro.kernel.syscalls import SyscallRequest
+
+            ret = yield SyscallRequest("no_such_call", ())
+            assert ret == -E.ENOSYS
+            return 0
+
+        _k, _p, code = run_guest(Program("enosys", main))
+        assert code == 0
+
+
+class TestVectoredIO:
+    def test_readv_scatters(self):
+        def main(ctx):
+            from repro.kernel.structs import pack_iovec
+
+            libc = ctx.libc
+            fd = yield from libc.open("/data/f")
+            a = yield from libc.malloc(4)
+            b = yield from libc.malloc(8)
+            iov = yield from libc.push_bytes(pack_iovec(a, 4) + pack_iovec(b, 6))
+            ret = yield ctx.sys.readv(fd, iov, 2)
+            assert ret == 10
+            assert ctx.mem.read(a, 4) == b"0123"
+            assert ctx.mem.read(b, 6) == b"456789"
+            return 0
+
+        _k, _p, code = run_guest(Program("readv", main, files={"/data/f": b"0123456789"}))
+        assert code == 0
+
+    def test_writev_gathers(self):
+        def main(ctx):
+            from repro.kernel.structs import pack_iovec
+
+            libc = ctx.libc
+            fd = yield from libc.open("/tmp/out", C.O_WRONLY | C.O_CREAT)
+            a = yield from libc.push_bytes(b"head-")
+            b = yield from libc.push_bytes(b"tail")
+            iov = yield from libc.push_bytes(pack_iovec(a, 5) + pack_iovec(b, 4))
+            ret = yield ctx.sys.writev(fd, iov, 2)
+            assert ret == 9
+            return 0
+
+        kernel, _p, code = run_guest(Program("writev", main))
+        assert code == 0
+        node, err = kernel.fs.resolve("/tmp/out")
+        assert bytes(node.data) == b"head-tail"
+
+    def test_preadv_at_offset(self):
+        def main(ctx):
+            from repro.kernel.structs import pack_iovec
+
+            libc = ctx.libc
+            fd = yield from libc.open("/data/f")
+            buf = yield from libc.malloc(4)
+            iov = yield from libc.push_bytes(pack_iovec(buf, 4))
+            ret = yield ctx.sys.preadv(fd, iov, 1, 3)
+            assert ret == 4
+            assert ctx.mem.read(buf, 4) == b"3456"
+            return 0
+
+        _k, _p, code = run_guest(Program("preadv", main, files={"/data/f": b"0123456789"}))
+        assert code == 0
+
+
+class TestMemoryCalls:
+    def test_mremap_grow_preserves_content(self):
+        def main(ctx):
+            addr = yield ctx.sys.mmap(
+                0, 4096, C.PROT_READ | C.PROT_WRITE,
+                C.MAP_PRIVATE | C.MAP_ANONYMOUS, -1, 0,
+            )
+            ctx.mem.write(addr, b"persist-me")
+            new = yield ctx.sys.mremap(addr, 4096, 16384, 0, 0)
+            assert new > 0
+            assert ctx.mem.read(new, 10) == b"persist-me"
+            ctx.mem.write(new + 9000, b"grown")
+            return 0
+
+        _k, _p, code = run_guest(Program("mremap", main))
+        assert code == 0
+
+    def test_mprotect_then_fault(self):
+        def main(ctx):
+            addr = yield ctx.sys.mmap(
+                0, 4096, C.PROT_READ | C.PROT_WRITE,
+                C.MAP_PRIVATE | C.MAP_ANONYMOUS, -1, 0,
+            )
+            ctx.mem.write(addr, b"ok")
+            ret = yield ctx.sys.mprotect(addr, 4096, C.PROT_READ)
+            assert ret == 0
+            ctx.mem.write(addr, b"boom")  # -> SIGSEGV
+            return 0
+
+        _k, _p, code = run_guest(Program("wprot", main))
+        assert code == 128 + C.SIGSEGV
+
+    def test_file_backed_private_mapping(self):
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield from libc.open("/data/f")
+            addr = yield ctx.sys.mmap(0, 4096, C.PROT_READ, C.MAP_PRIVATE, fd, 0)
+            assert addr > 0
+            assert ctx.mem.read(addr, 8) == b"mmapped!"
+            return 0
+
+        _k, _p, code = run_guest(Program("filemap", main, files={"/data/f": b"mmapped!"}))
+        assert code == 0
+
+    def test_mmap_bad_fd(self):
+        def main(ctx):
+            ret = yield ctx.sys.mmap(0, 4096, C.PROT_READ, C.MAP_PRIVATE, 99, 0)
+            assert ret == -E.EBADF
+            return 0
+
+        _k, _p, code = run_guest(Program("badmap", main))
+        assert code == 0
+
+
+class TestIoctl:
+    def test_fionread_on_pipe(self):
+        def main(ctx):
+            libc = ctx.libc
+            rfd, wfd = yield from libc.pipe()
+            yield from libc.write(wfd, b"12345")
+            out = yield from libc.malloc(4)
+            assert (yield ctx.sys.ioctl(rfd, 0x541B, out)) == 0
+            assert ctx.mem.read_u32(out) == 5
+            return 0
+
+        _k, _p, code = run_guest(Program("fionread", main))
+        assert code == 0
+
+    def test_fionbio_toggles_nonblock(self):
+        def main(ctx):
+            libc = ctx.libc
+            rfd, _ = yield from libc.pipe()
+            arg = yield from libc.malloc(4)
+            ctx.mem.write_u32(arg, 1)
+            assert (yield ctx.sys.ioctl(rfd, 0x5421, arg)) == 0
+            ret, _ = yield from libc.read(rfd, 4)
+            assert ret == -E.EAGAIN
+            return 0
+
+        _k, _p, code = run_guest(Program("fionbio", main))
+        assert code == 0
+
+    def test_unknown_ioctl_enotty(self):
+        def main(ctx):
+            fd = yield from ctx.libc.open("/data/f")
+            ret = yield ctx.sys.ioctl(fd, 0x1234, 0)
+            assert ret == -E.ENOTTY
+            return 0
+
+        _k, _p, code = run_guest(Program("enotty", main, files={"/data/f": b"x"}))
+        assert code == 0
+
+
+class TestErrnoHelpers:
+    def test_errno_names(self):
+        from repro.kernel.errno_codes import errno_name, is_error
+
+        assert errno_name(E.ENOENT) == "ENOENT"
+        assert errno_name(-E.EAGAIN) == "EAGAIN"
+        assert errno_name(9999).startswith("E?")
+        assert is_error(-E.EINVAL)
+        assert not is_error(0)
+        assert not is_error(42)
+        assert not is_error(0x7F0000000000)  # mmap address, not an error

@@ -1,0 +1,351 @@
+"""poll/select, futex, epoll and timerfd semantics."""
+
+from repro.guest.program import Compute, Program
+from repro.kernel import constants as C
+from repro.kernel import errno_codes as E
+from tests.conftest import run_guest
+
+
+class TestFutex:
+    def test_wait_returns_eagain_on_changed_value(self):
+        def main(ctx):
+            word = yield from ctx.libc.malloc(4)
+            ctx.mem.write_u32(word, 7)
+            ret = yield from ctx.libc.futex_wait(word, 3)
+            assert ret == -E.EAGAIN
+            return 0
+
+        _k, _p, code = run_guest(Program("futex-eagain", main))
+        assert code == 0
+
+    def test_wake_returns_number_woken(self):
+        def main(ctx):
+            libc = ctx.libc
+            word = yield from libc.malloc(4)
+            ctx.mem.write_u32(word, 0)
+            started = yield from libc.malloc(4)
+            ctx.mem.write_u32(started, 0)
+
+            def waiter(cctx, arg):
+                def body():
+                    cctx.mem.write_u32(started, cctx.mem.read_u32(started) + 1)
+                    yield from cctx.libc.futex_wait(arg, 0)
+
+                return body()
+
+            for _ in range(3):
+                yield ctx.spawn_thread(waiter, word)
+            while ctx.mem.read_u32(started) < 3:
+                yield from libc.nanosleep(100_000)
+            yield from libc.nanosleep(500_000)
+            woken = yield from libc.futex_wake(word, 2)
+            assert woken == 2, woken
+            woken = yield from libc.futex_wake(word, 10)
+            assert woken == 1, woken
+            return 0
+
+        _k, _p, code = run_guest(Program("futex-count", main))
+        assert code == 0
+
+    def test_wake_with_no_waiters_returns_zero(self):
+        def main(ctx):
+            word = yield from ctx.libc.malloc(4)
+            woken = yield from ctx.libc.futex_wake(word, 1)
+            assert woken == 0
+            return 0
+
+        _k, _p, code = run_guest(Program("futex-none", main))
+        assert code == 0
+
+    def test_futex_on_unmapped_address_efault(self):
+        def main(ctx):
+            ret = yield ctx.sys.futex(0xDEAD0000, C.FUTEX_WAIT, 0, 0, 0, 0)
+            assert ret == -E.EFAULT
+            return 0
+
+        _k, _p, code = run_guest(Program("futex-efault", main))
+        assert code == 0
+
+    def test_futex_works_across_shared_memory_at_different_addresses(self):
+        """The futex key is (region, offset) — the property IP-MON's
+        cross-replica condvars rely on."""
+        from repro.kernel import Kernel
+        from repro.kernel.memory import SharedRegion
+        from repro.guest import GuestRuntime
+
+        kernel = Kernel()
+        region = SharedRegion(4096, "x")
+        proc_a = kernel.create_process("a")
+        proc_b = kernel.create_process("b")
+        map_a = proc_a.space.map(None, 4096, 3, region=region, shared=True)
+        map_b = proc_b.space.map(0x1234000, 4096, 3, region=region, shared=True)
+        order = []
+
+        def waiter(ctx):
+            ret = yield from ctx.libc.futex_wait(map_a.start + 64, 0)
+            order.append(("woken", ret))
+            return 0
+
+        def waker(ctx):
+            yield from ctx.libc.nanosleep(1_000_000)
+            ctx.mem.write_u32(map_b.start + 64, 1)
+            woken = yield from ctx.libc.futex_wake(map_b.start + 64, 1)
+            order.append(("woke", woken))
+            return 0
+
+        GuestRuntime(kernel, proc_a, Program("waiter", waiter)).start()
+        GuestRuntime(kernel, proc_b, Program("waker", waker)).start()
+        kernel.sim.run(max_steps=1_000_000)
+        assert order == [("woke", 1), ("woken", 0)]
+
+
+class TestEpoll:
+    def test_ctl_add_twice_eexist(self):
+        def main(ctx):
+            libc = ctx.libc
+            rfd, _ = yield from libc.pipe()
+            epfd = yield from libc.epoll_create()
+            assert (yield from libc.epoll_ctl(epfd, C.EPOLL_CTL_ADD, rfd, C.EPOLLIN)) == 0
+            ret = yield from libc.epoll_ctl(epfd, C.EPOLL_CTL_ADD, rfd, C.EPOLLIN)
+            assert ret == -E.EEXIST
+            return 0
+
+        _k, _p, code = run_guest(Program("ep-eexist", main))
+        assert code == 0
+
+    def test_ctl_del_missing_enoent(self):
+        def main(ctx):
+            libc = ctx.libc
+            rfd, _ = yield from libc.pipe()
+            epfd = yield from libc.epoll_create()
+            ret = yield from libc.epoll_ctl(epfd, C.EPOLL_CTL_DEL, rfd)
+            assert ret == -E.ENOENT
+            return 0
+
+        _k, _p, code = run_guest(Program("ep-enoent", main))
+        assert code == 0
+
+    def test_level_triggered_rereports_until_drained(self):
+        def main(ctx):
+            libc = ctx.libc
+            rfd, wfd = yield from libc.pipe()
+            epfd = yield from libc.epoll_create()
+            yield from libc.epoll_ctl(epfd, C.EPOLL_CTL_ADD, rfd, C.EPOLLIN, data=1)
+            yield from libc.write(wfd, b"xx")
+            ret, events = yield from libc.epoll_wait(epfd, timeout_ms=0)
+            assert ret == 1
+            ret, events = yield from libc.epoll_wait(epfd, timeout_ms=0)
+            assert ret == 1  # still readable: level triggered
+            yield from libc.read(rfd, 16)
+            ret, events = yield from libc.epoll_wait(epfd, timeout_ms=0)
+            assert ret == 0
+            return 0
+
+        _k, _p, code = run_guest(Program("ep-level", main))
+        assert code == 0
+
+    def test_wait_timeout_zero_nonblocking(self):
+        def main(ctx):
+            libc = ctx.libc
+            rfd, _ = yield from libc.pipe()
+            epfd = yield from libc.epoll_create()
+            yield from libc.epoll_ctl(epfd, C.EPOLL_CTL_ADD, rfd, C.EPOLLIN)
+            before = ctx.kernel.sim.now
+            ret, _ = yield from libc.epoll_wait(epfd, timeout_ms=0)
+            assert ret == 0
+            assert ctx.kernel.sim.now - before < 100_000
+            return 0
+
+        _k, _p, code = run_guest(Program("ep-zero", main))
+        assert code == 0
+
+    def test_wait_timeout_elapses(self):
+        def main(ctx):
+            libc = ctx.libc
+            rfd, _ = yield from libc.pipe()
+            epfd = yield from libc.epoll_create()
+            yield from libc.epoll_ctl(epfd, C.EPOLL_CTL_ADD, rfd, C.EPOLLIN)
+            before = ctx.kernel.sim.now
+            ret, _ = yield from libc.epoll_wait(epfd, timeout_ms=5)
+            assert ret == 0
+            assert ctx.kernel.sim.now - before >= 5_000_000
+            return 0
+
+        _k, _p, code = run_guest(Program("ep-timeout", main))
+        assert code == 0
+
+    def test_epollrdhup_on_peer_close(self):
+        def main(ctx):
+            libc = ctx.libc
+            listener = yield from libc.socket()
+            yield from libc.bind(listener, "0.0.0.0", 6100)
+            yield from libc.listen(listener)
+            client = yield from libc.socket()
+            yield from libc.connect(client, ctx.process.host_ip, 6100)
+            conn = yield from libc.accept(listener)
+            epfd = yield from libc.epoll_create()
+            yield from libc.epoll_ctl(
+                epfd, C.EPOLL_CTL_ADD, conn, C.EPOLLIN | C.EPOLLRDHUP
+            )
+            yield from libc.close(client)
+            ret, events = yield from libc.epoll_wait(epfd, timeout_ms=100)
+            assert ret == 1
+            revents, _data = events[0]
+            assert revents & C.EPOLLRDHUP
+            return 0
+
+        _k, _p, code = run_guest(Program("ep-rdhup", main))
+        assert code == 0
+
+
+class TestPollSelect:
+    def test_poll_reports_bad_fd_as_pollnval(self):
+        def main(ctx):
+            from repro.kernel.structs import POLLFD_SIZE, pack_pollfd, unpack_pollfd
+
+            buf = yield from ctx.libc.malloc(POLLFD_SIZE)
+            ctx.mem.write(buf, pack_pollfd(321, C.POLLIN, 0))
+            ret = yield ctx.sys.poll(buf, 1, 0)
+            assert ret == 1
+            _fd, _ev, revents = unpack_pollfd(ctx.mem.read(buf, POLLFD_SIZE))
+            assert revents & C.POLLNVAL
+            return 0
+
+        _k, _p, code = run_guest(Program("pollnval", main))
+        assert code == 0
+
+    def test_poll_wakes_on_data(self):
+        def main(ctx):
+            from repro.kernel.structs import POLLFD_SIZE, pack_pollfd, unpack_pollfd
+
+            libc = ctx.libc
+            rfd, wfd = yield from libc.pipe()
+
+            def writer(cctx, arg):
+                def body():
+                    yield from cctx.libc.nanosleep(1_000_000)
+                    yield from cctx.libc.write(arg, b"!")
+
+                return body()
+
+            yield ctx.spawn_thread(writer, wfd)
+            buf = yield from libc.malloc(POLLFD_SIZE)
+            ctx.mem.write(buf, pack_pollfd(rfd, C.POLLIN, 0))
+            ret = yield ctx.sys.poll(buf, 1, -1)
+            assert ret == 1
+            _fd, _ev, revents = unpack_pollfd(ctx.mem.read(buf, POLLFD_SIZE))
+            assert revents & C.POLLIN
+            return 0
+
+        _k, _p, code = run_guest(Program("poll-data", main))
+        assert code == 0
+
+    def test_select_readable_set(self):
+        def main(ctx):
+            libc = ctx.libc
+            rfd, wfd = yield from libc.pipe()
+            yield from libc.write(wfd, b"ready")
+            rset = yield from libc.malloc(128)
+            ctx.mem.write(rset, bytes(128))
+            ctx.mem.write(rset + rfd // 8, bytes([1 << (rfd % 8)]))
+            ret = yield ctx.sys.select(rfd + 1, rset, 0, 0, 0)
+            assert ret == 1
+            bits = ctx.mem.read(rset, 128)
+            assert bits[rfd // 8] & (1 << (rfd % 8))
+            return 0
+
+        _k, _p, code = run_guest(Program("select", main))
+        assert code == 0
+
+
+class TestTimerfd:
+    def test_timerfd_read_counts_expirations(self):
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield ctx.sys.timerfd_create(C.CLOCK_MONOTONIC, 0)
+            assert fd >= 0
+            from repro.kernel.structs import pack_timespec
+
+            buf = yield from libc.malloc(32)
+            # interval 2ms, first expiry 2ms
+            ctx.mem.write(buf, pack_timespec(2_000_000) + pack_timespec(2_000_000))
+            assert (yield ctx.sys.timerfd_settime(fd, 0, buf, 0)) == 0
+            yield from libc.nanosleep(7_000_000)
+            ret, data = yield from libc.read(fd, 8)
+            assert ret == 8
+            count = int.from_bytes(data, "little")
+            assert count == 3, count
+            return 0
+
+        _k, _p, code = run_guest(Program("tfd", main))
+        assert code == 0
+
+    def test_timerfd_blocking_read_waits(self):
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield ctx.sys.timerfd_create(C.CLOCK_MONOTONIC, 0)
+            from repro.kernel.structs import pack_timespec
+
+            buf = yield from libc.malloc(32)
+            ctx.mem.write(buf, pack_timespec(0) + pack_timespec(3_000_000))
+            yield ctx.sys.timerfd_settime(fd, 0, buf, 0)
+            before = ctx.kernel.sim.now
+            ret, data = yield from libc.read(fd, 8)
+            assert int.from_bytes(data, "little") == 1
+            assert ctx.kernel.sim.now - before >= 3_000_000
+            return 0
+
+        _k, _p, code = run_guest(Program("tfd-block", main))
+        assert code == 0
+
+    def test_timerfd_gettime_reports_remaining(self):
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield ctx.sys.timerfd_create(C.CLOCK_MONOTONIC, 0)
+            from repro.kernel.structs import TIMESPEC_SIZE, pack_timespec, unpack_timespec
+
+            buf = yield from libc.malloc(32)
+            ctx.mem.write(buf, pack_timespec(0) + pack_timespec(10_000_000))
+            yield ctx.sys.timerfd_settime(fd, 0, buf, 0)
+            yield from libc.nanosleep(4_000_000)
+            out = yield from libc.malloc(32)
+            yield ctx.sys.timerfd_gettime(fd, out)
+            remaining = unpack_timespec(
+                ctx.mem.read(out + TIMESPEC_SIZE, TIMESPEC_SIZE)
+            )
+            assert 5_000_000 <= remaining <= 6_100_000, remaining
+            return 0
+
+        _k, _p, code = run_guest(Program("tfd-gettime", main))
+        assert code == 0
+
+
+class TestShm:
+    def test_shmget_shmat_roundtrip(self):
+        def main(ctx):
+            shmid = yield ctx.sys.shmget(C.IPC_PRIVATE, 8192, C.IPC_CREAT)
+            assert shmid > 0
+            addr = yield ctx.sys.shmat(shmid, 0, 0)
+            assert addr > 0
+            ctx.mem.write(addr, b"shared!")
+            addr2 = yield ctx.sys.shmat(shmid, 0, 0)
+            assert addr2 != addr
+            assert ctx.mem.read(addr2, 7) == b"shared!"
+            assert (yield ctx.sys.shmdt(addr)) == 0
+            assert (yield ctx.sys.shmctl(shmid, C.IPC_RMID, 0)) == 0
+            return 0
+
+        _k, _p, code = run_guest(Program("shm", main))
+        assert code == 0
+
+    def test_shmget_by_key_and_excl(self):
+        def main(ctx):
+            a = yield ctx.sys.shmget(1234, 4096, C.IPC_CREAT)
+            b = yield ctx.sys.shmget(1234, 4096, C.IPC_CREAT)
+            assert a == b
+            c = yield ctx.sys.shmget(1234, 4096, C.IPC_CREAT | C.IPC_EXCL)
+            assert c == -E.EEXIST
+            return 0
+
+        _k, _p, code = run_guest(Program("shm-key", main))
+        assert code == 0

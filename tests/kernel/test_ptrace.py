@@ -1,0 +1,202 @@
+"""Tests for the ptrace-like tracing layer."""
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.guest import GuestRuntime
+from repro.guest.program import Compute, Program
+from repro.kernel import Kernel
+from repro.kernel import constants as C
+from repro.kernel.syscalls import SyscallRequest
+from repro.ptrace.api import Tracer
+
+
+def traced_run(main, stop_handler, signal_handler=None, max_steps=2_000_000):
+    kernel = Kernel()
+    process = kernel.create_process("tracee")
+    tracer = Tracer(kernel)
+    tracer.stop_handler = stop_handler
+    if signal_handler is not None:
+        tracer.signal_handler = signal_handler
+    tracer.attach(process)
+    runtime = GuestRuntime(kernel, process, Program("tracee", main))
+    _t, task = runtime.start()
+    kernel.sim.run(max_steps=max_steps)
+    if task.failure:
+        raise task.failure
+    return kernel, process, tracer
+
+
+def test_entry_and_exit_stops_reported_in_order():
+    events = []
+
+    def handler(stop):
+        events.append((stop.kind, stop.req.name))
+        stop.thread.tracer.resume(stop.thread)
+
+    def main(ctx):
+        yield ctx.sys.getpid()
+        return 0
+
+    traced_run(main, handler)
+    names = [e for e in events if e[1] == "getpid"]
+    assert names == [("syscall-entry", "getpid"), ("syscall-exit", "getpid")]
+
+
+def test_skip_call_forces_result():
+    def handler(stop):
+        tracer = stop.thread.tracer
+        if stop.kind == "syscall-entry" and stop.req.name == "getpid":
+            tracer.skip_call(stop.thread, 4242)
+        tracer.resume(stop.thread)
+
+    observed = {}
+
+    def main(ctx):
+        pid = yield ctx.sys.getpid()
+        observed["pid"] = pid
+        return 0
+
+    traced_run(main, handler)
+    assert observed["pid"] == 4242
+
+
+def test_exit_stop_can_rewrite_result():
+    def handler(stop):
+        tracer = stop.thread.tracer
+        if stop.kind == "syscall-exit" and stop.req.name == "getuid":
+            tracer.resume(stop.thread, final_result=7777)
+        else:
+            tracer.resume(stop.thread)
+
+    observed = {}
+
+    def main(ctx):
+        observed["uid"] = yield ctx.sys.getuid()
+        return 0
+
+    traced_run(main, handler)
+    assert observed["uid"] == 7777
+
+
+def test_rewrite_args_at_entry():
+    """The tracer can rewrite the request the kernel executes (how a
+    monitor would redirect a path, for example)."""
+
+    def handler(stop):
+        tracer = stop.thread.tracer
+        if stop.kind == "syscall-entry" and stop.req.name == "lseek":
+            tracer.rewrite_args(stop.thread, stop.req.replace(args=(stop.req.args[0], 2, 0)))
+        tracer.resume(stop.thread)
+
+    observed = {}
+
+    def main(ctx):
+        fd = yield from ctx.libc.open("/data/f")
+        observed["pos"] = yield ctx.sys.lseek(fd, 9, 0)  # tracer changes 9 -> 2
+        return 0
+
+    kernel = Kernel()
+    kernel.fs.write_file("/data/f", b"0123456789")
+    process = kernel.create_process("tracee")
+    tracer = Tracer(kernel)
+    tracer.stop_handler = handler
+    tracer.attach(process)
+    _t, task = GuestRuntime(kernel, process, Program("t", main)).start()
+    kernel.sim.run(max_steps=2_000_000)
+    if task.failure:
+        raise task.failure
+    assert observed["pos"] == 2
+
+
+def test_peek_poke_cross_memory():
+    poked = {}
+
+    def handler(stop):
+        tracer = stop.thread.tracer
+        if stop.kind == "syscall-entry" and stop.req.name == "write":
+            addr = stop.req.args[1]
+            data = tracer.peek(stop.thread.process, addr, stop.req.args[2])
+            poked["seen"] = data
+            tracer.poke(stop.thread.process, addr, b"REWRITTEN!")
+        tracer.resume(stop.thread)
+
+    def main(ctx):
+        yield from ctx.libc.write(1, b"ORIGINAL!!")
+        return 0
+
+    _k, process, _t = traced_run(main, handler)
+    assert poked["seen"] == b"ORIGINAL!!"
+    assert process.console.text() == "REWRITTEN!"
+
+
+def test_signal_interception_and_injection():
+    deferred = []
+
+    def stop_handler(stop):
+        stop.thread.tracer.resume(stop.thread)
+
+    def signal_handler(stop):
+        deferred.append(stop.signo)
+        # Deliver it later, the GHUMVEE way.
+        stop.thread.tracer.inject_signal(stop.thread, stop.signo)
+
+    hits = []
+
+    def main(ctx):
+        def handler(hctx, signo):
+            hits.append(signo)
+
+        yield ctx.sys.rt_sigaction(C.SIGUSR1, handler)
+        yield ctx.sys.kill(ctx.process.pid, C.SIGUSR1)
+        yield Compute(1000)
+        yield ctx.sys.getpid()
+        return 0
+
+    traced_run(main, stop_handler, signal_handler)
+    assert deferred == [C.SIGUSR1]
+    assert hits == [C.SIGUSR1]
+
+
+def test_untraced_kernel_does_not_stop():
+    def main(ctx):
+        yield ctx.sys.getpid()
+        return 0
+
+    kernel = Kernel()
+    process = kernel.create_process("free")
+    runtime = GuestRuntime(kernel, process, Program("free", main))
+    _t, task = runtime.start()
+    kernel.sim.run()
+    assert task.failure is None
+    assert process.exit_code == 0
+
+
+def test_resume_unstopped_thread_is_error():
+    kernel = Kernel()
+    process = kernel.create_process("p")
+    thread = kernel.create_thread(process)
+    tracer = Tracer(kernel)
+    with pytest.raises(MonitorError):
+        tracer.resume(thread)
+
+
+def test_detach_stops_tracing():
+    counted = {"stops": 0}
+
+    def handler(stop):
+        counted["stops"] += 1
+        stop.thread.tracer.resume(stop.thread)
+
+    def main(ctx):
+        yield ctx.sys.getpid()
+        # Detach mid-run from inside the test via the tracer handle
+        # stashed on the process.
+        ctx.process.tracer.detach(ctx.process)
+        yield ctx.sys.getpid()
+        yield ctx.sys.getpid()
+        return 0
+
+    _k, process, tracer = traced_run(main, handler)
+    # Two stops (entry+exit) for the first getpid only.
+    assert counted["stops"] == 2

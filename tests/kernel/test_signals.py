@@ -1,0 +1,213 @@
+"""Signal semantics tests."""
+
+from repro.guest.program import Compute, Program
+from repro.kernel import constants as C
+from repro.kernel import errno_codes as E
+from tests.conftest import run_guest
+
+
+def test_sig_ign_drops_signal():
+    def main(ctx):
+        yield ctx.sys.rt_sigaction(C.SIGUSR1, C.SIG_IGN)
+        yield ctx.sys.kill(ctx.process.pid, C.SIGUSR1)
+        yield Compute(1000)
+        return 0
+
+    _k, _p, code = run_guest(Program("ign", main))
+    assert code == 0
+
+
+def test_blocked_signal_stays_pending_until_unblocked():
+    order = []
+
+    def main(ctx):
+        def handler(hctx, signo):
+            order.append("handler")
+
+        yield ctx.sys.rt_sigaction(C.SIGUSR1, handler)
+        mask = 1 << (C.SIGUSR1 - 1)
+        yield ctx.sys.rt_sigprocmask(C.SIG_BLOCK, mask, 0)
+        yield ctx.sys.kill(ctx.process.pid, C.SIGUSR1)
+        yield Compute(1000)
+        order.append("still-blocked")
+        # Verify it shows as pending.
+        buf = yield from ctx.libc.malloc(8)
+        yield ctx.sys.rt_sigpending(buf)
+        assert ctx.mem.read_u64(buf) & mask
+        yield ctx.sys.rt_sigprocmask(C.SIG_UNBLOCK, mask, 0)
+        yield Compute(1000)
+        order.append("done")
+        return 0
+
+    _k, _p, code = run_guest(Program("mask", main))
+    assert code == 0
+    assert order == ["still-blocked", "handler", "done"]
+
+
+def test_sigkill_cannot_be_blocked_or_handled():
+    def main(ctx):
+        ret = yield ctx.sys.rt_sigaction(C.SIGKILL, lambda c, s: None)
+        assert ret == -E.EINVAL
+        yield ctx.sys.rt_sigprocmask(C.SIG_BLOCK, 1 << (C.SIGKILL - 1), 0)
+        assert C.SIGKILL not in ctx.thread.sigmask
+        yield ctx.sys.kill(ctx.process.pid, C.SIGKILL)
+        yield Compute(10_000)
+        return 0
+
+    _k, _p, code = run_guest(Program("sigkill", main))
+    assert code == 128 + C.SIGKILL
+
+
+def test_signal_interrupts_blocking_read():
+    result = {}
+
+    def main(ctx):
+        def handler(hctx, signo):
+            result["handled"] = True
+
+        yield ctx.sys.rt_sigaction(C.SIGALRM, handler)
+        libc = ctx.libc
+        rfd, _wfd = yield from libc.pipe()
+
+        def alarm_thread(cctx, arg):
+            def body():
+                yield from cctx.libc.nanosleep(2_000_000)
+                yield cctx.sys.kill(cctx.process.pid, C.SIGALRM)
+
+            return body()
+
+        yield ctx.spawn_thread(alarm_thread, None)
+        ret, _ = yield from libc.read(rfd, 16)
+        result["read_ret"] = ret
+        return 0
+
+    _k, _p, code = run_guest(Program("eintr", main))
+    assert code == 0
+    assert result["read_ret"] == -E.EINTR
+    assert result.get("handled")
+
+
+def test_alarm_delivers_sigalrm():
+    hits = []
+
+    def main(ctx):
+        def handler(hctx, signo):
+            hits.append(ctx.kernel.sim.now)
+
+        yield ctx.sys.rt_sigaction(C.SIGALRM, handler)
+        yield ctx.sys.alarm(1)  # one second
+        yield from ctx.libc.nanosleep(1_500_000_000)
+        return 0
+
+    kernel, _p, code = run_guest(Program("alarm", main))
+    assert code == 0
+    assert len(hits) == 1
+    assert hits[0] >= 1_000_000_000
+
+
+def test_setitimer_interval_fires_repeatedly():
+    hits = []
+
+    def main(ctx):
+        def handler(hctx, signo):
+            hits.append(ctx.kernel.sim.now)
+
+        yield ctx.sys.rt_sigaction(C.SIGALRM, handler)
+        from repro.kernel.structs import pack_timeval
+
+        buf = yield from ctx.libc.malloc(32)
+        # interval 10ms, first expiry 10ms
+        ctx.mem.write(buf, pack_timeval(10_000_000) + pack_timeval(10_000_000))
+        yield ctx.sys.setitimer(0, buf, 0)
+        for _ in range(5):
+            yield from ctx.libc.nanosleep(10_500_000)
+        # disarm
+        ctx.mem.write(buf, pack_timeval(0) + pack_timeval(0))
+        yield ctx.sys.setitimer(0, buf, 0)
+        return 0
+
+    _k, _p, code = run_guest(Program("itimer", main))
+    assert code == 0
+    assert len(hits) >= 3
+
+
+def test_signal_to_specific_thread_with_tgkill():
+    hits = []
+
+    def main(ctx):
+        def handler(hctx, signo):
+            hits.append(hctx.thread.tid)
+
+        yield ctx.sys.rt_sigaction(C.SIGUSR2, handler)
+        words = {}
+
+        def child(cctx, arg):
+            def body():
+                words["tid"] = cctx.thread.tid
+                yield from cctx.libc.nanosleep(3_000_000)
+
+            return body()
+
+        yield ctx.spawn_thread(child, None)
+        yield from ctx.libc.nanosleep(1_000_000)
+        ret = yield ctx.sys.tgkill(ctx.process.pid, words["tid"], C.SIGUSR2)
+        assert ret == 0
+        yield from ctx.libc.nanosleep(4_000_000)
+        return 0
+
+    _k, _p, code = run_guest(Program("tgkill", main))
+    assert code == 0
+    assert len(hits) == 1
+
+
+def test_kill_missing_process_esrch():
+    def main(ctx):
+        ret = yield ctx.sys.kill(99999, C.SIGTERM)
+        assert ret == -E.ESRCH
+        ret = yield ctx.sys.kill(ctx.process.pid, 0)  # probe only
+        assert ret == 0
+        return 0
+
+    _k, _p, code = run_guest(Program("esrch", main))
+    assert code == 0
+
+
+def test_handler_generator_can_do_syscalls():
+    seen = {}
+
+    def main(ctx):
+        def handler(hctx, signo):
+            def body():
+                pid = yield hctx.sys.getpid()
+                seen["pid_in_handler"] = pid
+
+            return body()
+
+        yield ctx.sys.rt_sigaction(C.SIGUSR1, handler)
+        yield ctx.sys.kill(ctx.process.pid, C.SIGUSR1)
+        yield Compute(1000)
+        return 0
+
+    _k, process, code = run_guest(Program("hgen", main))
+    assert code == 0
+    assert seen["pid_in_handler"] == process.pid
+
+
+def test_pause_returns_eintr_on_signal():
+    def main(ctx):
+        yield ctx.sys.rt_sigaction(C.SIGUSR1, lambda c, s: None)
+
+        def waker(cctx, arg):
+            def body():
+                yield from cctx.libc.nanosleep(1_000_000)
+                yield cctx.sys.kill(cctx.process.pid, C.SIGUSR1)
+
+            return body()
+
+        yield ctx.spawn_thread(waker, None)
+        ret = yield ctx.sys.pause()
+        assert ret == -E.EINTR
+        return 0
+
+    _k, _p, code = run_guest(Program("pause", main))
+    assert code == 0

@@ -1,0 +1,285 @@
+"""Socket and network-model tests."""
+
+from repro.guest import GuestRuntime
+from repro.guest.program import Program
+from repro.kernel import Kernel, KernelConfig
+from repro.kernel import constants as C
+from repro.kernel import errno_codes as E
+
+
+def run_pair(server_main, client_main, latency_ns=100_000, max_steps=4_000_000):
+    kernel = Kernel(config=KernelConfig(network_latency_ns=latency_ns))
+    sproc = kernel.create_process("server", host_ip="10.0.0.1")
+    cproc = kernel.create_process("client", host_ip="10.0.0.2")
+    _t1, stask = GuestRuntime(kernel, sproc, Program("server", server_main)).start()
+    _t2, ctask = GuestRuntime(kernel, cproc, Program("client", client_main)).start()
+    kernel.sim.run(max_steps=max_steps)
+    for task in (stask, ctask):
+        if task.failure:
+            raise task.failure
+    return kernel, sproc, cproc
+
+
+def test_connect_refused_when_no_listener():
+    outcome = {}
+
+    def client(ctx):
+        libc = ctx.libc
+        fd = yield from libc.socket()
+        ret = yield from libc.connect(fd, "10.0.0.1", 5555)
+        outcome["ret"] = ret
+        return 0
+
+    def server(ctx):
+        yield from ctx.libc.nanosleep(1_000_000)
+        return 0
+
+    run_pair(server, client)
+    assert outcome["ret"] == -E.ECONNREFUSED
+
+
+def test_latency_delays_data():
+    stamps = {}
+
+    def server(ctx):
+        libc = ctx.libc
+        fd = yield from libc.socket()
+        yield from libc.bind(fd, "0.0.0.0", 5001)
+        yield from libc.listen(fd)
+        conn = yield from libc.accept(fd)
+        ret, _ = yield from libc.recv(conn, 16)
+        stamps["recv_at"] = ctx.kernel.sim.now
+        return 0
+
+    def client(ctx):
+        libc = ctx.libc
+        yield from libc.nanosleep(500_000)
+        fd = yield from libc.socket()
+        yield from libc.connect(fd, "10.0.0.1", 5001)
+        stamps["send_at"] = ctx.kernel.sim.now
+        yield from libc.send(fd, b"timed")
+        return 0
+
+    run_pair(server, client, latency_ns=1_000_000)
+    assert stamps["recv_at"] - stamps["send_at"] >= 1_000_000
+
+
+def test_loopback_bypasses_latency():
+    stamps = {}
+
+    def server(ctx):
+        libc = ctx.libc
+        listener = yield from libc.socket()
+        yield from libc.bind(listener, "0.0.0.0", 5002)
+        yield from libc.listen(listener)
+        client = yield from libc.socket()
+        yield from libc.connect(client, ctx.process.host_ip, 5002)
+        conn = yield from libc.accept(listener)
+        stamps["send_at"] = ctx.kernel.sim.now
+        yield from libc.send(client, b"fast")
+        ret, _ = yield from libc.recv(conn, 16)
+        stamps["recv_at"] = ctx.kernel.sim.now
+        return 0
+
+    def noop(ctx):
+        yield from ctx.libc.nanosleep(1)
+        return 0
+
+    run_pair(server, noop, latency_ns=5_000_000)
+    assert stamps["recv_at"] - stamps["send_at"] < 1_000_000
+
+
+def test_shutdown_write_delivers_eof():
+    outcome = {}
+
+    def server(ctx):
+        libc = ctx.libc
+        fd = yield from libc.socket()
+        yield from libc.bind(fd, "0.0.0.0", 5003)
+        yield from libc.listen(fd)
+        conn = yield from libc.accept(fd)
+        ret, data = yield from libc.recv(conn, 16)
+        assert data == b"bye"
+        ret, data = yield from libc.recv(conn, 16)
+        outcome["eof"] = ret
+        return 0
+
+    def client(ctx):
+        libc = ctx.libc
+        yield from libc.nanosleep(500_000)
+        fd = yield from libc.socket()
+        yield from libc.connect(fd, "10.0.0.1", 5003)
+        yield from libc.send(fd, b"bye")
+        yield from libc.shutdown(fd, C.SHUT_WR)
+        yield from libc.nanosleep(2_000_000)
+        return 0
+
+    run_pair(server, client)
+    assert outcome["eof"] == 0
+
+
+def test_write_after_peer_close_raises_sigpipe():
+    outcome = {}
+
+    def server(ctx):
+        libc = ctx.libc
+        fd = yield from libc.socket()
+        yield from libc.bind(fd, "0.0.0.0", 5004)
+        yield from libc.listen(fd)
+        conn = yield from libc.accept(fd)
+        yield from libc.close(conn)
+        yield from libc.nanosleep(3_000_000)
+        return 0
+
+    def client(ctx):
+        def handler(hctx, signo):
+            outcome["sigpipe"] = signo
+
+        yield ctx.sys.rt_sigaction(C.SIGPIPE, handler)
+        libc = ctx.libc
+        yield from libc.nanosleep(500_000)
+        fd = yield from libc.socket()
+        yield from libc.connect(fd, "10.0.0.1", 5004)
+        yield from libc.nanosleep(2_000_000)  # let the close arrive
+        ret = yield from libc.send(fd, b"anyone there?")
+        outcome["send_ret"] = ret
+        return 0
+
+    run_pair(server, client)
+    assert outcome["send_ret"] == -E.EPIPE
+    assert outcome["sigpipe"] == C.SIGPIPE
+
+
+def test_nonblocking_connect_einprogress_then_ready():
+    outcome = {}
+
+    def server(ctx):
+        libc = ctx.libc
+        fd = yield from libc.socket()
+        yield from libc.bind(fd, "0.0.0.0", 5005)
+        yield from libc.listen(fd)
+        conn = yield from libc.accept(fd)
+        yield from libc.nanosleep(1_000_000)
+        return 0
+
+    def client(ctx):
+        libc = ctx.libc
+        yield from libc.nanosleep(500_000)
+        fd = yield from libc.socket(nonblocking=True)
+        ret = yield from libc.connect(fd, "10.0.0.1", 5005)
+        outcome["first"] = ret
+        yield from libc.nanosleep(2_000_000)
+        buf = yield from libc.malloc(4)
+        yield ctx.sys.getsockopt(fd, C.SOL_SOCKET, C.SO_ERROR, buf, 4)
+        outcome["so_error"] = ctx.mem.read_u32(buf)
+        return 0
+
+    run_pair(server, client)
+    assert outcome["first"] == -E.EINPROGRESS
+    assert outcome["so_error"] == 0
+
+
+def test_nonblocking_recv_eagain():
+    def main(ctx):
+        libc = ctx.libc
+        listener = yield from libc.socket()
+        yield from libc.bind(listener, "0.0.0.0", 5006)
+        yield from libc.listen(listener)
+        client = yield from libc.socket()
+        yield from libc.connect(client, ctx.process.host_ip, 5006)
+        conn = yield from libc.accept(listener)
+        yield from libc.set_nonblocking(conn)
+        ret, _ = yield from libc.recv(conn, 16)
+        assert ret == -E.EAGAIN
+        return 0
+
+    from tests.conftest import run_guest
+
+    _k, _p, code = run_guest(Program("nb-recv", main))
+    assert code == 0
+
+
+def test_getsockname_getpeername():
+    names = {}
+
+    def server(ctx):
+        libc = ctx.libc
+        fd = yield from libc.socket()
+        yield from libc.bind(fd, "0.0.0.0", 5007)
+        yield from libc.listen(fd)
+        conn = yield from libc.accept(fd)
+        from repro.kernel.structs import SOCKADDR_SIZE, unpack_sockaddr
+
+        buf = yield from libc.malloc(SOCKADDR_SIZE)
+        yield ctx.sys.getpeername(conn, buf, 0)
+        names["peer"] = unpack_sockaddr(ctx.mem.read(buf, SOCKADDR_SIZE))
+        yield ctx.sys.getsockname(conn, buf, 0)
+        names["local"] = unpack_sockaddr(ctx.mem.read(buf, SOCKADDR_SIZE))
+        return 0
+
+    def client(ctx):
+        libc = ctx.libc
+        yield from libc.nanosleep(500_000)
+        fd = yield from libc.socket()
+        yield from libc.connect(fd, "10.0.0.1", 5007)
+        yield from libc.nanosleep(1_000_000)
+        return 0
+
+    run_pair(server, client)
+    assert names["peer"][1] == "10.0.0.2"
+    assert names["local"] == (2, "10.0.0.1", 5007)
+
+
+def test_bind_conflict_eaddrinuse():
+    def main(ctx):
+        libc = ctx.libc
+        a = yield from libc.socket()
+        yield from libc.bind(a, "0.0.0.0", 5008)
+        yield from libc.listen(a)
+        b = yield from libc.socket()
+        yield from libc.bind(b, "0.0.0.0", 5008)
+        ret = yield from libc.listen(b)
+        assert ret == -E.EADDRINUSE
+        return 0
+
+    from tests.conftest import run_guest
+
+    _k, _p, code = run_guest(Program("addrinuse", main))
+    assert code == 0
+
+
+def test_sendmsg_recvmsg_iovec_paths():
+    def main(ctx):
+        import struct
+
+        libc = ctx.libc
+        listener = yield from libc.socket()
+        yield from libc.bind(listener, "0.0.0.0", 5009)
+        yield from libc.listen(listener)
+        client = yield from libc.socket()
+        yield from libc.connect(client, ctx.process.host_ip, 5009)
+        conn = yield from libc.accept(listener)
+        # Build an iovec pair and a msghdr in guest memory.
+        from repro.kernel.structs import pack_iovec
+
+        part1 = yield from libc.push_bytes(b"hello ")
+        part2 = yield from libc.push_bytes(b"world")
+        iov = yield from libc.push_bytes(pack_iovec(part1, 6) + pack_iovec(part2, 5))
+        msg = yield from libc.push_bytes(struct.pack("<QQ", iov, 2))
+        sent = yield ctx.sys.sendmsg(client, msg, 0)
+        assert sent == 11
+        # Scattered receive.
+        buf1 = yield from libc.malloc(4)
+        buf2 = yield from libc.malloc(16)
+        riov = yield from libc.push_bytes(pack_iovec(buf1, 4) + pack_iovec(buf2, 7))
+        rmsg = yield from libc.push_bytes(struct.pack("<QQ", riov, 2))
+        got = yield ctx.sys.recvmsg(conn, rmsg, 0)
+        assert got == 11
+        assert ctx.mem.read(buf1, 4) == b"hell"
+        assert ctx.mem.read(buf2, 7) == b"o world"
+        return 0
+
+    from tests.conftest import run_guest
+
+    _k, _p, code = run_guest(Program("msgio", main))
+    assert code == 0

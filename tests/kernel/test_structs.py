@@ -1,0 +1,90 @@
+"""Binary layout round-trip tests (hypothesis-driven)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel import structs
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 31) - 1),
+    st.binary(min_size=1, max_size=64).filter(lambda b: b"\x00" not in b),
+    st.integers(min_value=0, max_value=255),
+)
+def test_dirent_roundtrip(ino, name, dtype):
+    packed = structs.pack_dirent(ino, name, dtype)
+    [(got_ino, got_name, got_type)] = structs.unpack_dirents(packed)
+    assert (got_ino, got_name, got_type) == (ino, name, dtype)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 31) - 1),
+            st.binary(min_size=1, max_size=32).filter(lambda b: b"\x00" not in b),
+            st.integers(min_value=0, max_value=255),
+        ),
+        min_size=0,
+        max_size=8,
+    )
+)
+def test_dirent_stream_roundtrip(entries):
+    blob = b"".join(structs.pack_dirent(*e) for e in entries)
+    assert structs.unpack_dirents(blob) == entries
+
+
+@given(st.integers(min_value=0, max_value=(1 << 62) - 1))
+def test_timespec_roundtrip(ns):
+    assert structs.unpack_timespec(structs.pack_timespec(ns)) == ns
+
+
+@given(
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+)
+def test_epoll_event_roundtrip(events, data):
+    packed = structs.pack_epoll_event(events, data)
+    assert len(packed) == structs.EPOLL_EVENT_SIZE
+    assert structs.unpack_epoll_event(packed) == (events, data)
+
+
+@given(
+    st.integers(min_value=0, max_value=65535),
+    st.tuples(*[st.integers(min_value=0, max_value=255)] * 4),
+)
+def test_sockaddr_roundtrip(port, ip_parts):
+    ip = ".".join(str(p) for p in ip_parts)
+    packed = structs.pack_sockaddr(2, ip, port)
+    family, got_ip, got_port = structs.unpack_sockaddr(packed)
+    assert (family, got_ip, got_port) == (2, ip, port)
+
+
+@given(
+    st.integers(min_value=-1, max_value=(1 << 31) - 1),
+    st.integers(min_value=-32768, max_value=32767),
+    st.integers(min_value=-32768, max_value=32767),
+)
+def test_pollfd_roundtrip(fd, events, revents):
+    packed = structs.pack_pollfd(fd, events, revents)
+    assert structs.unpack_pollfd(packed) == (fd, events, revents)
+
+
+def test_stat_roundtrip():
+    packed = structs.pack_stat(1, 42, 0o100644, 1, 1000, 1000, 12345)
+    st_ = structs.unpack_stat(packed)
+    assert st_["st_ino"] == 42
+    assert st_["st_mode"] == 0o100644
+    assert st_["st_size"] == 12345
+
+
+def test_iovec_helpers():
+    from repro.kernel.memory import AddressSpace
+
+    space = AddressSpace(0x7F00_0000_0000, 0x5555_0000_0000)
+    mapping = space.map(None, 4096, 3)
+    iov = structs.pack_iovec(0x1000, 64) + structs.pack_iovec(0x2000, 128)
+    space.write(mapping.start, iov)
+    assert structs.read_iovecs(space, mapping.start, 2) == [
+        (0x1000, 64),
+        (0x2000, 128),
+    ]

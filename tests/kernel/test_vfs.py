@@ -1,0 +1,377 @@
+"""VFS and descriptor-layer tests driven through guest programs."""
+
+import pytest
+
+from repro.guest.program import Program
+from repro.kernel import Kernel
+from repro.kernel import constants as C
+from repro.kernel import errno_codes as E
+from repro.kernel.vfs import Directory, Filesystem, RegularFile, Symlink
+from tests.conftest import run_guest
+
+
+class TestPathResolution:
+    def test_resolve_absolute(self):
+        fs = Filesystem()
+        fs.write_file("/data/a/b.txt", b"x")
+        node, err = fs.resolve("/data/a/b.txt")
+        assert err == 0 and isinstance(node, RegularFile)
+
+    def test_resolve_relative_to_cwd(self):
+        fs = Filesystem()
+        fs.write_file("/data/rel.txt", b"x")
+        node, err = fs.resolve("rel.txt", cwd="/data")
+        assert err == 0 and node is not None
+
+    def test_missing_component_enoent(self):
+        fs = Filesystem()
+        node, err = fs.resolve("/no/such/path")
+        assert node is None and err == E.ENOENT
+
+    def test_file_as_directory_enotdir(self):
+        fs = Filesystem()
+        fs.write_file("/data/file.txt", b"x")
+        node, err = fs.resolve("/data/file.txt/sub")
+        assert node is None and err == E.ENOTDIR
+
+    def test_symlink_followed(self):
+        fs = Filesystem()
+        fs.write_file("/data/real.txt", b"target")
+        fs.symlink("/data/link.txt", "/data/real.txt")
+        node, err = fs.resolve("/data/link.txt")
+        assert err == 0 and isinstance(node, RegularFile)
+
+    def test_symlink_not_followed_when_asked(self):
+        fs = Filesystem()
+        fs.write_file("/data/real.txt", b"target")
+        fs.symlink("/data/link.txt", "/data/real.txt")
+        node, err = fs.resolve("/data/link.txt", follow=False)
+        assert err == 0 and isinstance(node, Symlink)
+
+    def test_symlink_loop_detected(self):
+        fs = Filesystem()
+        fs.symlink("/data/x", "/data/y")
+        fs.symlink("/data/y", "/data/x")
+        node, err = fs.resolve("/data/x")
+        assert node is None and err == E.ELOOP
+
+    def test_dot_segments_collapse(self):
+        fs = Filesystem()
+        fs.write_file("/data/f", b"x")
+        node, err = fs.resolve("/data/./f")
+        assert err == 0 and node is not None
+
+
+class TestOpenSemantics:
+    def test_o_creat_and_excl(self):
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield from libc.open("/tmp/new.txt", C.O_WRONLY | C.O_CREAT)
+            assert fd >= 0
+            yield from libc.close(fd)
+            fd2 = yield from libc.open(
+                "/tmp/new.txt", C.O_WRONLY | C.O_CREAT | C.O_EXCL
+            )
+            assert fd2 == -E.EEXIST
+            return 0
+
+        _k, _p, code = run_guest(Program("creat", main))
+        assert code == 0
+
+    def test_o_trunc_empties_file(self):
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield from libc.open("/data/t.txt", C.O_WRONLY | C.O_TRUNC)
+            assert fd >= 0
+            ret, st = yield from libc.fstat(fd)
+            assert st["st_size"] == 0
+            return 0
+
+        _k, _p, code = run_guest(Program("trunc", main, files={"/data/t.txt": b"full"}))
+        assert code == 0
+
+    def test_o_append_positions_at_end(self):
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield from libc.open("/data/log", C.O_WRONLY | C.O_APPEND)
+            yield from libc.write(fd, b"-suffix")
+            yield from libc.close(fd)
+            fd = yield from libc.open("/data/log")
+            _ret, data = yield from libc.read(fd, 64)
+            assert data == b"prefix-suffix", data
+            return 0
+
+        _k, _p, code = run_guest(Program("append", main, files={"/data/log": b"prefix"}))
+        assert code == 0
+
+    def test_o_directory_on_file_fails(self):
+        def main(ctx):
+            fd = yield from ctx.libc.open("/data/f", C.O_RDONLY | C.O_DIRECTORY)
+            assert fd == -E.ENOTDIR
+            return 0
+
+        _k, _p, code = run_guest(Program("odir", main, files={"/data/f": b"x"}))
+        assert code == 0
+
+    def test_open_directory_for_write_is_eisdir(self):
+        def main(ctx):
+            fd = yield from ctx.libc.open("/data", C.O_RDWR)
+            assert fd == -E.EISDIR
+            return 0
+
+        _k, _p, code = run_guest(Program("eisdir", main, files={"/data/f": b"x"}))
+        assert code == 0
+
+
+class TestDescriptorOps:
+    def test_dup_shares_offset(self):
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield from libc.open("/data/ten")
+            dup = yield ctx.sys.dup(fd)
+            assert dup >= 0 and dup != fd
+            ret, _ = yield from libc.read(fd, 5)
+            offset = yield ctx.sys.lseek(dup, 0, C.SEEK_CUR)
+            assert offset == 5  # dup shares the open file description
+            return 0
+
+        _k, _p, code = run_guest(Program("dup", main, files={"/data/ten": b"0123456789"}))
+        assert code == 0
+
+    def test_dup2_closes_target(self):
+        def main(ctx):
+            libc = ctx.libc
+            a = yield from libc.open("/data/a")
+            b = yield from libc.open("/data/b")
+            ret = yield ctx.sys.dup2(a, b)
+            assert ret == b
+            ret, data = yield from libc.read(b, 4)
+            assert data == b"AAAA"
+            return 0
+
+        _k, _p, code = run_guest(
+            Program("dup2", main, files={"/data/a": b"AAAA", "/data/b": b"BBBB"})
+        )
+        assert code == 0
+
+    def test_close_bad_fd_is_ebadf(self):
+        def main(ctx):
+            ret = yield ctx.sys.close(555)
+            assert ret == -E.EBADF
+            return 0
+
+        _k, _p, code = run_guest(Program("ebadf", main))
+        assert code == 0
+
+    def test_fcntl_nonblock_toggles(self):
+        def main(ctx):
+            libc = ctx.libc
+            rfd, _wfd = yield from libc.pipe()
+            ret = yield from libc.set_nonblocking(rfd, True)
+            assert ret == 0
+            flags = yield ctx.sys.fcntl(rfd, C.F_GETFL, 0)
+            assert flags & C.O_NONBLOCK
+            ret, _ = yield from libc.read(rfd, 4)
+            assert ret == -E.EAGAIN
+            return 0
+
+        _k, _p, code = run_guest(Program("nb", main))
+        assert code == 0
+
+    def test_fcntl_dupfd_respects_floor(self):
+        def main(ctx):
+            fd = yield from ctx.libc.open("/data/f")
+            new = yield ctx.sys.fcntl(fd, C.F_DUPFD, 20)
+            assert new >= 20
+            return 0
+
+        _k, _p, code = run_guest(Program("dupfd", main, files={"/data/f": b"x"}))
+        assert code == 0
+
+    def test_lseek_set_cur_end(self):
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield from libc.open("/data/ten")
+            assert (yield ctx.sys.lseek(fd, 4, C.SEEK_SET)) == 4
+            assert (yield ctx.sys.lseek(fd, 2, C.SEEK_CUR)) == 6
+            assert (yield ctx.sys.lseek(fd, -1, C.SEEK_END)) == 9
+            assert (yield ctx.sys.lseek(fd, -100, C.SEEK_SET)) == -E.EINVAL
+            return 0
+
+        _k, _p, code = run_guest(
+            Program("lseek", main, files={"/data/ten": b"0123456789"})
+        )
+        assert code == 0
+
+    def test_lseek_pipe_is_espipe(self):
+        def main(ctx):
+            rfd, _ = yield from ctx.libc.pipe()
+            ret = yield ctx.sys.lseek(rfd, 0, C.SEEK_SET)
+            assert ret == -E.ESPIPE
+            return 0
+
+        _k, _p, code = run_guest(Program("espipe", main))
+        assert code == 0
+
+
+class TestNamespaceOps:
+    def test_unlink_then_enoent(self):
+        def main(ctx):
+            libc = ctx.libc
+            addr = yield from libc.push_cstr("/data/victim")
+            assert (yield ctx.sys.unlink(addr)) == 0
+            fd = yield from libc.open("/data/victim")
+            assert fd == -E.ENOENT
+            return 0
+
+        _k, _p, code = run_guest(
+            Program("unlink", main, files={"/data/victim": b"x"})
+        )
+        assert code == 0
+
+    def test_rename_moves_content(self):
+        def main(ctx):
+            libc = ctx.libc
+            old = yield from libc.push_cstr("/data/old")
+            new = yield from libc.push_cstr("/data/new")
+            assert (yield ctx.sys.rename(old, new)) == 0
+            fd = yield from libc.open("/data/new")
+            _ret, data = yield from libc.read(fd, 16)
+            assert data == b"contents"
+            return 0
+
+        _k, _p, code = run_guest(Program("rename", main, files={"/data/old": b"contents"}))
+        assert code == 0
+
+    def test_mkdir_and_getdents(self):
+        def main(ctx):
+            libc = ctx.libc
+            path = yield from libc.push_cstr("/data/subdir")
+            assert (yield ctx.sys.mkdir(path, 0o755)) == 0
+            assert (yield ctx.sys.mkdir(path, 0o755)) == -E.EEXIST
+            fd = yield from libc.open("/data", C.O_RDONLY | C.O_DIRECTORY)
+            ret, raw = yield from libc.getdents(fd)
+            from repro.kernel.structs import unpack_dirents
+
+            names = [n for _i, n, _t in unpack_dirents(raw)]
+            assert b"subdir" in names
+            return 0
+
+        _k, _p, code = run_guest(Program("mkdir", main, files={"/data/f": b"x"}))
+        assert code == 0
+
+    def test_getdents_paginates(self):
+        files = {"/data/file%02d" % i: b"x" for i in range(30)}
+
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield from libc.open("/data", C.O_RDONLY | C.O_DIRECTORY)
+            seen = []
+            from repro.kernel.structs import unpack_dirents
+
+            while True:
+                ret, raw = yield from libc.getdents(fd, count=128)
+                if ret <= 0:
+                    break
+                seen.extend(n for _i, n, _t in unpack_dirents(raw))
+            assert len(seen) == 30, seen
+            return 0
+
+        _k, _p, code = run_guest(Program("dents-pages", main, files=files))
+        assert code == 0
+
+    def test_ftruncate_grows_and_shrinks(self):
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield from libc.open("/data/f", C.O_RDWR)
+            assert (yield ctx.sys.ftruncate(fd, 2)) == 0
+            ret, st = yield from libc.fstat(fd)
+            assert st["st_size"] == 2
+            assert (yield ctx.sys.ftruncate(fd, 100)) == 0
+            ret, st = yield from libc.fstat(fd)
+            assert st["st_size"] == 100
+            return 0
+
+        _k, _p, code = run_guest(Program("trunc2", main, files={"/data/f": b"abcdef"}))
+        assert code == 0
+
+
+class TestXattrsAndReadlink:
+    def test_getxattr_roundtrip(self):
+        kernel = Kernel()
+        node = kernel.fs.write_file("/data/tagged", b"x")
+        node.xattrs[b"user.origin"] = b"repro"
+
+        def main(ctx):
+            libc = ctx.libc
+            path = yield from libc.push_cstr("/data/tagged")
+            name = yield from libc.push_cstr("user.origin")
+            buf = yield from libc.malloc(32)
+            ret = yield ctx.sys.getxattr(path, name, buf, 32)
+            assert ret == 5
+            assert ctx.mem.read(buf, 5) == b"repro"
+            missing = yield from libc.push_cstr("user.nope")
+            ret = yield ctx.sys.getxattr(path, missing, buf, 32)
+            assert ret == -E.ENODATA
+            return 0
+
+        _k, _p, code = run_guest(Program("xattr", main), kernel=kernel)
+        assert code == 0
+
+    def test_readlink(self):
+        kernel = Kernel()
+        kernel.fs.write_file("/data/real", b"x")
+        kernel.fs.symlink("/data/ln", "/data/real")
+
+        def main(ctx):
+            ret, target = yield from ctx.libc.readlink("/data/ln")
+            assert target == b"/data/real"
+            ret, _ = yield from ctx.libc.readlink("/data/real")
+            assert ret == -E.EINVAL
+            return 0
+
+        _k, _p, code = run_guest(Program("readlink", main), kernel=kernel)
+        assert code == 0
+
+
+class TestSendfileAndPwrite:
+    def test_sendfile_to_pipe(self):
+        def main(ctx):
+            libc = ctx.libc
+            src = yield from libc.open("/data/src")
+            rfd, wfd = yield from libc.pipe()
+            sent = yield ctx.sys.sendfile(wfd, src, 0, 5)
+            assert sent == 5
+            ret, data = yield from libc.read(rfd, 16)
+            assert data == b"01234"
+            return 0
+
+        _k, _p, code = run_guest(
+            Program("sendfile", main, files={"/data/src": b"0123456789"})
+        )
+        assert code == 0
+
+    def test_pwrite_does_not_move_offset(self):
+        def main(ctx):
+            libc = ctx.libc
+            fd = yield from libc.open("/data/f", C.O_RDWR)
+            yield from libc.pwrite(fd, b"XY", 2)
+            pos = yield ctx.sys.lseek(fd, 0, C.SEEK_CUR)
+            assert pos == 0
+            ret, data = yield from libc.pread(fd, 6, 0)
+            assert data == b"abXYef"
+            return 0
+
+        _k, _p, code = run_guest(Program("pwrite", main, files={"/data/f": b"abcdef"}))
+        assert code == 0
+
+
+def test_console_collects_stdout():
+    def main(ctx):
+        yield from ctx.libc.write(1, b"to stdout\n")
+        yield from ctx.libc.write(2, b"to stderr\n")
+        return 0
+
+    _k, process, code = run_guest(Program("console", main))
+    assert code == 0
+    assert process.console.text() == "to stdout\nto stderr\n"

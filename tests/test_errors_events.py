@@ -1,0 +1,73 @@
+"""Error hierarchy and result-record tests."""
+
+import pytest
+
+from repro import errors
+from repro.core.events import DivergenceReport, MveeResult
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (
+            errors.SimulationError,
+            errors.KernelError,
+            errors.GuestFault,
+            errors.MonitorError,
+            errors.DivergenceError,
+            errors.PolicyError,
+            errors.SecurityViolation,
+        ):
+            assert issubclass(cls, errors.ReproError)
+
+    def test_divergence_error_carries_report(self):
+        report = DivergenceReport(10, 0, "open", "args differ", "ghumvee")
+        err = errors.DivergenceError("diverged", report=report)
+        assert err.report is report
+
+
+class TestRecords:
+    def test_divergence_report_repr(self):
+        report = DivergenceReport(1234, 2, "write", "arg 1 differs", "ipmon")
+        text = repr(report)
+        assert "write" in text and "ipmon" in text and "1234" in text
+
+    def test_mvee_result_accessors(self):
+        result = MveeResult()
+        assert not result.diverged
+        result.monitored_calls = 3
+        result.unmonitored_calls = 7
+        assert result.syscall_total() == 10
+        assert "ok" in repr(result)
+        result.divergence = DivergenceReport(0, 0, "x", "d", "exit")
+        assert result.diverged
+        assert "DIVERGED" in repr(result)
+
+
+class TestSyscallRequest:
+    def test_replace_preserves_unset_fields(self):
+        from repro.kernel.syscalls import SyscallRequest
+
+        req = SyscallRequest("read", (1, 2, 3), site="app", token=None)
+        restarted = req.replace(site="ipmon", token=42)
+        assert restarted.name == "read"
+        assert restarted.args == (1, 2, 3)
+        assert restarted.site == "ipmon"
+        assert restarted.token == 42
+        assert req.site == "app"  # original untouched
+
+    def test_arg_defaulting(self):
+        from repro.kernel.syscalls import SyscallRequest
+
+        req = SyscallRequest("ioctl", (5,))
+        assert req.arg(0) == 5
+        assert req.arg(3) == 0
+        assert req.arg(3, default=-1) == -1
+
+    def test_duplicate_registration_rejected(self):
+        from repro.kernel.syscalls import syscall
+
+        with pytest.raises(ValueError):
+
+            @syscall("getpid")
+            def clash(kernel, thread):
+                return 0

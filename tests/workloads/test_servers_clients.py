@@ -1,0 +1,121 @@
+"""Server and client workload tests."""
+
+import pytest
+
+from repro.bench.harness import (
+    native_server_runner,
+    remon_server_runner,
+    varan_server_runner,
+)
+from repro.core import Level
+from repro.kernel import Kernel, KernelConfig
+from repro.workloads.clients import ClientSpec, run_server_benchmark
+from repro.workloads.servers import SERVERS
+
+FAST = ClientSpec(tool="wrk", concurrency=4, total_requests=32)
+FAST_AB = ClientSpec(tool="ab", concurrency=4, total_requests=32)
+
+
+def run_one(server_name, runner, spec=None, latency_ns=200_000):
+    server = SERVERS[server_name]
+    spec = spec or (FAST if server.response_bytes <= 256 else FAST_AB)
+    kernel = Kernel(config=KernelConfig(network_latency_ns=latency_ns))
+    return run_server_benchmark(
+        kernel, server.program(), spec, server.port, runner
+    )
+
+
+class TestNativeServers:
+    @pytest.mark.parametrize("name", sorted(SERVERS))
+    def test_every_server_serves_natively(self, name):
+        result = run_one(name, native_server_runner)
+        assert result.completed == 32
+        assert result.errors == 0
+        assert result.duration_ns > 0
+        assert result.bytes_received > 0
+
+    def test_keepalive_uses_fewer_connections_than_ab(self):
+        kernel_wrk = Kernel(config=KernelConfig(network_latency_ns=200_000))
+        server = SERVERS["redis"]
+        wrk = run_server_benchmark(
+            kernel_wrk, server.program(), FAST, server.port, native_server_runner
+        )
+        kernel_ab = Kernel(config=KernelConfig(network_latency_ns=200_000))
+        ab = run_server_benchmark(
+            kernel_ab, server.program(), FAST_AB, server.port, native_server_runner
+        )
+        assert wrk.completed == ab.completed == 32
+        # ab pays a connection handshake per request.
+        assert ab.duration_ns > wrk.duration_ns
+
+
+class TestReplicatedServers:
+    @pytest.mark.parametrize("name", ["redis", "nginx-wrk", "thttpd-ab", "apache-ab"])
+    def test_servers_survive_remon(self, name):
+        result = run_one(name, remon_server_runner(Level.SOCKET_RW, 2))
+        assert result.completed == 32
+        assert result.errors == 0
+
+    @pytest.mark.parametrize("name", ["redis", "lighttpd-ab"])
+    def test_servers_survive_ghumvee_only(self, name):
+        result = run_one(name, remon_server_runner(Level.NO_IPMON, 2))
+        assert result.completed == 32
+
+    def test_server_survives_varan(self):
+        result = run_one("memcached", varan_server_runner(2))
+        assert result.completed == 32
+
+    def test_latency_hides_monitoring_overhead(self):
+        """The paper's central Figure 5 observation."""
+        fast_native = run_one("beanstalkd", native_server_runner, latency_ns=100_000)
+        fast_mvee = run_one(
+            "beanstalkd", remon_server_runner(Level.SOCKET_RW, 2), latency_ns=100_000
+        )
+        slow_native = run_one("beanstalkd", native_server_runner, latency_ns=2_000_000)
+        slow_mvee = run_one(
+            "beanstalkd", remon_server_runner(Level.SOCKET_RW, 2), latency_ns=2_000_000
+        )
+        fast_overhead = fast_mvee.duration_ns / fast_native.duration_ns - 1
+        slow_overhead = slow_mvee.duration_ns / slow_native.duration_ns - 1
+        assert slow_overhead < fast_overhead + 0.02
+
+
+class TestVaranDetails:
+    def test_ring_capacity_bounds_runahead(self):
+        from repro.baselines.varan import Varan, VaranConfig
+        from repro.guest.program import Compute, Program
+
+        def main(ctx):
+            # The master issues a burst of calls; the slave lags behind a
+            # long compute block, so the master slams into the ring cap.
+            if ctx.process.replica_index != 0:
+                yield Compute(3_000_000)
+            for _ in range(40):
+                _pid = yield ctx.sys.getpid()
+            return 0
+
+        kernel = Kernel()
+        varan = Varan(kernel, Program("cap", main), VaranConfig(replicas=2, ring_entries=8))
+        result = varan.run(max_steps=10_000_000)
+        assert result.divergence is None
+        assert varan.stats["max_runahead"] <= 8
+
+    def test_check_args_disabled_tolerates_discrepancies(self):
+        """VARAN 'can even allow small discrepancies' (§6)."""
+        from repro.baselines.varan import Varan, VaranConfig
+        from repro.guest.program import Program
+
+        def main(ctx):
+            # Same syscall, slightly different argument per replica.
+            count = 8 if ctx.process.replica_index == 0 else 16
+            buf = yield from ctx.libc.malloc(32)
+            yield ctx.sys.getrandom(buf, count, 0)
+            return 0
+
+        kernel = Kernel()
+        varan = Varan(
+            kernel, Program("loose", main), VaranConfig(replicas=2, check_args=False)
+        )
+        result = varan.run(max_steps=10_000_000)
+        assert result.divergence is None
+        assert result.exit_codes == [0, 0]
