@@ -1,0 +1,89 @@
+"""Availability benches: what graceful degradation buys under injected
+replica crashes (DESIGN.md: fault model & degraded mode)."""
+
+from repro.bench import availability
+
+
+def test_crash_count_sweep(benchmark, report):
+    rows = availability.crash_count_sweep()
+    from repro.bench.reporting import Table
+
+    table = Table(
+        "Availability: successive crashes vs quorum (min_quorum=2)",
+        ["replicas", "crashes", "outcome", "quarantined", "promotions"],
+    )
+    for row in rows:
+        table.add(row["replicas"], row["crashes"], row["outcome"],
+                  row["quarantined"], row["promotions"])
+    report(table.render())
+    by_key = {(r["replicas"], r["crashes"]): r for r in rows}
+    # N replicas absorb up to N - min_quorum crashes, then fail-stop.
+    assert by_key[(3, 0)]["outcome"] == "completed"
+    assert by_key[(3, 1)]["outcome"] == "completed"
+    assert by_key[(3, 2)]["outcome"] == "fail-stop"
+    assert by_key[(4, 2)]["outcome"] == "completed"
+    assert by_key[(4, 3)]["outcome"] == "fail-stop"
+    assert by_key[(4, 2)]["quarantined"] == 2
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_random_crash_survival(benchmark, report):
+    rows = availability.random_crash_survival()
+    from repro.bench.reporting import Table
+
+    table = Table(
+        "Availability: survival vs crash rate (4 replicas, seeded plans)",
+        ["policy", "crashes/s", "runs", "survival", "mean quarantined",
+         "mean faults"],
+    )
+    for row in rows:
+        table.add(row["policy"], "%.0f" % row["rate_hz"], row["runs"],
+                  "%.0f%%" % (100 * row["survival"]),
+                  "%.1f" % row["mean_quarantined"], "%.1f" % row["mean_faults"])
+    report(table.render())
+    by_key = {(r["policy"], r["rate_hz"]): r for r in rows}
+    rates = sorted({r["rate_hz"] for r in rows})
+    for rate in rates:
+        policy_row = by_key[("degradation policy", rate)]
+        failstop_row = by_key[("classic fail-stop", rate)]
+        # The policy absorbs crashes classic fail-stop cannot; fail-stop
+        # runs die on their first crash, so nothing is ever quarantined.
+        assert policy_row["survival"] >= failstop_row["survival"]
+        assert failstop_row["mean_quarantined"] == 0
+    # At the lowest rate every plan is absorbable (≤ N − min_quorum
+    # crashes), while a single crash already kills classic fail-stop.
+    assert by_key[("degradation policy", rates[0])]["survival"] == 1.0
+    assert by_key[("classic fail-stop", rates[0])]["survival"] == 0.0
+    assert by_key[("degradation policy", rates[0])]["mean_quarantined"] > 0
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_degraded_tail_overhead(benchmark, report):
+    rows = availability.degraded_tail_overhead()
+    from repro.bench.reporting import Table
+
+    table = Table(
+        "Availability: degraded-tail overhead (3 replicas)",
+        ["scenario", "overhead", "quarantined", "promotions"],
+    )
+    for row in rows:
+        table.add(row["scenario"], row["overhead"], row["quarantined"],
+                  row["promotions"])
+    report(table.render())
+    by_name = {r["scenario"]: r for r in rows}
+    assert by_name["slave crash"]["quarantined"] == 1
+    assert by_name["master crash"]["promotions"] == 1
+    # Losing a replica mid-run must not be slower than running all three
+    # to completion by more than the promotion/poison transient.
+    assert by_name["slave crash"]["overhead"] < by_name["fault-free"]["overhead"] * 1.5
+    assert by_name["master crash"]["overhead"] < by_name["fault-free"]["overhead"] * 1.5
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)

@@ -1,0 +1,203 @@
+"""Availability under injected replica faults (DESIGN.md: fault model &
+degraded mode).
+
+Classic ReMon is fail-stop: any replica fault kills the whole MVEE.
+With a :class:`~repro.core.DegradationPolicy` the monitor absorbs benign
+crashes instead — quarantine, master promotion, N−1 continuation — as
+long as a quorum survives. These sweeps quantify what that buys:
+
+1. **Crash-count sweep** — how many successive replica crashes an
+   N-replica MVEE survives before the quorum rule fail-stops it.
+2. **Random-crash survival** — seeded Poisson-ish crash plans
+   (:meth:`FaultPlan.random_crashes`) across many seeds: survival
+   fraction and mean quarantines, with and without a policy.
+3. **Degraded-tail overhead** — wall-time cost of finishing a run at
+   N−1 after a mid-run crash (slave vs master victim) relative to a
+   fault-free run of the same workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.native import run_native
+from repro.bench.reporting import Table
+from repro.core import DegradationPolicy, Level, ReMon, ReMonConfig
+from repro.faults import CrashFault, FaultInjector, FaultPlan
+from repro.kernel import Kernel
+from repro.workloads.synthetic import CategoryMix, SyntheticWorkload, build_program
+
+MAX_STEPS = 400_000_000
+
+
+def _workload(name: str = "avail", rate: float = 30_000.0,
+              native_ms: float = 10.0) -> SyntheticWorkload:
+    return SyntheticWorkload(
+        name=name,
+        native_ms=native_ms,
+        mix=CategoryMix(
+            {"base": rate * 0.4, "file_ro": rate * 0.4, "file_rw": rate * 0.2}
+        ),
+    )
+
+
+def _run(workload: SyntheticWorkload, replicas: int, plan: Optional[FaultPlan],
+         policy: Optional[DegradationPolicy]):
+    kernel = Kernel()
+    if plan is not None:
+        FaultInjector(plan).install(kernel)
+    mvee = ReMon(
+        kernel,
+        build_program(workload),
+        ReMonConfig(replicas=replicas, level=Level.NONSOCKET_RW,
+                    degradation=policy),
+    )
+    return mvee.run(max_steps=MAX_STEPS)
+
+
+def _staggered_crashes(victims, first_ns: int = 1_500_000,
+                       spacing_ns: int = 1_500_000) -> FaultPlan:
+    return FaultPlan(
+        faults=[
+            CrashFault(replica=victim, at_ns=first_ns + i * spacing_ns)
+            for i, victim in enumerate(victims)
+        ]
+    )
+
+
+def crash_count_sweep(replica_counts=(2, 3, 4, 5, 6, 7),
+                      min_quorum: int = 2) -> List[Dict]:
+    """Crash the highest-index replicas one by one: the run completes
+    while survivors >= min_quorum, then fail-stops on the crash that
+    breaks quorum."""
+    workload = _workload("crash-count")
+    rows = []
+    for replicas in replica_counts:
+        for crashes in range(0, replicas):
+            victims = [replicas - 1 - i for i in range(crashes)]
+            result = _run(
+                workload,
+                replicas,
+                _staggered_crashes(victims) if victims else None,
+                DegradationPolicy(min_quorum=min_quorum),
+            )
+            rows.append(
+                {
+                    "replicas": replicas,
+                    "crashes": crashes,
+                    "outcome": "fail-stop" if result.diverged else "completed",
+                    "quarantined": result.stats["replicas_quarantined"],
+                    "promotions": result.stats["master_promotions"],
+                }
+            )
+    return rows
+
+
+def random_crash_survival(seeds=range(6), replicas: int = 4,
+                          rates_hz=(100.0, 250.0, 500.0),
+                          min_quorum: int = 2) -> List[Dict]:
+    """Seeded random crash plans over the workload's native duration:
+    survival fraction versus crash rate, with a policy and with classic
+    fail-stop."""
+    workload = _workload("rand-crash")
+    duration_ns = workload.native_ns()
+    rows = []
+    for label, policy in (
+        ("degradation policy", DegradationPolicy(min_quorum=min_quorum)),
+        ("classic fail-stop", None),
+    ):
+        for rate_hz in rates_hz:
+            survived = 0
+            quarantined = 0
+            faults = 0
+            for seed in seeds:
+                plan = FaultPlan.random_crashes(
+                    seed, replicas=replicas, duration_ns=duration_ns,
+                    crash_rate_hz=rate_hz,
+                )
+                result = _run(workload, replicas, plan, policy)
+                if not result.diverged:
+                    survived += 1
+                quarantined += result.stats["replicas_quarantined"]
+                faults += result.stats["faults_injected"]
+            n = len(list(seeds))
+            rows.append(
+                {
+                    "policy": label,
+                    "rate_hz": rate_hz,
+                    "runs": n,
+                    "survival": survived / n,
+                    "mean_quarantined": quarantined / n,
+                    "mean_faults": faults / n,
+                }
+            )
+    return rows
+
+
+def degraded_tail_overhead(replicas: int = 3) -> List[Dict]:
+    """Wall-time cost of finishing at N−1 after a mid-run crash."""
+    workload = _workload("degraded-tail")
+    native = run_native(build_program(workload))
+    policy = DegradationPolicy(min_quorum=2)
+    baseline = _run(workload, replicas, None, policy)
+    assert not baseline.diverged, baseline.divergence
+    rows = [
+        {
+            "scenario": "fault-free",
+            "overhead": baseline.wall_time_ns / native.wall_time_ns,
+            "quarantined": 0,
+            "promotions": 0,
+        }
+    ]
+    crash_at = workload.native_ns() // 3
+    for label, victim in (("slave crash", replicas - 1), ("master crash", 0)):
+        result = _run(
+            workload,
+            replicas,
+            FaultPlan(faults=[CrashFault(replica=victim, at_ns=crash_at)]),
+            policy,
+        )
+        assert not result.diverged, result.divergence
+        rows.append(
+            {
+                "scenario": label,
+                "overhead": result.wall_time_ns / native.wall_time_ns,
+                "quarantined": result.stats["replicas_quarantined"],
+                "promotions": result.stats["master_promotions"],
+            }
+        )
+    return rows
+
+
+def render_all() -> str:
+    out = []
+
+    table = Table(
+        "Availability: successive crashes vs quorum (min_quorum=2)",
+        ["replicas", "crashes", "outcome", "quarantined", "promotions"],
+    )
+    for row in crash_count_sweep():
+        table.add(row["replicas"], row["crashes"], row["outcome"],
+                  row["quarantined"], row["promotions"])
+    out.append(table.render())
+
+    table = Table(
+        "Availability: survival vs crash rate (4 replicas, seeded plans)",
+        ["policy", "crashes/s", "runs", "survival", "mean quarantined",
+         "mean faults"],
+    )
+    for row in random_crash_survival():
+        table.add(row["policy"], "%.0f" % row["rate_hz"], row["runs"],
+                  "%.0f%%" % (100 * row["survival"]),
+                  "%.1f" % row["mean_quarantined"], "%.1f" % row["mean_faults"])
+    out.append(table.render())
+
+    table = Table(
+        "Availability: degraded-tail overhead (3 replicas)",
+        ["scenario", "overhead", "quarantined", "promotions"],
+    )
+    for row in degraded_tail_overhead():
+        table.add(row["scenario"], row["overhead"], row["quarantined"],
+                  row["promotions"])
+    out.append(table.render())
+    return "\n".join(out)

@@ -13,10 +13,11 @@ The package wires three components around a replica group:
 """
 
 from repro.core.events import DivergenceReport, MveeResult
-from repro.core.policies import Level, RelaxationPolicy
+from repro.core.policies import DegradationPolicy, Level, RelaxationPolicy
 from repro.core.remon import ReMon, ReMonConfig
 
 __all__ = [
+    "DegradationPolicy",
     "DivergenceReport",
     "Level",
     "MveeResult",

@@ -20,10 +20,22 @@ from typing import Dict, List, Optional, Tuple
 class EpollShadowMap:
     def __init__(self, replica_count: int):
         self.replica_count = replica_count
+        self.master_index = 0
         # (epfd, fd) -> list of per-replica data values
         self._data: Dict[Tuple[int, int], List[Optional[int]]] = {}
         # epfd -> {master_data_value: fd}
         self._reverse: Dict[int, Dict[int, int]] = {}
+
+    def promote(self, new_master_index: int) -> None:
+        """Master replacement (degraded mode).
+
+        The kernel-side epoll instances migrated to the new master still
+        hold the *old* master's ``data`` values for every registration
+        made before the crash, so the existing reverse map stays valid
+        for translating their events. Only registrations made from now
+        on carry the new master's values — ``record_ctl_add`` adds those
+        as they happen. So: switch who counts as master, keep the map."""
+        self.master_index = new_master_index
 
     def record_ctl_add(self, epfd: int, fd: int, replica_index: int, data: int) -> None:
         key = (epfd, fd)
@@ -32,7 +44,7 @@ class EpollShadowMap:
             values = [None] * self.replica_count
             self._data[key] = values
         values[replica_index] = data
-        if replica_index == 0:
+        if replica_index == self.master_index:
             self._reverse.setdefault(epfd, {})[data] = fd
 
     def record_ctl_del(self, epfd: int, fd: int, replica_index: int = 0) -> None:
@@ -48,8 +60,13 @@ class EpollShadowMap:
         values = self._data.get(key)
         if values is None:
             return
-        if replica_index == 0 and values[0] is not None:
-            self._reverse.get(epfd, {}).pop(values[0], None)
+        if replica_index == self.master_index:
+            # After a promotion the kernel-held data value may be a
+            # *previous* master's tag — drop every recorded value.
+            reverse = self._reverse.get(epfd, {})
+            for value in values:
+                if value is not None:
+                    reverse.pop(value, None)
         values[replica_index] = None
         if all(value is None for value in values):
             del self._data[key]

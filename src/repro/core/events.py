@@ -16,6 +16,7 @@ class DivergenceReport:
         detail: str,
         detected_by: str,
         replica_args: Optional[list] = None,
+        kind: str = "mismatch",
     ):
         self.time_ns = time_ns
         self.vtid = vtid
@@ -26,6 +27,11 @@ class DivergenceReport:
         #: (replicas issued different syscalls).
         self.detected_by = detected_by
         self.replica_args = replica_args or []
+        #: Fault taxonomy for the DegradationPolicy: "mismatch" (always a
+        #: security event), "crash" (a replica died), "stall" (a replica
+        #: stopped participating). Only non-mismatch kinds may be
+        #: classified benign and absorbed by quarantining.
+        self.kind = kind
 
     def __repr__(self):
         return "DivergenceReport(t=%d, vtid=%d, %s via %s: %s)" % (
@@ -50,6 +56,11 @@ class MveeResult:
         self.rb_resets: int = 0
         self.deferred_signals: int = 0
         self.stats: Dict[str, int] = {}
+        #: Benign faults the MVEE absorbed in degraded mode (one report
+        #: per quarantined replica); never populated on fail-stop paths.
+        self.fault_events: List[DivergenceReport] = []
+        #: Replica indexes quarantined during the run, in order.
+        self.quarantined_replicas: List[int] = []
 
     @property
     def diverged(self) -> bool:

@@ -152,6 +152,12 @@ class LockstepContext:
         #: compares generations to spot a partial rendezvous that never
         #: filled up (a compromised replica went its own way, §4).
         self.generation = 0
+        #: Guards against spawning a finish task twice when a quarantine
+        #: re-checks exit completion right after the last exit arrived.
+        self.finishing = False
+        #: Set when the master died mid-mastercall: the promoted master
+        #: skipped its own call, so GHUMVEE re-executes it at finish.
+        self.master_reexec = False
 
     def replica_index_of(self, thread) -> int:
         return self.ghumvee.replica_index(thread.process)
@@ -168,10 +174,15 @@ class LockstepContext:
         elif first_arrival:
             self._arm_stall_watchdog(stop)
 
-    def _arm_stall_watchdog(self, stop: Stop) -> None:
+    def _arm_stall_watchdog(
+        self, stop: Stop, attempt: int = 0, timeout_ns: Optional[int] = None
+    ) -> None:
         ghumvee = self.ghumvee
         generation = self.generation
         name = stop.req.name if stop.req is not None else ""
+        policy = ghumvee.remon.config.degradation
+        if timeout_ns is None:
+            timeout_ns = ghumvee.lockstep_timeout_ns
 
         def _check():
             if ghumvee.remon.shutting_down or ghumvee.group_exiting:
@@ -180,31 +191,71 @@ class LockstepContext:
                 return
             if len(self.entry_stops) >= ghumvee.live_replica_count():
                 return
+            if policy is not None and attempt + 1 < policy.stall_backoff_attempts:
+                # Bounded exponential backoff: give genuinely slow
+                # replicas a doubled window before declaring a stall.
+                ghumvee.stats["rendezvous_backoff_retries"] += 1
+                self._arm_stall_watchdog(
+                    stop,
+                    attempt=attempt + 1,
+                    timeout_ns=min(timeout_ns * 2, policy.stall_backoff_max_ns),
+                )
+                return
             arrived = sorted(self.entry_stops)
+            detail = (
+                "lockstep stall: only replicas %r reached the %s "
+                "rendezvous within the timeout" % (arrived, name)
+            )
+            if policy is not None:
+                # Route each silent laggard through the degradation
+                # decision; it is quarantined (and the rendezvous
+                # re-checked at the shrunken quorum) when stalls are
+                # classified benign and quorum holds.
+                laggards = [
+                    p
+                    for p in ghumvee.group.processes
+                    if not p.exited
+                    and not p.quarantined
+                    and ghumvee.group.index_of(p) not in self.entry_stops
+                ]
+                for process in laggards:
+                    ghumvee.remon.replica_fault(
+                        process,
+                        DivergenceReport(
+                            ghumvee.kernel.sim.now,
+                            self.vtid,
+                            name,
+                            detail,
+                            detected_by="ghumvee",
+                            kind="stall",
+                        ),
+                    )
+                return
             ghumvee.divergence(
                 DivergenceReport(
                     ghumvee.kernel.sim.now,
                     self.vtid,
                     name,
-                    "lockstep stall: only replicas %r reached the %s "
-                    "rendezvous within the timeout" % (arrived, name),
+                    detail,
                     detected_by="ghumvee",
+                    kind="stall",
                 )
             )
 
-        ghumvee.kernel.sim.call_at(
-            ghumvee.kernel.sim.now + ghumvee.lockstep_timeout_ns, _check
-        )
+        ghumvee.kernel.sim.call_at(ghumvee.kernel.sim.now + timeout_ns, _check)
 
     def on_exit(self, stop: Stop) -> None:
         index = self.replica_index_of(stop.thread)
         self.exit_stops[index] = stop
+        if self.finishing:
+            return
+        if len(self.exit_stops) < self.ghumvee.live_replica_count():
+            return
+        self.finishing = True
         if self.call_class == "allexec":
-            if len(self.exit_stops) == self.ghumvee.live_replica_count():
-                self.ghumvee.spawn_monitor_task(self._finish_allexec(), "allexec-exit")
+            self.ghumvee.spawn_monitor_task(self._finish_allexec(), "allexec-exit")
         else:
-            if len(self.exit_stops) == self.ghumvee.live_replica_count():
-                self.ghumvee.spawn_monitor_task(self._finish_mastercall(), "exit")
+            self.ghumvee.spawn_monitor_task(self._finish_mastercall(), "exit")
 
     # -- phases ----------------------------------------------------------------
     def _handle_rendezvous(self):
@@ -327,8 +378,9 @@ class LockstepContext:
         # Master-calls model: the master executes, slaves skip.
         self.call_class = "fdcreate" if name in FD_CREATE_NAMES else "mastercall"
         self.phase = "executing"
+        master_index = ghumvee.group.master_index
         for index, stop in self.entry_stops.items():
-            if index != 0:
+            if index != master_index:
                 ghumvee.tracer.skip_call(stop.thread, 0)
         self._release_entry(stops)
 
@@ -383,14 +435,18 @@ class LockstepContext:
                 )
             )
             return
+        # Bookkeeping keys off any present replica's request: descriptor
+        # numbers are identical across replicas, and after a quarantine
+        # index 0 may no longer be in the group.
+        req0 = self.active_reqs[min(self.active_reqs)] if self.active_reqs else None
         if name == "clone":
             ghumvee.clone_lock.release()
-        elif name == "close" and results and results[0] == 0:
-            ghumvee.fd_metadata.record_close(self.active_reqs[0].arg(0))
-        elif name in ("dup", "dup2") and results and results[0] >= 0:
-            ghumvee.fd_metadata.record_dup(self.active_reqs[0].arg(0), results[0])
-        elif name == "fcntl" and results and results[0] >= 0:
-            req = self.active_reqs[0]
+        elif name == "close" and results and results[0] == 0 and req0 is not None:
+            ghumvee.fd_metadata.record_close(req0.arg(0))
+        elif name in ("dup", "dup2") and results and results[0] >= 0 and req0 is not None:
+            ghumvee.fd_metadata.record_dup(req0.arg(0), results[0])
+        elif name == "fcntl" and results and results[0] >= 0 and req0 is not None:
+            req = req0
             if req.arg(1) == C.F_SETFL:
                 ghumvee.fd_metadata.record_nonblocking(
                     req.arg(0), bool(req.arg(2) & C.O_NONBLOCK)
@@ -412,13 +468,32 @@ class LockstepContext:
     def _finish_mastercall_locked(self):
         ghumvee = self.ghumvee
         costs = ghumvee.costs
-        master_stop = self.exit_stops.get(0)
-        slave_stops = [self.exit_stops[i] for i in sorted(self.exit_stops) if i != 0]
+        mi = ghumvee.group.master_index
+        master_stop = self.exit_stops.get(mi)
+        if master_stop is None:
+            # No master survived this call (quarantine without a viable
+            # promotion, or teardown racing the finish): unblock the
+            # parked survivors with EINTR and let remon's verdict stand.
+            for stop in self.exit_stops.values():
+                stop.final_result = -E.EINTR
+            self._finish_common(list(self.exit_stops.values()))
+            return
+        slave_stops = [self.exit_stops[i] for i in sorted(self.exit_stops) if i != mi]
         n = len(self.exit_stops)
-        result = master_stop.result
-        req = self.active_reqs.get(0)
+        req = self.active_reqs.get(mi)
         name = req.name if req is not None else ""
         yield Sleep(n * costs.ptrace_roundtrip_ns(), cpu=True)
+        if self.master_reexec and req is not None:
+            # The original master died mid-call; the promoted master had
+            # skipped its own copy, so the monitor re-executes the call
+            # on its behalf. This is an at-least-once boundary (see
+            # DESIGN.md, "Fault model"): a call the dead master already
+            # completed externally may run a second time.
+            result = yield from ghumvee.kernel.invoke(master_stop.thread, req)
+            master_stop.final_result = result
+            ghumvee.stats["mastercall_reexecs"] += 1
+        else:
+            result = master_stop.result
 
         replicated = 0
         if isinstance(result, int) and result >= 0 and req is not None:
@@ -436,6 +511,8 @@ class LockstepContext:
         self.active_reqs = {}
         self.phase = "idle"
         self.call_class = ""
+        self.finishing = False
+        self.master_reexec = False
         for stop in stops:
             self.ghumvee.tracer.resume(stop.thread, final_result=stop.final_result)
 
@@ -446,7 +523,7 @@ class LockstepContext:
         spec = spec_for(master_req.name)
         if spec is None or not slave_stops:
             return 0
-        master_space = ghumvee.group.processes[0].space
+        master_space = ghumvee.group.master().space
         name = master_req.name
         replicated = 0
 
@@ -480,7 +557,7 @@ class LockstepContext:
                 )
                 for stop in slave_stops:
                     stop.final_result = result
-                self.exit_stops[0].final_result = result
+                self.exit_stops[ghumvee.group.master_index].final_result = result
             for stop in slave_stops:
                 slave_req = self.active_reqs.get(
                     self.replica_index_of(stop.thread), master_req
@@ -545,7 +622,7 @@ class LockstepContext:
     def _replicate_pollfds(self, master_req, slave_stops) -> int:
         from repro.kernel.structs import POLLFD_SIZE
 
-        master_space = self.ghumvee.group.processes[0].space
+        master_space = self.ghumvee.group.master().space
         nfds = master_req.arg(1)
         if not master_req.arg(0) or nfds <= 0:
             return 0
@@ -573,7 +650,7 @@ class LockstepContext:
 
     def _replicate_epoll(self, master_req, result: int, slave_stops) -> int:
         ghumvee = self.ghumvee
-        master_space = ghumvee.group.processes[0].space
+        master_space = ghumvee.group.master().space
         epfd = master_req.arg(0)
         try:
             raw = master_space.read(
@@ -587,6 +664,23 @@ class LockstepContext:
         ]
         neutral = ghumvee.epoll_map.neutralize_events(epfd, events)
         replicated = 0
+        # The master's own buffer holds whatever data values the kernel
+        # echoed — after a promotion those are the dead master's tags, so
+        # localize them for the current master as well (identity rewrite
+        # when no promotion has happened).
+        master_index = ghumvee.group.master_index
+        master_localized = ghumvee.epoll_map.localize_events(
+            epfd, neutral, master_index
+        )
+        for pos, (revents, data) in enumerate(master_localized):
+            try:
+                master_space.write(
+                    master_req.arg(1) + pos * EPOLL_EVENT_SIZE,
+                    pack_epoll_event(revents, data),
+                    check_prot=False,
+                )
+            except MemoryFault:
+                break
         for stop in slave_stops:
             index = self.replica_index_of(stop.thread)
             slave_req = self.active_reqs.get(index, master_req)
@@ -607,7 +701,7 @@ class LockstepContext:
     def _install_shadows(self, master_req, result: int, slave_stops) -> None:
         ghumvee = self.ghumvee
         name = master_req.name
-        master_process = ghumvee.group.processes[0]
+        master_process = ghumvee.group.master()
         if name in ("pipe", "pipe2"):
             # Fd numbers came back through the replicated buffer.
             try:
@@ -639,10 +733,57 @@ class LockstepContext:
         for stop in slave_stops:
             _install_shadow_fd(stop.thread.process, fd, kind)
 
+    # -- degraded mode --------------------------------------------------------
+    def drop_replica(self, index: int, was_master: bool) -> None:
+        """A replica was quarantined: release its lockstep slots and
+        re-check whether pending rendezvous or finish phases complete at
+        the shrunken quorum."""
+        ghumvee = self.ghumvee
+        self.entry_stops.pop(index, None)
+        self.exit_stops.pop(index, None)
+        self.active_reqs.pop(index, None)
+        if (
+            was_master
+            and self.phase == "executing"
+            and self.call_class in ("mastercall", "fdcreate")
+        ):
+            # The dying master may never produce a result; the promoted
+            # master must re-execute the call at finish time.
+            self.master_reexec = True
+        live = ghumvee.live_replica_count()
+        if live == 0:
+            return
+        if (
+            self.phase == "idle"
+            and not self.call_class
+            and self.entry_stops
+            and len(self.entry_stops) >= live
+        ):
+            self.generation += 1
+            self.phase = "entry"
+            ghumvee.spawn_monitor_task(self._handle_rendezvous(), "rendezvous")
+            return
+        if (
+            self.call_class
+            and self.exit_stops
+            and len(self.exit_stops) >= live
+            and not self.finishing
+        ):
+            self.finishing = True
+            if self.call_class == "allexec":
+                ghumvee.spawn_monitor_task(self._finish_allexec(), "allexec-exit")
+            else:
+                ghumvee.spawn_monitor_task(self._finish_mastercall(), "exit")
+
     # -- teardown ------------------------------------------------------------
     def on_replica_gone(self, stop: Stop) -> None:
         """A replica thread died while a rendezvous was pending."""
         if self.ghumvee.group_exiting:
+            return
+        process = stop.thread.process
+        if process.quarantined or self.ghumvee.remon.crash_would_degrade(process):
+            # The quarantine path (remon.replica_fault → drop_replica)
+            # releases this replica's slots in a controlled way instead.
             return
         if self.entry_stops or self.exit_stops:
             parked = [s.thread.name for s in self.entry_stops.values()]
@@ -697,6 +838,8 @@ class Ghumvee:
             "signals_delivered": 0,
             "shm_denied": 0,
             "ipmon_registrations": 0,
+            "rendezvous_backoff_retries": 0,
+            "mastercall_reexecs": 0,
         }
 
     # ------------------------------------------------------------------
@@ -708,7 +851,18 @@ class Ghumvee:
         return self.group.index_of(process)
 
     def live_replica_count(self) -> int:
-        return sum(1 for p in self.group.processes if not p.exited)
+        """Replicas that still participate in rendezvous: quarantined
+        ones are out of the group even before their teardown lands."""
+        return sum(
+            1 for p in self.group.processes if not p.exited and not p.quarantined
+        )
+
+    def on_replica_quarantined(self, index: int, was_master: bool) -> None:
+        """Release a quarantined replica's lockstep state in every
+        logical-thread context and re-check pending phases against the
+        shrunken quorum."""
+        for ctx in list(self.contexts.values()):
+            ctx.drop_replica(index, was_master)
 
     def context(self, vtid: int) -> LockstepContext:
         ctx = self.contexts.get(vtid)
@@ -748,7 +902,7 @@ class Ghumvee:
             ipmon.set_signals_pending(True)
             # §3.8: abort the master replica's blocking unmonitored call
             # so deferral cannot stall indefinitely.
-            master = self.group.processes[0]
+            master = self.group.master()
             for thread in master.live_threads():
                 if thread.in_interruptible_wait and not thread.ptrace_stopped:
                     self.tracer.interrupt_call(thread)

@@ -348,6 +348,20 @@ class EpollWaitHandler(IpmonHandler):
             for i in range(result)
         ]
         neutral = view.epoll_map.neutralize_events(epfd, events)
+        # Localize the master's *own* buffer too: after a promotion the
+        # kernel still echoes the dead master's data values, which this
+        # replica's program cannot map. Pre-promotion it's an identity
+        # rewrite.
+        localized = view.epoll_map.localize_events(epfd, neutral, view.replica_index)
+        for index, (revents, data) in enumerate(localized):
+            try:
+                view.space.write(
+                    req.arg(1) + index * EPOLL_EVENT_SIZE,
+                    pack_epoll_event(revents, data),
+                    check_prot=False,
+                )
+            except MemoryFault:
+                break
         out = bytearray(struct.pack("<I", len(neutral)))
         for revents, value, translated in neutral:
             out += struct.pack("<IQB", revents, value, translated)

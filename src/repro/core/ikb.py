@@ -48,6 +48,8 @@ class InKernelBroker:
             "forwarded_to_monitor": 0,
             "tokens_issued": 0,
             "tokens_revoked": 0,
+            "tokens_lost": 0,
+            "tokens_reissued": 0,
             "verification_failures": 0,
         }
         kernel.ikb = self
@@ -90,7 +92,13 @@ class InKernelBroker:
     def _forward_to_ipmon(self, thread, req, registration):
         costs = self.kernel.config.costs
         token = self.kernel.random_u64()
-        self._outstanding[thread.tid] = (token, req.name)
+        injector = getattr(self.kernel, "fault_injector", None)
+        if injector is not None and injector.steal_token(thread, req):
+            # Fault injection: the token is issued but never recorded as
+            # outstanding, so IP-MON's restart will fail verification.
+            self.stats["tokens_lost"] += 1
+        else:
+            self._outstanding[thread.tid] = (token, req.name)
         self.stats["tokens_issued"] += 1
         self.stats["forwarded_to_ipmon"] += 1
         yield Sleep(costs.ikb_forward_ns, cpu=True)
@@ -140,6 +148,23 @@ class InKernelBroker:
         """IP-MON destroys its token (MAYBE_CHECKED forwarding, §3.3)."""
         if self._outstanding.pop(thread.tid, None) is not None:
             self.stats["tokens_revoked"] += 1
+
+    def has_outstanding(self, thread) -> bool:
+        return thread.tid in self._outstanding
+
+    def reissue_token(self, thread, req) -> int:
+        """Re-issue a fresh token for an in-flight IP-MON call.
+
+        Only reachable from inside IP-MON's entry point while a
+        :class:`~repro.core.policies.DegradationPolicy` permits it: a
+        benign token loss then costs one retry instead of a forwarded
+        call. The verifier contract is otherwise unchanged — the new
+        token is single-use and bound to the same syscall name.
+        """
+        token = self.kernel.random_u64()
+        self._outstanding[thread.tid] = (token, req.name)
+        self.stats["tokens_reissued"] += 1
+        return token
 
     # ------------------------------------------------------------------
     # Monitored path

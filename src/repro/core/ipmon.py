@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.comparator import serialize_args
+from repro.core.events import DivergenceReport
 from repro.core.fdtable import FileMapView
 from repro.core.handlers import (
     ALLCALL,
@@ -33,6 +34,7 @@ from repro.core.handlers import (
 from repro.core.rb import (
     FLAG_FORWARDED,
     FLAG_MAY_BLOCK,
+    STATE_ARGS_READY,
     STATE_RESULTS_READY,
     ReplicationBuffer,
 )
@@ -50,6 +52,10 @@ SPIN_LIMIT = 64
 #: Region offset of the signals-pending flag GHUMVEE sets (§3.8). The
 #: lanes start after this reserved header.
 SIGNALS_PENDING_OFFSET = 0
+
+#: Sentinel a slave path returns when, while it waited, the master died
+#: and *this* replica was promoted: entry() retries the call as master.
+_RETRY_AS_MASTER = object()
 
 
 class IpMonGroup:
@@ -75,6 +81,8 @@ class IpMonGroup:
             "futex_wakes_skipped": 0,
             "spin_fallbacks": 0,
             "spin_iterations": 0,
+            "rb_backoff_retries": 0,
+            "token_reissues": 0,
         }
 
     def signals_pending(self) -> bool:
@@ -82,6 +90,44 @@ class IpMonGroup:
 
     def set_signals_pending(self, value: bool) -> None:
         self.rb.region.data[SIGNALS_PENDING_OFFSET] = 1 if value else 0
+
+    def on_replica_quarantined(self, index: int, was_master: bool) -> None:
+        """Release a quarantined replica's RB state.
+
+        For a dead *master*, every record it left unfinished is poisoned
+        (marked forwarded-to-monitor with an empty result): survivors
+        then route those calls to GHUMVEE, whose lockstep rendezvous
+        re-executes them safely instead of trusting half-written
+        records. For any dead replica, its consumption cursor is
+        dropped so full lanes can reset without waiting on a corpse.
+        """
+        sim = self.kernel.sim
+        survivor = next(
+            (
+                r
+                for r in self.replicas
+                if not r.process.exited and not r.process.quarantined
+            ),
+            None,
+        )
+        for lane in self.rb.lanes.values():
+            if was_master:
+                for record in lane.records:
+                    if record.state() != STATE_RESULTS_READY:
+                        record.poison()
+                        if survivor is not None and record.waiters() > 0:
+                            # Futex keys derive from the backing region,
+                            # so waking through any survivor's mapping
+                            # wakes waiters in every replica.
+                            addr = survivor._rb_base + record.state_word_offset()
+                            self.kernel.futexes.wake(
+                                survivor.space, addr, 1 << 30, sim
+                            )
+            if index in lane.consumed:
+                del lane.consumed[index]
+                if lane.slaves_caught_up():
+                    lane.catchup_waitq.notify_all(sim)
+            lane.args_waitq.notify_all(sim)
 
 
 class IpmonReplica:
@@ -93,7 +139,6 @@ class IpmonReplica:
         self.process = process
         self.space = process.space
         self.replica_index = replica_index
-        self.is_master = replica_index == 0
         self.policy = group.policy
         self.filemap = FileMapView(filemap_region)
         self.epoll_map = group.remon.epoll_map
@@ -103,6 +148,13 @@ class IpmonReplica:
         self._rb_base = 0
         group.replicas.append(self)
         process.ipmon_replica = self
+
+    @property
+    def is_master(self) -> bool:
+        """Role is resolved against the group's *current* master index:
+        a promotion (degraded mode) re-roles survivors on their next
+        entry into IP-MON."""
+        return self.replica_index == self.group.remon.group.master_index
 
     # ------------------------------------------------------------------
     # Initialization (§3.5): map the RB + file map, register with IK-B.
@@ -240,23 +292,47 @@ class IpmonReplica:
         if isinstance(handler, EpollCtlHandler):
             handler.observe(self, req)
 
-        if self.is_master:
-            result = yield from self._master_path(
-                thread,
-                req,
-                token,
-                rb_base,
-                handler,
-                lane,
-                blob_bytes,
-                record_bytes,
-                must_monitor,
-            )
-        else:
+        # Role dispatch. A freshly promoted master first *drains* the
+        # records its dead predecessor published — it consumes them like
+        # a slave, since they correspond exactly to the calls it is now
+        # making — then switches to recording. A slave that observes the
+        # master's death mid-wait retries as master once the promotion
+        # lands on it.
+        while True:
+            if self.is_master:
+                backlog = (
+                    self.replica_index in lane.consumed
+                    and lane.next_record_for(self.replica_index) is not None
+                )
+                if not backlog:
+                    if self.replica_index in lane.consumed:
+                        # Backlog drained: stop being a lane consumer so
+                        # catch-up resets no longer wait on this cursor.
+                        del lane.consumed[self.replica_index]
+                        if lane.slaves_caught_up():
+                            lane.catchup_waitq.notify_all(self.kernel.sim)
+                    result = yield from self._master_path(
+                        thread,
+                        req,
+                        token,
+                        rb_base,
+                        handler,
+                        lane,
+                        blob_bytes,
+                        record_bytes,
+                        must_monitor,
+                    )
+                    return result
             result = yield from self._slave_path(
                 thread, req, token, handler, lane, blob_bytes
             )
-        return result
+            if result is not _RETRY_AS_MASTER:
+                return result
+            if not broker.has_outstanding(thread):
+                # The token was revoked while we waited for the dead
+                # master's results; re-issue one for the retry.
+                token = broker.reissue_token(thread, req)
+                group.stats["token_reissues"] += 1
 
     # ------------------------------------------------------------------
     # Master: log, execute, publish.
@@ -278,7 +354,14 @@ class IpmonReplica:
         broker = self.kernel.ikb
 
         # Wait for RB room; a full lane is reset under GHUMVEE
-        # arbitration once every slave caught up (§3.2).
+        # arbitration once every slave caught up (§3.2). Under a
+        # DegradationPolicy the wait uses bounded exponential backoff
+        # with a no-progress deadline, after which the most-lagged slave
+        # is reported as stalled (and possibly quarantined).
+        policy = group.remon.config.degradation
+        backoff = policy.rb_backoff_initial_ns if policy is not None else 0
+        waited = 0
+        last_progress = min(lane.consumed.values()) if lane.consumed else 0
         while not lane.has_room(record_bytes):
             if lane.slaves_caught_up():
                 yield Sleep(costs.rb_overflow_sync_ns, cpu=False)
@@ -286,11 +369,31 @@ class IpmonReplica:
                 group.stats["rb_resets"] += 1
                 continue
             event = lane.catchup_waitq.register()
-            status, _ = yield from wait_interruptible(thread, event)
+            status, _ = yield from wait_interruptible(
+                thread, event, backoff if policy is not None else None
+            )
             if status == "interrupted":
                 lane.catchup_waitq.unregister(event)
                 broker.revoke_token(thread)
                 return -E.EINTR
+            if status == "timeout":
+                lane.catchup_waitq.unregister(event)
+                group.stats["rb_backoff_retries"] += 1
+                progress = min(lane.consumed.values()) if lane.consumed else 0
+                if progress != last_progress:
+                    # A slow-but-progressing slave resets the deadline;
+                    # only a flatlined cursor counts toward the stall.
+                    last_progress = progress
+                    waited = 0
+                else:
+                    waited += backoff
+                backoff = min(backoff * 2, policy.rb_backoff_max_ns)
+                if waited >= policy.rb_wait_timeout_ns:
+                    self._lane_stall(thread, req, lane)
+                    waited = 0
+                    last_progress = (
+                        min(lane.consumed.values()) if lane.consumed else 0
+                    )
 
         record = lane.reserve(record_bytes)
         group.rb.total_records += 1
@@ -319,6 +422,15 @@ class IpmonReplica:
         # Restart the call through IK-B with the token intact (step 3).
         restart = req.replace(site="ipmon", token=token)
         ok, result = yield from broker.restart_call(thread, restart)
+        if not ok:
+            policy = group.remon.config.degradation
+            if policy is not None and policy.reissue_lost_tokens:
+                # Benign token loss (DMON fault model): one re-issued,
+                # still single-use token bound to the same call.
+                token = broker.reissue_token(thread, req)
+                group.stats["token_reissues"] += 1
+                restart = req.replace(site="ipmon", token=token)
+                ok, result = yield from broker.restart_call(thread, restart)
         if not ok:
             # Verification failed (cannot happen on the benign path; an
             # attack scenario may force it): fall back to the monitor.
@@ -349,6 +461,60 @@ class IpmonReplica:
             self.group.stats["futex_wakes_skipped"] += 1
 
     # ------------------------------------------------------------------
+    # Stall reporting (degraded mode)
+    # ------------------------------------------------------------------
+    def _lane_stall(self, thread, req, lane) -> None:
+        """Master-side: a slave stopped consuming this lane for the full
+        no-progress window. Report the most-lagged live one."""
+        remon = self.group.remon
+        laggard = None
+        lag_seq = None
+        for index, seq in lane.consumed.items():
+            if seq >= lane.master_seq:
+                continue
+            if index >= len(remon.group.processes):
+                continue
+            process = remon.group.processes[index]
+            if process.exited or process.quarantined or process is self.process:
+                continue
+            if lag_seq is None or seq < lag_seq:
+                laggard, lag_seq = process, seq
+        if laggard is None:
+            return
+        remon.replica_fault(
+            laggard,
+            DivergenceReport(
+                self.kernel.sim.now,
+                thread.vtid,
+                req.name,
+                "replica %s stopped consuming RB lane %d (consumed %d of "
+                "%d records)" % (laggard.name, lane.vtid, lag_seq, lane.master_seq),
+                detected_by="ipmon",
+                kind="stall",
+            ),
+        )
+
+    def _master_stall(self, thread, req, lane) -> None:
+        """Slave-side: the master stopped publishing (or finishing) this
+        lane's records for the full no-progress window."""
+        remon = self.group.remon
+        master = remon.group.master()
+        if master is self.process or master.exited or master.quarantined:
+            return
+        remon.replica_fault(
+            master,
+            DivergenceReport(
+                self.kernel.sim.now,
+                thread.vtid,
+                req.name,
+                "master %s stopped publishing records on RB lane %d"
+                % (master.name, lane.vtid),
+                detected_by="ipmon",
+                kind="stall",
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # Slave: validate, wait, copy.
     # ------------------------------------------------------------------
     def _slave_path(self, thread, req, token, handler, lane, blob_bytes):
@@ -357,18 +523,68 @@ class IpmonReplica:
         broker = self.kernel.ikb
 
         # Locate this replica's next record, waiting for the master to
-        # publish it if necessary.
+        # publish it if necessary. Under a DegradationPolicy the wait
+        # backs off exponentially and eventually reports the master as
+        # stalled; a promotion observed mid-wait re-roles this replica.
         group.rb.attach_slave_to_lane(lane, self.replica_index)
+        policy = group.remon.config.degradation
+        backoff = policy.rb_backoff_initial_ns if policy is not None else 0
+        waited = 0
         while True:
+            if self.is_master and lane.next_record_for(self.replica_index) is None:
+                # Promoted while waiting, and no backlog left to drain.
+                return _RETRY_AS_MASTER
             record = lane.next_record_for(self.replica_index)
             if record is not None and record.state() >= 1:
                 break
             event = lane.args_waitq.register()
-            status, _ = yield from wait_interruptible(thread, event)
+            status, _ = yield from wait_interruptible(
+                thread, event, backoff if policy is not None else None
+            )
             if status == "interrupted":
                 lane.args_waitq.unregister(event)
                 broker.revoke_token(thread)
                 return -E.EINTR
+            if status == "timeout":
+                lane.args_waitq.unregister(event)
+                group.stats["rb_backoff_retries"] += 1
+                waited += backoff
+                backoff = min(backoff * 2, policy.rb_backoff_max_ns)
+                if waited >= policy.rb_wait_timeout_ns:
+                    self._master_stall(thread, req, lane)
+                    waited = 0
+
+        state = record.state()
+        flags = record.flags()
+        if state not in (STATE_ARGS_READY, STATE_RESULTS_READY) or flags & ~(
+            FLAG_MAY_BLOCK | FLAG_FORWARDED
+        ):
+            # Header words IP-MON never writes: only RB tampering (a
+            # leaked pointer, §4) produces them. Same verdict as an
+            # argument mismatch.
+            lane.consume(self.replica_index, self.kernel.sim)
+            broker.revoke_token(thread)
+            self.group.remon.divergence(
+                DivergenceReport(
+                    self.kernel.sim.now,
+                    thread.vtid,
+                    req.name,
+                    "RB record %d header corrupted (state=0x%x flags=0x%x)"
+                    % (record.seq, state, flags),
+                    detected_by="ipmon",
+                )
+            )
+            return -E.EPERM  # unreachable in practice: remon kills us
+        if flags & FLAG_FORWARDED:
+            # Master forwarded this call to GHUMVEE (or the record was
+            # poisoned when a dying master was quarantined mid-call); do
+            # the same so the lockstep rendezvous completes. Checked
+            # *before* the argument compare: poisoned records carry no
+            # argument blob, and the rendezvous' own deep compare still
+            # protects against an attacker-flipped FORWARDED flag.
+            lane.consume(self.replica_index, self.kernel.sim)
+            result = yield from broker.route_to_monitor(thread, req)
+            return result
 
         # Sanity check: compare our own arguments against the master's
         # recorded deep copy (§3: minimizes asymmetrical attacks).
@@ -386,18 +602,17 @@ class IpmonReplica:
             )
             return -E.EPERM  # unreachable in practice: remon kills us
 
-        flags = record.flags()
-        if flags & FLAG_FORWARDED:
-            # Master forwarded this call to GHUMVEE; do the same so the
-            # lockstep rendezvous completes.
-            lane.consume(self.replica_index, self.kernel.sim)
-            result = yield from broker.route_to_monitor(thread, req)
-            return result
-
         if handler.disposition() == ALLCALL:
             # Execute our own call (process-local effect) with our token.
             restart = req.replace(site="ipmon", token=token)
             ok, result = yield from broker.restart_call(thread, restart)
+            if not ok:
+                if policy is not None and policy.reissue_lost_tokens:
+                    token = broker.reissue_token(thread, req)
+                    group.stats["token_reissues"] += 1
+                    ok, result = yield from broker.restart_call(
+                        thread, req.replace(site="ipmon", token=token)
+                    )
             if not ok:
                 result = yield from broker.route_to_monitor(thread, req)
             lane.consume(self.replica_index, self.kernel.sim)
@@ -405,38 +620,81 @@ class IpmonReplica:
 
         # MASTERCALL: abort our own call, wait for the master's results.
         broker.revoke_token(thread)
-        interrupted = yield from self._await_results(thread, record, flags, costs)
+        interrupted = yield from self._await_results(thread, req, record, flags, costs)
         if interrupted:
             lane.consume(self.replica_index, self.kernel.sim)
             return -E.EINTR
+        if record.flags() & FLAG_FORWARDED and not flags & FLAG_FORWARDED:
+            # The record was poisoned while we waited (master quarantined
+            # mid-call): forward to the rendezvous like everyone else.
+            lane.consume(self.replica_index, self.kernel.sim)
+            result = yield from broker.route_to_monitor(thread, req)
+            return result
         result, payload = record.read_results()
         yield Sleep(costs.rb_read_base_ns + costs.rb_copy_ns(len(payload)), cpu=True)
         handler.apply_results(self, req, result, payload)
         lane.consume(self.replica_index, self.kernel.sim)
         return result
 
-    def _await_results(self, thread, record, flags, costs):
+    def _await_results(self, thread, req, record, flags, costs):
         """Wait for RESULTS_READY: spin for non-blocking calls, futex for
-        blocking ones (§3.7). Returns True if interrupted by a signal."""
+        blocking ones (§3.7). Returns True if interrupted by a signal.
+
+        A stall deadline applies only to records *without* MAY_BLOCK: a
+        master legitimately parked in epoll_wait or accept may take
+        arbitrarily long, so its death mid-blocking-call is covered by
+        record poisoning plus an explicit futex wake instead.
+        """
         spins = 0
-        use_futex = bool(flags & FLAG_MAY_BLOCK) and not self.group.force_spin
-        while record.state() != STATE_RESULTS_READY:
+        group = self.group
+        policy = group.remon.config.degradation
+        may_block = bool(flags & FLAG_MAY_BLOCK)
+        use_futex = may_block and not group.force_spin
+        backoff = policy.rb_backoff_initial_ns if policy is not None else 0
+        waited = 0
+        while True:
+            state = record.state()
+            if state == STATE_RESULTS_READY:
+                return False
+            if state != STATE_ARGS_READY and state != 0:
+                # Tampered mid-wait (see the header check in
+                # _slave_path): corruption is divergence.
+                self.group.remon.divergence(
+                    DivergenceReport(
+                        self.kernel.sim.now,
+                        thread.vtid,
+                        req.name,
+                        "RB record %d state word corrupted (0x%x)"
+                        % (record.seq, state),
+                        detected_by="ipmon",
+                    )
+                )
+                return True
             if not use_futex:
                 yield Sleep(costs.spin_read_ns, cpu=True)
                 spins += 1
-                self.group.stats["spin_iterations"] += 1
-                if spins >= SPIN_LIMIT and not self.group.force_spin:
+                group.stats["spin_iterations"] += 1
+                if spins >= SPIN_LIMIT and not group.force_spin:
                     use_futex = True
-                    self.group.stats["spin_fallbacks"] += 1
+                    group.stats["spin_fallbacks"] += 1
                 continue
-            self.group.stats["futex_waits"] += 1
+            group.stats["futex_waits"] += 1
             record.add_waiter(+1)
             addr = self._rb_base + record.state_word_offset()
+            timeout = backoff if (policy is not None and not may_block) else None
             result = yield from self.kernel.futexes.wait(
-                self.kernel, thread, self.space, addr, record.state(), None
+                self.kernel, thread, self.space, addr, record.state(), timeout
             )
             record.add_waiter(-1)
             if result == -E.EINTR:
                 return True
+            if result == -E.ETIMEDOUT:
+                group.stats["rb_backoff_retries"] += 1
+                waited += backoff
+                backoff = min(backoff * 2, policy.rb_backoff_max_ns)
+                if waited >= policy.rb_wait_timeout_ns:
+                    self._master_stall(thread, req, record.lane)
+                    waited = 0
+                continue
             yield Sleep(costs.futex_wait_ns, cpu=False)
         return False

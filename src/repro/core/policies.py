@@ -14,6 +14,7 @@ monitored by GHUMVEE regardless of level.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Dict, FrozenSet, Optional
 
@@ -219,6 +220,60 @@ class RelaxationPolicy:
 
     def __repr__(self):
         return "RelaxationPolicy(%s)" % self.level.name
+
+
+@dataclass
+class DegradationPolicy:
+    """Graceful-degradation policy: which replica faults the MVEE may
+    absorb by quarantining the faulted replica and continuing with the
+    surviving N−1 set, instead of fail-stopping.
+
+    Classification is deliberately conservative: only *crashes* (a
+    replica died) and — configurably — *stalls* (a replica silently
+    stopped participating) are benign. Any behavioural mismatch (a
+    GHUMVEE lockstep comparison, an IP-MON slave argument check, an
+    allexec success disagreement) remains a security divergence and
+    fail-stops regardless of this policy, which is what keeps the
+    paper's §4 security argument intact in degraded mode.
+    """
+
+    #: Fail-stop once fewer than this many replicas would survive.
+    min_quorum: int = 2
+    #: Replica 0's death promotes the lowest surviving index to master
+    #: (RB lanes, fd ownership, rr_agent recording are re-pointed).
+    promote_master: bool = True
+    #: Treat a lockstep/RB stall as a benign fault (quarantine the
+    #: laggard) rather than as divergence.
+    stall_is_benign: bool = True
+    #: Allow IK-B to re-issue a lost authorization token once for an
+    #: in-flight IP-MON call (a benign fault under DMON's fault model;
+    #: slightly weakens §3.1's single-issue property, see DESIGN.md).
+    reissue_lost_tokens: bool = True
+    #: Rendezvous stall watchdog: re-arm with doubled timeout this many
+    #: times before declaring the laggards faulted.
+    stall_backoff_attempts: int = 3
+    stall_backoff_max_ns: int = 8_000_000_000
+    #: RB slot acquisition / record waits: bounded exponential backoff.
+    rb_backoff_initial_ns: int = 2_000_000
+    rb_backoff_max_ns: int = 64_000_000
+    #: Total time a replica may wait on an RB peer with no progress
+    #: before the peer is declared faulted.
+    rb_wait_timeout_ns: int = 1_000_000_000
+
+    def __post_init__(self):
+        if self.min_quorum < 1:
+            raise PolicyError("min_quorum must be at least 1")
+
+    def classify_kind(self, kind: str) -> str:
+        """Map a DivergenceReport kind to "benign" or "security"."""
+        if kind == "crash":
+            return "benign"
+        if kind == "stall":
+            return "benign" if self.stall_is_benign else "security"
+        return "security"
+
+    def classify(self, report) -> str:
+        return self.classify_kind(getattr(report, "kind", "mismatch"))
 
 
 def always_monitored(name: str) -> bool:

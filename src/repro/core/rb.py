@@ -87,11 +87,13 @@ class RBRecord:
         return struct.unpack_from("<I", self.region.data, self.offset + OFF_WAITERS)[0]
 
     def add_waiter(self, delta: int) -> None:
+        # Clamped: the word lives in attacker-writable shared memory, so
+        # arithmetic on it must never raise out of range.
         struct.pack_into(
             "<I",
             self.region.data,
             self.offset + OFF_WAITERS,
-            max(0, self.waiters() + delta),
+            max(0, min(0xFFFFFFFF, self.waiters() + delta)),
         )
 
     def state_word_offset(self) -> int:
@@ -149,6 +151,18 @@ class RBRecord:
 
     def total_bytes(self) -> int:
         return HEADER_SIZE + self.args_len + self.result_len
+
+    def poison(self) -> None:
+        """Degraded mode: the master died before finishing this record.
+        Mark it forwarded-to-monitor with an empty result so survivors
+        route the corresponding call to GHUMVEE's rendezvous instead of
+        trusting a half-written record."""
+        flags = self.flags() | FLAG_FORWARDED
+        struct.pack_into("<I", self.region.data, self.offset + 12, flags)
+        struct.pack_into(
+            "<qII", self.region.data, self.offset + OFF_RESULT, 0, 0, 0
+        )
+        self.set_state(STATE_RESULTS_READY)
 
 
 class RBLane:

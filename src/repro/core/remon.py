@@ -11,7 +11,7 @@ from repro.core.fdtable import MonitorFdTable
 from repro.core.ghumvee import Ghumvee
 from repro.core.ikb import InKernelBroker
 from repro.core.ipmon import IpMonGroup, IpmonReplica
-from repro.core.policies import Level, RelaxationPolicy
+from repro.core.policies import DegradationPolicy, Level, RelaxationPolicy
 from repro.core.rr_agent import RecordReplayAgent
 from repro.diversity.aslr import make_layouts
 from repro.errors import MonitorError
@@ -20,10 +20,12 @@ from repro.guest.runtime import GuestRuntime
 
 
 class ReplicaGroup:
-    """The ordered set of replica processes (index 0 = master)."""
+    """The ordered set of replica processes (index 0 starts as master;
+    a DegradationPolicy may promote a survivor when the master dies)."""
 
     def __init__(self):
         self.processes: List = []
+        self.master_index = 0
 
     def add(self, process) -> None:
         process.replica_index = len(self.processes)
@@ -33,7 +35,14 @@ class ReplicaGroup:
         return getattr(process, "replica_index", 0)
 
     def master(self):
-        return self.processes[0]
+        return self.processes[self.master_index]
+
+    def survivors(self):
+        return [
+            p
+            for p in self.processes
+            if not p.exited and not getattr(p, "quarantined", False)
+        ]
 
     def all_exited(self) -> bool:
         return all(process.exited for process in self.processes)
@@ -63,6 +72,9 @@ class ReMonConfig:
     #: prevent the registration altogether". When False, registrations
     #: are vetoed and the MVEE runs CP-only despite the relaxed level.
     allow_ipmon_registration: bool = True
+    #: Graceful degradation (None = classic ReMon: every replica anomaly
+    #: fail-stops the MVEE). See :class:`DegradationPolicy`.
+    degradation: Optional[DegradationPolicy] = None
     seed: int = 0
 
     def policy(self) -> RelaxationPolicy:
@@ -93,6 +105,10 @@ class ReMon:
         self.shutting_down = False
         #: Exceptions from monitor coroutines; surfaced by finalize().
         self.monitor_failures: List[BaseException] = []
+        self.degradation_stats = {
+            "replicas_quarantined": 0,
+            "master_promotions": 0,
+        }
         self.layouts = make_layouts(
             self.config.replicas,
             seed=self.config.seed,
@@ -170,6 +186,12 @@ class ReMon:
             )
             self._runtimes.append(runtime)
 
+        # Fault injection (repro.faults): let an installed injector
+        # resolve replica indexes to this group's processes.
+        injector = getattr(kernel, "fault_injector", None)
+        if injector is not None:
+            injector.bind_mvee(self)
+
     def _wrapped_program(self) -> Program:
         base = self.program
         ipmon_enabled = self.ipmon is not None
@@ -213,8 +235,21 @@ class ReMon:
 
     def finalize(self) -> MveeResult:
         if self.monitor_failures:
-            raise self.monitor_failures[0]
+            primary = self.monitor_failures[0]
+            # Surface every other monitor failure on the raised error so
+            # a cascade (e.g. two replicas' monitors dying in one event)
+            # is not silently reduced to its first symptom.
+            if hasattr(primary, "add_note"):
+                for extra in self.monitor_failures[1:]:
+                    primary.add_note(
+                        "additional monitor failure: %r" % (extra,)
+                    )
+            raise primary
         for process in self.group.processes:
+            if process.quarantined:
+                # A quarantined replica was killed mid-flight by design;
+                # whatever its guest task raised *is* the absorbed fault.
+                continue
             for thread in process.threads.values():
                 task = thread.task
                 if task is not None and task.failure is not None:
@@ -237,6 +272,21 @@ class ReMon:
             result.stats.update(("ipmon_" + k, v) for k, v in self.ipmon.stats.items())
         if self.rr_agent is not None:
             result.stats.update(("rr_" + k, v) for k, v in self.rr_agent.stats.items())
+        injector = getattr(self.kernel, "fault_injector", None)
+        result.stats["faults_injected"] = (
+            injector.total_injected if injector is not None else 0
+        )
+        result.stats["replicas_quarantined"] = self.degradation_stats[
+            "replicas_quarantined"
+        ]
+        result.stats["master_promotions"] = self.degradation_stats[
+            "master_promotions"
+        ]
+        result.stats["rb_backoff_retries"] = (
+            self.ipmon.stats.get("rb_backoff_retries", 0)
+            if self.ipmon is not None
+            else 0
+        )
         return result
 
     # ------------------------------------------------------------------
@@ -246,6 +296,13 @@ class ReMon:
         if self.shutting_down or self.result.divergence is not None:
             return
         self.result.divergence = report
+        if self.group.all_exited():
+            # Nothing left to kill, and the simulator clock may already
+            # have stopped advancing — scheduling a delayed shutdown
+            # would either be a no-op or raise for being in the past.
+            if not self.result.shutdown_reason:
+                self.result.shutdown_reason = "divergence: %s" % report.detail
+            return
         # Detection is not teardown: the monitor must wake up and kill
         # the replicas, which takes a ptrace round trip. Monitored calls
         # stop being serviced immediately (GHUMVEE parks all stops once
@@ -277,20 +334,124 @@ class ReMon:
             if not process.exited:
                 self.kernel.terminate_process(process, 137, signo=9)
 
+    # ------------------------------------------------------------------
+    # Graceful degradation (config.degradation)
+    # ------------------------------------------------------------------
+    def _survivors_excluding(self, process) -> List:
+        return [
+            p
+            for p in self.group.processes
+            if p is not process and not p.exited and not p.quarantined
+        ]
+
+    def crash_would_degrade(self, process) -> bool:
+        """Would this replica's death be absorbed (quarantined) rather
+        than fail-stop the MVEE? GHUMVEE consults this before tearing
+        down lockstep state for a dying replica, so that the quarantine
+        path can shrink the rendezvous quorum in a controlled way."""
+        policy = self.config.degradation
+        if policy is None or self.shutting_down or self.diverged:
+            return False
+        if process.quarantined:
+            return True
+        if policy.classify_kind("crash") != "benign":
+            return False
+        if (
+            self.group.index_of(process) == self.group.master_index
+            and not policy.promote_master
+        ):
+            return False
+        return len(self._survivors_excluding(process)) >= policy.min_quorum
+
+    def replica_fault(self, process, report: DivergenceReport) -> None:
+        """A replica crashed or stalled. Quarantine it when the policy
+        classifies the fault benign and quorum holds; otherwise take the
+        classic fail-stop path via :meth:`divergence`."""
+        if self.shutting_down or self.diverged or process.quarantined:
+            return
+        policy = self.config.degradation
+        if policy is None or policy.classify(report) != "benign":
+            self.divergence(report)
+            return
+        survivors = self._survivors_excluding(process)
+        if len(survivors) < policy.min_quorum:
+            report.detail += " [quorum lost: %d survivors < min_quorum %d]" % (
+                len(survivors),
+                policy.min_quorum,
+            )
+            self.divergence(report)
+            return
+        self.quarantine(process, report)
+
+    def quarantine(self, process, report: DivergenceReport) -> None:
+        """Remove one replica from the group and continue with N−1:
+        detach it from ptrace, release its RB lanes and lockstep slots,
+        shrink the rendezvous quorum, and promote a new master when the
+        master is the one lost (paper's fail-stop policy relaxed to a
+        quorum rule; every *mismatch* still fail-stops)."""
+        index = self.group.index_of(process)
+        was_master = index == self.group.master_index
+        policy = self.config.degradation
+        if was_master and (policy is None or not policy.promote_master):
+            self.divergence(report)
+            return
+        process.quarantined = True
+        self.result.fault_events.append(report)
+        self.result.quarantined_replicas.append(index)
+        self.degradation_stats["replicas_quarantined"] += 1
+        # Promotion must precede termination: fd migration reads the
+        # dying master's still-intact descriptor table.
+        if was_master:
+            self._promote_master(index)
+        if not process.exited:
+            self.kernel.terminate_process(process, 137, signo=9)
+        self.ghumvee.on_replica_quarantined(index, was_master)
+        if self.ipmon is not None:
+            self.ipmon.on_replica_quarantined(index, was_master)
+        if self.rr_agent is not None:
+            self.rr_agent.drop_replica(index)
+        self.ghumvee.tracer.detach(process)
+
+    def _promote_master(self, dead_index: int) -> None:
+        """Re-point master-side state at the lowest surviving replica:
+        real open files migrate over its shadow descriptors, the epoll
+        shadow map re-keys, and the rr_agent records from it onward."""
+        survivors = self.group.survivors()
+        if not survivors:
+            return
+        new_master = survivors[0]  # processes are kept in index order
+        new_index = self.group.index_of(new_master)
+        old_master = self.group.processes[dead_index]
+        for fd in old_master.fdtable.fds():
+            entry = old_master.fdtable.get(fd)
+            if entry is None or getattr(entry.ofd.file, "kind", None) == "shadow":
+                continue
+            target = new_master.fdtable.get(fd)
+            if target is not None and getattr(target.ofd.file, "kind", None) != "shadow":
+                continue  # the survivor already owns a real file here
+            new_master.fdtable.install(fd, entry.ofd, entry.cloexec)
+        self.group.master_index = new_index
+        self.epoll_map.promote(new_index)
+        if self.rr_agent is not None:
+            self.rr_agent.promote(new_index)
+        self.degradation_stats["master_promotions"] += 1
+
     def on_replica_thread_exit(self, stop) -> None:
         process = stop.thread.process
         if process.exited:
-            if self.group.index_of(process) == 0 and self.master_exit_ns is None:
-                self.master_exit_ns = self.kernel.sim.now
             # A replica that dies while the others run on — and not as
-            # part of an agreed exit_group — is a divergence: diversity
-            # turned the attack into an observable crash (§4).
+            # part of an agreed exit_group — is a fault: a benign crash
+            # to absorb under a DegradationPolicy, otherwise the classic
+            # divergence (diversity turned the attack into an observable
+            # crash, §4).
             if (
                 not self.shutting_down
                 and not self.ghumvee.group_exiting
+                and not process.quarantined
                 and not self.group.all_exited()
             ):
-                self.divergence(
+                self.replica_fault(
+                    process,
                     DivergenceReport(
                         self.kernel.sim.now,
                         stop.thread.vtid,
@@ -298,8 +459,17 @@ class ReMon:
                         "replica %s terminated unexpectedly (sig=%d)"
                         % (process.name, stop.signo),
                         detected_by="exit",
-                    )
+                        kind="crash",
+                    ),
                 )
+            # Checked *after* fault handling: a quarantined master hands
+            # the clock to its successor instead of freezing wall time.
+            if (
+                self.group.index_of(process) == self.group.master_index
+                and not process.quarantined
+                and self.master_exit_ns is None
+            ):
+                self.master_exit_ns = self.kernel.sim.now
         if self.group.all_exited() and not self.result.shutdown_reason:
             self.result.shutdown_reason = "all replicas exited"
 

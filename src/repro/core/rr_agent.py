@@ -31,6 +31,7 @@ class RecordReplayAgent:
     def __init__(self, kernel, replica_count: int):
         self.kernel = kernel
         self.replica_count = replica_count
+        self.master_index = 0
         #: The master-recorded global order: list of (vtid, op_key_hash).
         self.order: List[Tuple[int, int]] = []
         #: Next order slot each slave replica will release.
@@ -38,10 +39,32 @@ class RecordReplayAgent:
         self._waitqs: Dict[int, WaitQueue] = {
             i: WaitQueue("rr:%d" % i) for i in range(1, replica_count)
         }
-        self.stats = {"recorded": 0, "replayed": 0, "waits": 0}
+        self.stats = {"recorded": 0, "replayed": 0, "waits": 0, "promotions": 0}
 
     def _key_hash(self, op_key) -> int:
         return hash(op_key) & 0xFFFFFFFF
+
+    # -- degraded mode ------------------------------------------------------
+    def promote(self, new_master_index: int) -> None:
+        """The recording master died; a survivor takes over. The new
+        master first *drains* the dead master's recorded tail (its own
+        position entry persists until it catches up — the remaining
+        slaves keep replaying that tail too), then records onward."""
+        self.master_index = new_master_index
+        self.stats["promotions"] += 1
+        waitq = self._waitqs.get(new_master_index)
+        if waitq is not None:
+            # Threads blocked waiting for the dead master to record more
+            # must wake up and re-evaluate their role.
+            waitq.notify_all(self.kernel.sim)
+
+    def drop_replica(self, index: int) -> None:
+        """Forget a quarantined replica's replay cursor. The recorded
+        order is never truncated — survivors still replay all of it."""
+        self.positions.pop(index, None)
+        waitq = self._waitqs.pop(index, None)
+        if waitq is not None:
+            waitq.notify_all(self.kernel.sim)
 
     def sync_point(self, ctx, op_key):
         """Coroutine: called from guest context at a sync operation."""
@@ -50,27 +73,37 @@ class RecordReplayAgent:
             return
         yield Sleep(SYNC_POINT_COST_NS, cpu=True)
         vtid = ctx.thread.vtid
-        if replica_index == 0:
-            self.order.append((vtid, self._key_hash(op_key)))
-            self.stats["recorded"] += 1
-            for queue in self._waitqs.values():
-                queue.notify_all(self.kernel.sim)
-            return
-        # Slave: wait until it is this thread's turn in the recorded order.
         while True:
-            pos = self.positions[replica_index]
-            if pos < len(self.order):
+            pos = self.positions.get(replica_index)
+            if replica_index == self.master_index and (
+                pos is None or pos >= len(self.order)
+            ):
+                if pos is not None:
+                    # Promoted master finished draining its predecessor's
+                    # recorded tail; from here on it records.
+                    del self.positions[replica_index]
+                self.order.append((vtid, self._key_hash(op_key)))
+                self.stats["recorded"] += 1
+                for queue in self._waitqs.values():
+                    queue.notify_all(self.kernel.sim)
+                return
+            if pos is not None and pos < len(self.order):
                 want_vtid, _key = self.order[pos]
                 if want_vtid == vtid:
                     self.positions[replica_index] = pos + 1
                     self.stats["replayed"] += 1
                     # Other threads of this replica may be waiting for the
                     # slot we just vacated.
-                    self._waitqs[replica_index].notify_all(self.kernel.sim)
+                    waitq = self._waitqs.get(replica_index)
+                    if waitq is not None:
+                        waitq.notify_all(self.kernel.sim)
                     return
+            waitq = self._waitqs.get(replica_index)
+            if waitq is None:
+                return  # replica was quarantined mid-wait; thread is moribund
             self.stats["waits"] += 1
-            event = self._waitqs[replica_index].register()
+            event = waitq.register()
             status, _ = yield from wait_interruptible(ctx.thread, event)
             if status == "interrupted":
-                self._waitqs[replica_index].unregister(event)
+                waitq.unregister(event)
                 return

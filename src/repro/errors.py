@@ -48,6 +48,11 @@ class PolicyError(ReproError):
     """A monitoring relaxation policy was configured inconsistently."""
 
 
+class FaultConfigError(ReproError):
+    """A fault-injection plan was configured inconsistently (e.g. a
+    crash fault with both a virtual deadline and a syscall count)."""
+
+
 class SecurityViolation(ReproError):
     """An attack scenario performed an action the design forbids.
 

@@ -1,0 +1,30 @@
+"""repro.faults: seeded, deterministic fault injection for the MVEE.
+
+The injector hooks the simulated kernel's syscall dispatch (crashes,
+stalls), the raw handler invocation path (transient error returns), the
+IK-B token issuance path (token loss) and the replication buffer (lane
+corruption). Everything is driven by virtual time and per-replica
+syscall counts, so a fixed :class:`FaultPlan` produces bit-identical
+runs — the property the availability sweep and the degradation tests
+rely on.
+"""
+
+from repro.faults.injector import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    RBCorruptionFault,
+    StallFault,
+    SyscallErrorFault,
+    TokenLossFault,
+)
+
+__all__ = [
+    "CrashFault",
+    "FaultInjector",
+    "FaultPlan",
+    "RBCorruptionFault",
+    "StallFault",
+    "SyscallErrorFault",
+    "TokenLossFault",
+]

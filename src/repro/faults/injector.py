@@ -1,0 +1,376 @@
+"""The fault injector: deterministic fault delivery into a live MVEE.
+
+Fault triggers are expressed either in virtual time (``at_ns``) or in
+per-replica syscall counts (``after_syscalls``), both of which are
+deterministic in the discrete-event simulation. The injector keeps all
+runtime state (remaining counts, fired flags) internal, so a single
+:class:`FaultPlan` can be replayed across runs without bleed-through.
+
+Hook points (see ``Kernel.syscall_path`` / ``Kernel.invoke`` /
+``InKernelBroker._forward_to_ipmon``):
+
+* **crash** — the replica process is terminated (SIGKILL/SIGSEGV) at
+  dispatch of its Nth syscall or at a virtual deadline;
+* **stall** — the replica sleeps ``duration_ns`` inside dispatch,
+  without publishing records or reaching its rendezvous;
+* **error** — a raw handler invocation returns ``-errno`` (EIO, ENOMEM,
+  EINTR, ...) instead of executing. Injected at :meth:`Kernel.invoke`,
+  so a master-call error is replicated consistently to the slaves;
+* **token loss** — IK-B "forgets" an authorization token right after
+  issuing it, so IP-MON's restart fails verification;
+* **RB corruption** — a byte of the next unconsumed record's argument
+  blob is flipped, which a slave's PRECALL comparison must catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FaultConfigError
+from repro.kernel import constants as C
+
+_LCG_MULT = 6364136223846793005
+_LCG_ADD = 1442695040888963407
+_MASK = (1 << 64) - 1
+
+
+def _lcg(state: int) -> int:
+    return (state * _LCG_MULT + _LCG_ADD) & _MASK
+
+
+@dataclass
+class CrashFault:
+    """Terminate one replica with a signal (SIGKILL/SIGSEGV)."""
+
+    replica: int
+    at_ns: Optional[int] = None
+    after_syscalls: Optional[int] = None
+    signo: int = C.SIGKILL
+
+    def __post_init__(self):
+        if (self.at_ns is None) == (self.after_syscalls is None):
+            raise FaultConfigError(
+                "CrashFault needs exactly one of at_ns / after_syscalls"
+            )
+
+
+@dataclass
+class StallFault:
+    """Freeze one replica for ``duration_ns`` inside syscall dispatch."""
+
+    replica: int
+    duration_ns: int
+    at_ns: Optional[int] = None
+    after_syscalls: Optional[int] = None
+
+    def __post_init__(self):
+        if (self.at_ns is None) == (self.after_syscalls is None):
+            raise FaultConfigError(
+                "StallFault needs exactly one of at_ns / after_syscalls"
+            )
+
+
+@dataclass
+class SyscallErrorFault:
+    """Force ``-errno`` from the next matching raw handler invocations."""
+
+    replica: int
+    syscall: str
+    errno: int
+    count: int = 1
+    skip_first: int = 0  # matching invocations to let through first
+
+
+@dataclass
+class TokenLossFault:
+    """Drop IK-B authorization tokens issued to one replica."""
+
+    replica: int
+    count: int = 1
+    skip_first: int = 0  # tokens to issue normally first
+
+
+@dataclass
+class RBCorruptionFault:
+    """Flip a byte in the args blob of a pending RB record."""
+
+    at_ns: int
+    lane_vtid: Optional[int] = None  # None: first lane with a pending record
+    flip_mask: int = 0xFF
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of faults, optionally generated from a seed."""
+
+    faults: List = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self):
+        return len(self.faults)
+
+    @classmethod
+    def random_crashes(
+        cls,
+        seed: int,
+        replicas: int,
+        duration_ns: int,
+        crash_rate_hz: float,
+        include_master: bool = True,
+    ) -> "FaultPlan":
+        """A deterministic plan of crash faults at the given rate.
+
+        The crash count is ``rate * duration`` rounded to the nearest
+        integer; times and victim replicas come from the same LCG the
+        simulated kernel uses, so a (seed, rate, replicas) triple always
+        produces the identical plan.
+        """
+        if replicas < 2:
+            raise FaultConfigError("random_crashes needs at least 2 replicas")
+        state = (seed or 1) & _MASK
+        count = int(round(crash_rate_hz * duration_ns / 1e9))
+        faults = []
+        for _ in range(count):
+            state = _lcg(state)
+            at_ns = 1 + state % max(1, duration_ns)
+            state = _lcg(state)
+            if include_master:
+                victim = state % replicas
+            else:
+                victim = 1 + state % (replicas - 1)
+            faults.append(CrashFault(replica=victim, at_ns=at_ns))
+        faults.sort(key=lambda f: (f.at_ns, f.replica))
+        return cls(faults)
+
+
+class FaultInjector:
+    """Delivers one :class:`FaultPlan` into a kernel/MVEE pair.
+
+    Use::
+
+        kernel = Kernel()
+        FaultInjector(plan).install(kernel)
+        mvee = ReMon(kernel, program, config)   # binds itself
+        result = mvee.run()
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan or FaultPlan()
+        self.kernel = None
+        self.mvee = None
+        self.stats: Dict[str, int] = {
+            "crashes": 0,
+            "stalls": 0,
+            "errors": 0,
+            "tokens_lost": 0,
+            "rb_corruptions": 0,
+            "skipped": 0,  # faults whose target was already gone
+        }
+        # Per-replica dispatch counts (drives after_syscalls triggers).
+        self._dispatches: Dict[int, int] = {}
+        # Count-triggered crash/stall faults per replica, time-triggered
+        # stalls pending consumption at the replica's next dispatch.
+        self._count_faults: Dict[int, List] = {}
+        self._pending_stalls: Dict[int, List[int]] = {}
+        # Mutable runtime state for error/token faults: [fault, skip, left].
+        self._error_state: List[List] = []
+        self._token_state: List[List] = []
+        self._timed: List = []
+        for fault in self.plan:
+            if isinstance(fault, (CrashFault, StallFault)):
+                if fault.at_ns is not None:
+                    self._timed.append(fault)
+                else:
+                    self._count_faults.setdefault(fault.replica, []).append(fault)
+            elif isinstance(fault, SyscallErrorFault):
+                self._error_state.append([fault, fault.skip_first, fault.count])
+            elif isinstance(fault, TokenLossFault):
+                self._token_state.append([fault, fault.skip_first, fault.count])
+            elif isinstance(fault, RBCorruptionFault):
+                self._timed.append(fault)
+            else:
+                raise FaultConfigError("unknown fault type: %r" % (fault,))
+
+    @property
+    def total_injected(self) -> int:
+        return (
+            self.stats["crashes"]
+            + self.stats["stalls"]
+            + self.stats["errors"]
+            + self.stats["tokens_lost"]
+            + self.stats["rb_corruptions"]
+        )
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def install(self, kernel) -> "FaultInjector":
+        self.kernel = kernel
+        kernel.fault_injector = self
+        now = kernel.sim.now
+        for fault in self._timed:
+            at = max(now + 1, fault.at_ns)
+            if isinstance(fault, RBCorruptionFault):
+                kernel.sim.call_at(at, self._fire_rb_corruption, fault, 0)
+            elif isinstance(fault, CrashFault):
+                kernel.sim.call_at(at, self._fire_crash, fault)
+            else:
+                kernel.sim.call_at(at, self._fire_stall, fault)
+        return self
+
+    def bind_mvee(self, mvee) -> None:
+        """Called by ReMon._build: gives the injector replica/RB access."""
+        self.mvee = mvee
+
+    def _replica_process(self, index: int):
+        if self.mvee is not None:
+            processes = self.mvee.group.processes
+            if 0 <= index < len(processes):
+                return processes[index]
+            return None
+        if self.kernel is not None:
+            for process in self.kernel.processes.values():
+                if getattr(process, "replica_index", None) == index:
+                    return process
+        return None
+
+    # ------------------------------------------------------------------
+    # Timed faults
+    # ------------------------------------------------------------------
+    def _fire_crash(self, fault: CrashFault) -> None:
+        process = self._replica_process(fault.replica)
+        if process is None or process.exited:
+            self.stats["skipped"] += 1
+            return
+        self.stats["crashes"] += 1
+        self.kernel.terminate_process(process, 128 + fault.signo, signo=fault.signo)
+
+    def _fire_stall(self, fault: StallFault) -> None:
+        process = self._replica_process(fault.replica)
+        if process is None or process.exited:
+            self.stats["skipped"] += 1
+            return
+        # Consumed (and charged) at the replica's next syscall dispatch.
+        self._pending_stalls.setdefault(fault.replica, []).append(fault.duration_ns)
+
+    def _fire_rb_corruption(self, fault: RBCorruptionFault, attempt: int) -> None:
+        record = self._find_pending_record(fault)
+        if record is None:
+            # No record in flight right now; retry briefly, then give up.
+            if attempt < 200 and self.mvee is not None and not self.mvee.shutting_down:
+                self.kernel.sim.call_at(
+                    self.kernel.sim.now + 50_000, self._fire_rb_corruption, fault, attempt + 1
+                )
+            else:
+                self.stats["skipped"] += 1
+            return
+        from repro.core.rb import HEADER_SIZE
+
+        region = record.region
+        length = record.read_args()
+        if not length:
+            self.stats["skipped"] += 1
+            return
+        pos = record.offset + HEADER_SIZE
+        region.data[pos] = (region.data[pos] ^ fault.flip_mask) & 0xFF
+        self.stats["rb_corruptions"] += 1
+
+    def _find_pending_record(self, fault: RBCorruptionFault):
+        mvee = self.mvee
+        if mvee is None or mvee.ipmon is None:
+            return None
+        lanes = mvee.ipmon.rb.lanes
+        candidates = (
+            [lanes[fault.lane_vtid]]
+            if fault.lane_vtid is not None and fault.lane_vtid in lanes
+            else list(lanes.values())
+        )
+        for lane in candidates:
+            for index in sorted(lane.consumed):
+                record = lane.next_record_for(index)
+                if record is not None and record.state() >= 1 and record.args_len:
+                    return record
+        return None
+
+    # ------------------------------------------------------------------
+    # Dispatch hook (Kernel.syscall_path)
+    # ------------------------------------------------------------------
+    def on_syscall_entry(self, thread, req) -> Optional[Tuple[str, int]]:
+        """Consulted at every syscall dispatch of a replica thread.
+
+        Returns None (no fault), ("crash", signo) after terminating the
+        process, or ("stall", duration_ns) — the kernel sleeps and
+        re-checks liveness.
+        """
+        index = getattr(thread.process, "replica_index", None)
+        if index is None:
+            return None
+        count = self._dispatches.get(index, 0) + 1
+        self._dispatches[index] = count
+        pending = self._pending_stalls.get(index)
+        if pending:
+            duration = pending.pop(0)
+            self.stats["stalls"] += 1
+            return ("stall", duration)
+        faults = self._count_faults.get(index)
+        if not faults:
+            return None
+        for fault in faults:
+            if count >= fault.after_syscalls:
+                faults.remove(fault)
+                if isinstance(fault, CrashFault):
+                    self.stats["crashes"] += 1
+                    self.kernel.terminate_process(
+                        thread.process, 128 + fault.signo, signo=fault.signo
+                    )
+                    return ("crash", fault.signo)
+                self.stats["stalls"] += 1
+                return ("stall", fault.duration_ns)
+        return None
+
+    # ------------------------------------------------------------------
+    # Raw-invocation hook (Kernel.invoke)
+    # ------------------------------------------------------------------
+    def on_invoke(self, thread, req) -> Optional[int]:
+        """Returns a positive errno to force ``-errno``, else None."""
+        if not self._error_state:
+            return None
+        index = getattr(thread.process, "replica_index", None)
+        if index is None:
+            return None
+        for state in self._error_state:
+            fault, skip, left = state
+            if left <= 0 or fault.replica != index or fault.syscall != req.name:
+                continue
+            if skip > 0:
+                state[1] = skip - 1
+                continue
+            state[2] = left - 1
+            self.stats["errors"] += 1
+            return fault.errno
+        return None
+
+    # ------------------------------------------------------------------
+    # IK-B hook (token issuance)
+    # ------------------------------------------------------------------
+    def steal_token(self, thread, req) -> bool:
+        """True if the token just issued for this call should be lost."""
+        if not self._token_state:
+            return False
+        index = getattr(thread.process, "replica_index", None)
+        if index is None:
+            return False
+        for state in self._token_state:
+            fault, skip, left = state
+            if left <= 0 or fault.replica != index:
+                continue
+            if skip > 0:
+                state[1] = skip - 1
+                continue
+            state[2] = left - 1
+            self.stats["tokens_lost"] += 1
+            return True
+        return False

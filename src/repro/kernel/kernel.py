@@ -66,6 +66,9 @@ class Kernel:
         self.thread_spawner: Optional[Callable] = None
         #: Observers notified on fd lifecycle events (GHUMVEE file map).
         self.fd_listeners: List = []
+        #: Optional repro.faults.FaultInjector, consulted at dispatch
+        #: (crashes, stalls) and raw invocation (transient errors).
+        self.fault_injector = None
         self.syscall_counter = 0
         self.syscall_counts_by_name: Dict[str, int] = {}
 
@@ -144,6 +147,17 @@ class Kernel:
         thread.current_syscall = req
         try:
             yield Sleep(self.config.costs.syscall_base_ns, cpu=True)
+            injector = self.fault_injector
+            if injector is not None:
+                action = injector.on_syscall_entry(thread, req)
+                if action is not None:
+                    kind, value = action
+                    if kind == "crash":
+                        return -E.EINTR
+                    if kind == "stall":
+                        yield Sleep(value, cpu=False)
+                        if thread.process.exited:
+                            return -E.EINTR
             for hook in self.syscall_hooks:
                 interception = hook.intercept(thread, req)
                 if interception is not None:
@@ -175,6 +189,11 @@ class Kernel:
         handler = SYSCALL_TABLE.get(req.name)
         if handler is None:
             return -E.ENOSYS
+        injector = self.fault_injector
+        if injector is not None:
+            forced = injector.on_invoke(thread, req)
+            if forced is not None:
+                return -forced
         gen = None
         try:
             result = handler(self, thread, *req.args)

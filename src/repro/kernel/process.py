@@ -126,6 +126,9 @@ class Process:
         self.threads: Dict[int, "Thread"] = {}
         self.exited = False
         self.exit_code: Optional[int] = None
+        #: Set by the MVEE when this replica is removed from the group as
+        #: a benign fault (degraded mode) — its death is then expected.
+        self.quarantined = False
         self.exit_event = Event("exit:%s" % name)
         self.start_time_ns = 0
         # Accounting for times()/getrusage()

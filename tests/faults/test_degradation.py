@@ -1,0 +1,378 @@
+"""Graceful degradation: quarantine, master promotion, N−1 continuation.
+
+The paper's ReMon fail-stops on *any* replica anomaly. A
+:class:`DegradationPolicy` relaxes exactly the benign half of that
+contract — crashes and stalls are absorbed while quorum holds — and
+keeps every behavioural mismatch a security divergence.
+"""
+
+import pytest
+
+from repro.core import DegradationPolicy, Level, ReMon, ReMonConfig
+from repro.core.events import DivergenceReport
+from repro.faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    RBCorruptionFault,
+    StallFault,
+)
+from repro.guest.program import Compute, Program
+from repro.kernel import Kernel, KernelConfig
+from repro.kernel import constants as C
+
+
+def run_mvee(program, plan=None, replicas=3, level=Level.NONSOCKET_RW,
+             max_steps=80_000_000, degradation=None, **cfg):
+    kernel = Kernel()
+    injector = FaultInjector(plan).install(kernel) if plan is not None else None
+    config = ReMonConfig(
+        replicas=replicas, level=level, degradation=degradation, **cfg
+    )
+    mvee = ReMon(kernel, program, config)
+    result = mvee.run(max_steps=max_steps)
+    return kernel, mvee, result, injector
+
+
+def worker_program(calls=60, exit_code=7):
+    def main(ctx):
+        libc = ctx.libc
+        for _ in range(calls):
+            _pid = yield ctx.sys.getpid()
+        out = yield from libc.open("/tmp/degrade-out.txt", C.O_WRONLY | C.O_CREAT)
+        yield from libc.write(out, b"survived")
+        yield from libc.close(out)
+        return exit_code
+
+    return Program("worker", main)
+
+
+class TestSlaveCrash:
+    def test_non_master_crash_is_quarantined_and_run_completes(self):
+        """The headline acceptance scenario: 3 replicas, one slave dies,
+        the group finishes on N−1 with correct external output."""
+        plan = FaultPlan(faults=[CrashFault(replica=1, after_syscalls=20)])
+        kernel, mvee, result, _inj = run_mvee(
+            worker_program(), plan=plan, degradation=DegradationPolicy(min_quorum=2)
+        )
+        assert not result.diverged, result.divergence
+        assert result.stats["replicas_quarantined"] == 1
+        assert result.stats["master_promotions"] == 0
+        assert result.quarantined_replicas == [1]
+        assert result.exit_codes[0] == 7 and result.exit_codes[2] == 7
+        assert result.exit_codes[1] == 128 + C.SIGKILL
+        node, err = kernel.fs.resolve("/tmp/degrade-out.txt")
+        assert err == 0 and bytes(node.data) == b"survived"
+        assert len(result.fault_events) == 1
+        assert result.fault_events[0].kind == "crash"
+
+    def test_crash_without_policy_still_fail_stops(self):
+        plan = FaultPlan(faults=[CrashFault(replica=1, after_syscalls=20)])
+        _k, _m, result, _inj = run_mvee(worker_program(), plan=plan)
+        assert result.diverged
+        assert "terminated unexpectedly" in result.divergence.detail
+        assert result.stats["replicas_quarantined"] == 0
+
+    def test_quorum_loss_fail_stops(self):
+        """min_quorum=3 with 3 replicas: any crash drops below quorum."""
+        plan = FaultPlan(faults=[CrashFault(replica=2, after_syscalls=20)])
+        _k, _m, result, _inj = run_mvee(
+            worker_program(), plan=plan, degradation=DegradationPolicy(min_quorum=3)
+        )
+        assert result.diverged
+        assert "quorum lost" in result.divergence.detail
+        assert result.stats["replicas_quarantined"] == 0
+        assert result.quarantined_replicas == []
+
+    def test_successive_crashes_down_to_quorum(self):
+        plan = FaultPlan(
+            faults=[
+                CrashFault(replica=1, after_syscalls=15),
+                CrashFault(replica=3, after_syscalls=25),
+            ]
+        )
+        _k, _m, result, _inj = run_mvee(
+            worker_program(calls=80),
+            plan=plan,
+            replicas=4,
+            degradation=DegradationPolicy(min_quorum=2),
+        )
+        assert not result.diverged, result.divergence
+        assert result.stats["replicas_quarantined"] == 2
+        assert sorted(result.quarantined_replicas) == [1, 3]
+        assert result.exit_codes[0] == 7 and result.exit_codes[2] == 7
+
+
+class TestMasterCrash:
+    def test_master_crash_promotes_lowest_survivor(self):
+        plan = FaultPlan(faults=[CrashFault(replica=0, after_syscalls=20)])
+        kernel, mvee, result, _inj = run_mvee(
+            worker_program(), plan=plan, degradation=DegradationPolicy(min_quorum=2)
+        )
+        assert not result.diverged, result.divergence
+        assert result.stats["replicas_quarantined"] == 1
+        assert result.stats["master_promotions"] == 1
+        assert mvee.group.master_index == 1
+        assert result.exit_codes[1] == 7 and result.exit_codes[2] == 7
+        # The promoted master performed the external write.
+        node, err = kernel.fs.resolve("/tmp/degrade-out.txt")
+        assert err == 0 and bytes(node.data) == b"survived"
+
+    def test_master_crash_at_virtual_time(self):
+        plan = FaultPlan(faults=[CrashFault(replica=0, at_ns=200_000, signo=C.SIGSEGV)])
+        _k, mvee, result, _inj = run_mvee(
+            worker_program(calls=200),
+            plan=plan,
+            degradation=DegradationPolicy(min_quorum=2),
+        )
+        assert not result.diverged, result.divergence
+        assert result.stats["master_promotions"] == 1
+        assert result.exit_codes[0] == 128 + C.SIGSEGV
+
+    def test_master_crash_without_promotion_fail_stops(self):
+        plan = FaultPlan(faults=[CrashFault(replica=0, after_syscalls=20)])
+        _k, _m, result, _inj = run_mvee(
+            worker_program(),
+            plan=plan,
+            degradation=DegradationPolicy(min_quorum=2, promote_master=False),
+        )
+        assert result.diverged
+        assert result.stats["master_promotions"] == 0
+
+    def test_wall_clock_follows_promoted_master(self):
+        """A quarantined master must not freeze wall_time_ns at its own
+        death; the successor's exit defines the run's end."""
+        plan = FaultPlan(faults=[CrashFault(replica=0, after_syscalls=10)])
+        kernel, _m, result, _inj = run_mvee(
+            worker_program(calls=120),
+            plan=plan,
+            degradation=DegradationPolicy(min_quorum=2),
+        )
+        assert not result.diverged, result.divergence
+        # The run ended when the promoted master exited, long after the
+        # original master was killed early in the call loop.
+        assert result.wall_time_ns > result.fault_events[0].time_ns
+
+
+class TestStalls:
+    def test_rendezvous_stall_without_policy_diverges(self):
+        """Satellite: the GHUMVEE stall watchdog alone (no degradation,
+        no IP-MON) turns a silent non-participating replica into a
+        divergence once the lockstep timeout expires."""
+
+        def main(ctx):
+            libc = ctx.libc
+            for _ in range(6):
+                fd = yield from libc.open("/data/in.txt")
+                yield from libc.close(fd)
+            return 0
+
+        plan = FaultPlan(
+            faults=[StallFault(replica=1, duration_ns=20_000_000_000, after_syscalls=4)]
+        )
+        _k, _m, result, _inj = run_mvee(
+            Program("staller", main, files={"/data/in.txt": b"x"}),
+            plan=plan,
+            replicas=2,
+            level=Level.NO_IPMON,
+            max_steps=200_000_000,
+        )
+        assert result.diverged
+        assert "lockstep stall" in result.divergence.detail
+        assert result.divergence.detected_by == "ghumvee"
+        assert result.divergence.kind == "stall"
+        assert result.stats["replicas_quarantined"] == 0
+
+    def test_rendezvous_stall_with_policy_quarantines_after_backoff(self):
+        def main(ctx):
+            libc = ctx.libc
+            for _ in range(6):
+                fd = yield from libc.open("/data/in.txt")
+                yield from libc.close(fd)
+            return 0
+
+        plan = FaultPlan(
+            faults=[StallFault(replica=2, duration_ns=60_000_000_000, after_syscalls=4)]
+        )
+        _k, _m, result, _inj = run_mvee(
+            Program("staller", main, files={"/data/in.txt": b"x"}),
+            plan=plan,
+            replicas=3,
+            level=Level.NO_IPMON,
+            degradation=DegradationPolicy(min_quorum=2),
+            max_steps=400_000_000,
+        )
+        assert not result.diverged, result.divergence
+        assert result.stats["replicas_quarantined"] == 1
+        assert result.quarantined_replicas == [2]
+        assert result.fault_events[0].kind == "stall"
+        # The watchdog re-armed (doubling) before giving up on the
+        # laggard: cheaper than declaring a fault at the first timeout.
+        assert result.stats["rendezvous_backoff_retries"] >= 1
+        assert result.exit_codes[0] == 0 and result.exit_codes[1] == 0
+
+    def test_stall_as_security_when_policy_says_so(self):
+        def main(ctx):
+            libc = ctx.libc
+            for _ in range(6):
+                fd = yield from libc.open("/data/in.txt")
+                yield from libc.close(fd)
+            return 0
+
+        plan = FaultPlan(
+            faults=[StallFault(replica=1, duration_ns=60_000_000_000, after_syscalls=4)]
+        )
+        _k, _m, result, _inj = run_mvee(
+            Program("staller", main, files={"/data/in.txt": b"x"}),
+            plan=plan,
+            replicas=3,
+            level=Level.NO_IPMON,
+            degradation=DegradationPolicy(min_quorum=2, stall_is_benign=False),
+            max_steps=400_000_000,
+        )
+        assert result.diverged
+        assert result.stats["replicas_quarantined"] == 0
+
+    def test_rb_lane_stall_quarantines_lagging_consumer(self):
+        """A slave that stops draining its RB lane blocks the master
+        once the (small) lane fills; the bounded backoff detects the
+        lack of progress and quarantines the laggard."""
+
+        def main(ctx):
+            for _ in range(400):
+                _pid = yield ctx.sys.getpid()
+            return 0
+
+        plan = FaultPlan(
+            faults=[StallFault(replica=2, duration_ns=30_000_000_000, after_syscalls=30)]
+        )
+        _k, _m, result, _inj = run_mvee(
+            Program("lane-filler", main),
+            plan=plan,
+            replicas=3,
+            rb_size=4096,
+            degradation=DegradationPolicy(min_quorum=2),
+            max_steps=400_000_000,
+        )
+        assert not result.diverged, result.divergence
+        assert result.stats["replicas_quarantined"] == 1
+        assert result.quarantined_replicas == [2]
+        assert result.stats["rb_backoff_retries"] >= 1
+        assert result.fault_events[0].detected_by == "ipmon"
+        assert result.exit_codes[0] == 0 and result.exit_codes[1] == 0
+
+
+class TestSecurityInvariantsPreserved:
+    def test_rb_corruption_fail_stops_even_with_policy(self):
+        """Flipping a byte of a pending RB record is a *mismatch*, not a
+        benign fault: degraded mode must still fail-stop (§4)."""
+
+        def main(ctx):
+            if ctx.process.replica_index != 0:
+                yield Compute(3_000_000)
+            for _ in range(40):
+                _pid = yield ctx.sys.getpid()
+            return 0
+
+        plan = FaultPlan(faults=[RBCorruptionFault(at_ns=100_000)])
+        _k, _m, result, injector = run_mvee(
+            Program("corrupt", main),
+            plan=plan,
+            replicas=2,
+            degradation=DegradationPolicy(min_quorum=1),
+        )
+        assert injector.stats["rb_corruptions"] == 1
+        assert result.diverged
+        assert result.divergence.detected_by == "ipmon"
+        assert result.stats["replicas_quarantined"] == 0
+
+    def test_argument_mismatch_attack_fail_stops_with_policy(self):
+        """The corrupted-argument attack from the §4 analysis must keep
+        fail-stopping when a DegradationPolicy is active."""
+        from repro.attacks import scenarios
+        from repro.attacks.analysis import run_attack
+
+        outcome, result = run_attack(
+            scenarios.corrupted_argument_program,
+            degradation=DegradationPolicy(min_quorum=1),
+        )
+        assert outcome.blocked
+        assert result.diverged
+        assert result.divergence.detected_by == "ghumvee"
+        assert result.stats["replicas_quarantined"] == 0
+
+
+class TestServerAvailability:
+    def test_three_replica_server_survives_slave_crash(self):
+        """Acceptance: a replicated server keeps answering after one
+        non-master replica is killed mid-benchmark."""
+        from repro.workloads.clients import ClientSpec, run_server_benchmark
+        from repro.workloads.servers import SERVERS
+
+        server = SERVERS["redis"]
+        holder = {}
+
+        def runner(kernel, program):
+            mvee = ReMon(
+                kernel,
+                program,
+                ReMonConfig(
+                    replicas=3,
+                    level=Level.SOCKET_RW,
+                    degradation=DegradationPolicy(min_quorum=2),
+                ),
+            )
+            holder["mvee"] = mvee
+            mvee.start()
+            return mvee
+
+        kernel = Kernel(config=KernelConfig(network_latency_ns=200_000))
+        FaultInjector(
+            FaultPlan(faults=[CrashFault(replica=1, after_syscalls=60)])
+        ).install(kernel)
+        spec = ClientSpec(tool="wrk", concurrency=4, total_requests=32)
+        result = run_server_benchmark(
+            kernel, server.program(), spec, server.port, runner
+        )
+        mvee = holder["mvee"]
+        assert result.completed == 32
+        assert result.errors == 0
+        assert not mvee.result.diverged, mvee.result.divergence
+        assert mvee.degradation_stats["replicas_quarantined"] == 1
+        assert mvee.result.quarantined_replicas == [1]
+
+    def test_three_replica_server_survives_master_crash(self):
+        from repro.workloads.clients import ClientSpec, run_server_benchmark
+        from repro.workloads.servers import SERVERS
+
+        server = SERVERS["redis"]
+        holder = {}
+
+        def runner(kernel, program):
+            mvee = ReMon(
+                kernel,
+                program,
+                ReMonConfig(
+                    replicas=3,
+                    level=Level.SOCKET_RW,
+                    degradation=DegradationPolicy(min_quorum=2),
+                ),
+            )
+            holder["mvee"] = mvee
+            mvee.start()
+            return mvee
+
+        kernel = Kernel(config=KernelConfig(network_latency_ns=200_000))
+        FaultInjector(
+            FaultPlan(faults=[CrashFault(replica=0, after_syscalls=60)])
+        ).install(kernel)
+        spec = ClientSpec(tool="wrk", concurrency=4, total_requests=32)
+        result = run_server_benchmark(
+            kernel, server.program(), spec, server.port, runner
+        )
+        mvee = holder["mvee"]
+        assert result.completed == 32
+        assert result.errors == 0
+        assert not mvee.result.diverged, mvee.result.divergence
+        assert mvee.degradation_stats["master_promotions"] == 1
+        assert mvee.group.master_index == 1

@@ -1,0 +1,95 @@
+"""Monitor-side robustness: late divergence reports and monitor-failure
+aggregation (the two hardening fixes that ride along with the fault
+framework)."""
+
+import pytest
+
+from repro.core import Level, ReMon, ReMonConfig
+from repro.core.remon import DivergenceReport
+from repro.guest.program import Program
+from repro.kernel import Kernel
+from repro.kernel import constants as C
+
+
+def finished_mvee(replicas=2):
+    def main(ctx):
+        libc = ctx.libc
+        out = yield from libc.open("/tmp/robust.txt", C.O_WRONLY | C.O_CREAT)
+        yield from libc.write(out, b"done")
+        yield from libc.close(out)
+        return 5
+
+    kernel = Kernel()
+    mvee = ReMon(
+        kernel,
+        Program("robust", main),
+        ReMonConfig(replicas=replicas, level=Level.NONSOCKET_RW),
+    )
+    mvee.start()
+    kernel.sim.run(max_steps=10_000_000)
+    assert mvee.group.all_exited()
+    return kernel, mvee
+
+
+class TestLateDivergenceReport:
+    def test_divergence_after_all_exited_schedules_nothing(self):
+        """A divergence reported after every replica already exited (e.g.
+        a stale watchdog firing during teardown) must not try to schedule
+        a shutdown on a stopped clock — call_at into the past raises."""
+        kernel, mvee = finished_mvee()
+        depth_before = len(kernel.sim._queue)
+        report = DivergenceReport(
+            kernel.sim.now, 0, "write", "stale watchdog", detected_by="ghumvee"
+        )
+        mvee.divergence(report)  # must not raise
+        assert mvee.result.divergence is report
+        assert len(kernel.sim._queue) == depth_before
+        # The original shutdown reason is not rewritten by the late report.
+        assert mvee.result.shutdown_reason == "all replicas exited"
+
+    def test_divergence_before_exit_still_schedules_shutdown(self):
+        def main(ctx):
+            while True:
+                yield ctx.sys.getpid()
+
+        kernel = Kernel()
+        mvee = ReMon(
+            kernel,
+            Program("spin", main),
+            ReMonConfig(replicas=2, level=Level.NONSOCKET_RW),
+        )
+        mvee.start()
+        kernel.sim.run(until=1_000_000)
+        report = DivergenceReport(
+            kernel.sim.now, 0, "getpid", "forced", detected_by="ghumvee"
+        )
+        depth_before = len(kernel.sim._queue)
+        mvee.divergence(report)
+        assert len(kernel.sim._queue) == depth_before + 1
+        kernel.sim.run(until=kernel.sim.now + 10_000_000)
+        assert mvee.result.shutdown_reason == "divergence: forced"
+
+
+class TestMonitorFailureAggregation:
+    def test_secondary_failures_attached_as_notes(self):
+        """A cascade of monitor failures raises the first one, with every
+        later failure surfaced as a note instead of silently dropped."""
+        _kernel, mvee = finished_mvee()
+        primary = ValueError("first monitor task died")
+        mvee.monitor_failures.append(primary)
+        mvee.monitor_failures.append(RuntimeError("second monitor task died"))
+        mvee.monitor_failures.append(KeyError("third"))
+        with pytest.raises(ValueError) as excinfo:
+            mvee.finalize()
+        assert excinfo.value is primary
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert len(notes) == 2
+        assert "RuntimeError" in notes[0]
+        assert "third" in notes[1]
+
+    def test_single_failure_raises_without_notes(self):
+        _kernel, mvee = finished_mvee()
+        mvee.monitor_failures.append(RuntimeError("lone failure"))
+        with pytest.raises(RuntimeError) as excinfo:
+            mvee.finalize()
+        assert not getattr(excinfo.value, "__notes__", [])
