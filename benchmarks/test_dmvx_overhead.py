@@ -1,0 +1,121 @@
+"""Distributed-MVEE benches: the dMVX selective-replication claim, batch
+coalescing, cross-node relaxation, and node-crash failover (repro.dist,
+DESIGN.md §8)."""
+
+from repro.bench import dist
+from repro.bench.reporting import Table
+
+
+def test_selective_vs_full_replication(benchmark, report):
+    rows = dist.selective_vs_full()
+    table = Table(
+        "dMVX selective vs full replication (3 nodes, SOCKET_RW)",
+        ["latency", "policy", "overhead", "wire KiB", "messages",
+         "replicated", "local"],
+    )
+    for row in rows:
+        table.add("%d us" % (row["latency_ns"] // 1000), row["policy"],
+                  "%.2fx" % row["overhead"],
+                  "%.1f" % (row["wire_bytes"] / 1024), row["messages"],
+                  row["replicated"], row["local"])
+    report(table.render())
+
+    by_key = {(r["latency_ns"], r["policy"]): r for r in rows}
+    latencies = sorted({r["latency_ns"] for r in rows})
+    for latency in latencies:
+        sel = by_key[(latency, "selective")]
+        full = by_key[(latency, "full")]
+        # The dMVX claim, at every tested link latency: selective
+        # replication moves fewer bytes AND costs less wall time.
+        assert sel["wire_bytes"] < full["wire_bytes"], latency
+        assert sel["overhead"] < full["overhead"], latency
+        # It does so by keeping reproducible calls local.
+        assert sel["local"] > full["local"]
+        assert sel["replicated"] < full["replicated"]
+    # The byte saving is substantial, not marginal.
+    mid = latencies[len(latencies) // 2]
+    assert by_key[(mid, "full")]["wire_bytes"] > (
+        2 * by_key[(mid, "selective")]["wire_bytes"]
+    )
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_batching_collapses_message_count(benchmark, report):
+    rows = dist.batching_sweep()
+    table = Table(
+        "Transfer-unit size sweep (200 us links)",
+        ["batch", "messages", "frames", "frames/msg", "overhead"],
+    )
+    for row in rows:
+        table.add(row["batch_bytes"], row["messages"], row["frames"],
+                  "%.1f" % row["frames_per_msg"], "%.2fx" % row["overhead"])
+    report(table.render())
+
+    by_size = {r["batch_bytes"]: r for r in rows}
+    sizes = sorted(by_size)
+    # Same frame traffic at every size; fewer, fuller messages as the
+    # transfer unit grows.
+    assert by_size[sizes[0]]["messages"] >= by_size[sizes[-1]]["messages"]
+    assert (by_size[sizes[-1]]["frames_per_msg"]
+            >= by_size[sizes[0]]["frames_per_msg"])
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_relaxation_matters_more_across_nodes(benchmark, report):
+    rows = dist.relaxation_sweep()
+    table = Table(
+        "Relaxation across nodes (200 us links)",
+        ["level", "rendezvous", "local", "replicated", "round trips",
+         "overhead"],
+    )
+    for row in rows:
+        table.add(row["level"], row["rendezvous"], row["local"],
+                  row["replicated"], row["round_trips"],
+                  "%.2fx" % row["overhead"])
+    report(table.render())
+
+    by_level = {r["level"]: r for r in rows}
+    # Each relaxation step drains the lockstep lane...
+    assert (by_level["NO_IPMON"]["rendezvous"]
+            > by_level["NONSOCKET_RW"]["rendezvous"]
+            > by_level["SOCKET_RW"]["rendezvous"])
+    # ...and full lockstep is dramatically slower than relaxed modes
+    # once every monitored call pays two link round trips.
+    assert by_level["NO_IPMON"]["overhead"] > 2 * by_level["SOCKET_RW"]["overhead"]
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_node_crash_failover(benchmark, report):
+    rows = dist.failover_rows()
+    table = Table(
+        "Node-crash failover (3 nodes, min_quorum=2)",
+        ["scenario", "outcome", "quarantined", "promotions", "overhead"],
+    )
+    for row in rows:
+        table.add(row["scenario"], row["outcome"], row["quarantined"],
+                  row["promotions"], "%.2fx" % row["overhead"])
+    report(table.render())
+
+    by_name = {r["scenario"]: r for r in rows}
+    assert by_name["fault-free"]["outcome"] == "completed"
+    assert by_name["fault-free"]["quarantined"] == 0
+    # Both crash flavours are absorbed across nodes without deadlock.
+    assert by_name["follower crash"]["outcome"] == "completed"
+    assert by_name["follower crash"]["quarantined"] == 1
+    assert by_name["follower crash"]["promotions"] == 0
+    assert by_name["leader crash"]["outcome"] == "completed"
+    assert by_name["leader crash"]["quarantined"] == 1
+    assert by_name["leader crash"]["promotions"] == 1
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)

@@ -1,0 +1,249 @@
+"""Distributed-MVEE overhead sweeps (repro.dist; DESIGN.md §8).
+
+The dMVX argument, reproduced: naive ("full") replication ships every
+syscall result from the leader to the followers and pays a per-frame
+tax plus wire volume proportional to total syscall traffic; *selective*
+replication ships only what followers cannot reproduce locally
+(external socket I/O and the leader's clock), collapsing both. These
+sweeps quantify that across link latency, batch size, and relaxation
+level, plus what a node crash costs end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.native import run_native
+from repro.bench.reporting import Table
+from repro.core import DegradationPolicy, Level, ReMonConfig
+from repro.dist import (
+    DistConfig,
+    DistMvee,
+    SelectiveReplication,
+    full_replication,
+    selective_replication,
+)
+from repro.faults import CrashFault, FaultInjector, FaultPlan
+from repro.workloads.synthetic import CategoryMix, SyntheticWorkload, build_program
+
+MAX_STEPS = 400_000_000
+
+#: Link latencies swept by the headline comparison: same-rack, same-DC,
+#: and cross-site-ish.
+LATENCIES_NS: Tuple[int, ...] = (50_000, 200_000, 1_000_000)
+
+
+def _workload(name: str = "dist", rate: float = 260_000.0,
+              native_ms: float = 4.0) -> SyntheticWorkload:
+    """A server-ish mix: mostly reproducible file/base traffic with a
+    socket component only the leader may touch."""
+    return SyntheticWorkload(
+        name=name,
+        native_ms=native_ms,
+        mix=CategoryMix(
+            {
+                "base": rate * 0.25,
+                "file_ro": rate * 0.45,
+                "sock_ro": rate * 0.1,
+                "sock_rw": rate * 0.1,
+                "mgmt": rate * 0.1,
+            }
+        ),
+        threads=2,
+    )
+
+
+def _native_ns(workload: SyntheticWorkload) -> int:
+    return run_native(build_program(workload)).wall_time_ns
+
+
+def _run(workload: SyntheticWorkload, *, nodes: int = 3,
+         level: Level = Level.SOCKET_RW,
+         replication: Optional[SelectiveReplication] = None,
+         latency_ns: int = 200_000, batch_bytes: int = 4096,
+         plan: Optional[FaultPlan] = None,
+         degradation: Optional[DegradationPolicy] = None):
+    dist = DistConfig(
+        link_latency_ns=latency_ns,
+        batch_bytes=batch_bytes,
+        replication=replication or selective_replication(),
+    )
+    config = ReMonConfig(replicas=nodes, level=level, degradation=degradation,
+                         dist=dist)
+    mvee = DistMvee(build_program(workload), config)
+    if plan is not None:
+        mvee.attach_faults(FaultInjector(plan))
+    return mvee.run(max_steps=MAX_STEPS)
+
+
+# ---------------------------------------------------------------------------
+# 1. Selective vs full replication across link latency
+# ---------------------------------------------------------------------------
+def selective_vs_full(latencies_ns: Tuple[int, ...] = LATENCIES_NS,
+                      nodes: int = 3) -> List[Dict]:
+    """The dMVX headline: at every link latency, selective replication
+    moves fewer bytes AND finishes faster than full replication."""
+    workload = _workload("sel-vs-full")
+    native_ns = _native_ns(workload)
+    rows = []
+    for latency_ns in latencies_ns:
+        for policy in (selective_replication(), full_replication()):
+            result = _run(workload, nodes=nodes, replication=policy,
+                          latency_ns=latency_ns)
+            assert not result.diverged, result.divergence
+            rows.append(
+                {
+                    "latency_ns": latency_ns,
+                    "policy": policy.name,
+                    "overhead": result.wall_time_ns / max(1, native_ns),
+                    "wire_bytes": result.stats["dist_wire_bytes"],
+                    "messages": result.stats["dist_messages"],
+                    "replicated": result.stats["dist_replicated_calls"],
+                    "local": result.stats["dist_local_calls"],
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# 2. Transfer-unit (batch) size sweep
+# ---------------------------------------------------------------------------
+def batching_sweep(batch_sizes=(512, 4096, 16384),
+                   latency_ns: int = 200_000) -> List[Dict]:
+    """Bigger transfer units coalesce more frames per message, cutting
+    the per-message cost the leader pays for replication."""
+    workload = _workload("batching")
+    native_ns = _native_ns(workload)
+    rows = []
+    for batch_bytes in batch_sizes:
+        result = _run(workload, batch_bytes=batch_bytes, latency_ns=latency_ns)
+        assert not result.diverged, result.divergence
+        rows.append(
+            {
+                "batch_bytes": batch_bytes,
+                "messages": result.stats["dist_messages"],
+                "frames": result.stats["dist_frames"],
+                "frames_per_msg": result.stats["dist_frames"]
+                / max(1, result.stats["dist_messages"]),
+                "overhead": result.wall_time_ns / max(1, native_ns),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# 3. Relaxation level sweep
+# ---------------------------------------------------------------------------
+def relaxation_sweep(levels=(Level.NO_IPMON, Level.BASE, Level.NONSOCKET_RW,
+                             Level.SOCKET_RW),
+                     latency_ns: int = 200_000) -> List[Dict]:
+    """Cross-node lockstep is brutally expensive (two link round trips
+    per monitored call), so relaxation pays off far more than it does on
+    one machine: each level shifts calls from rendezvous to the local or
+    replicated lanes."""
+    workload = _workload("relax")
+    native_ns = _native_ns(workload)
+    rows = []
+    for level in levels:
+        result = _run(workload, level=level, latency_ns=latency_ns)
+        assert not result.diverged, result.divergence
+        rows.append(
+            {
+                "level": level.name,
+                "rendezvous": result.stats["dist_rendezvous_calls"],
+                "local": result.stats["dist_local_calls"],
+                "replicated": result.stats["dist_replicated_calls"],
+                "round_trips": result.stats["dist_round_trips"],
+                "overhead": result.wall_time_ns / max(1, native_ns),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# 4. Node-crash failover
+# ---------------------------------------------------------------------------
+def failover_rows(latency_ns: int = 200_000) -> List[Dict]:
+    """A 3-node cluster under PR-1 fault injection: follower and leader
+    crashes are absorbed (quarantine, promotion) and the run completes
+    on the surviving nodes."""
+    workload = SyntheticWorkload(
+        name="dist-failover",
+        native_ms=4.0,
+        mix=CategoryMix({"base": 120_000, "file_ro": 120_000, "mgmt": 20_000}),
+        threads=2,
+    )
+    native_ns = _native_ns(workload)
+    policy = DegradationPolicy(min_quorum=2)
+    scenarios = [
+        ("fault-free", None),
+        ("follower crash", FaultPlan([CrashFault(replica=2, at_ns=1_000_000)])),
+        ("leader crash", FaultPlan([CrashFault(replica=0, at_ns=1_000_000)])),
+    ]
+    rows = []
+    for name, plan in scenarios:
+        result = _run(workload, level=Level.NONSOCKET_RW, plan=plan,
+                      degradation=policy, latency_ns=latency_ns)
+        rows.append(
+            {
+                "scenario": name,
+                "outcome": "diverged" if result.diverged else "completed",
+                "quarantined": len(result.quarantined_replicas),
+                "promotions": result.stats["master_promotions"],
+                "overhead": result.wall_time_ns / max(1, native_ns),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+def render_all() -> str:
+    out = []
+
+    table = Table(
+        "dMVX selective vs full replication (3 nodes, SOCKET_RW)",
+        ["latency", "policy", "overhead", "wire KiB", "messages",
+         "replicated", "local"],
+    )
+    for row in selective_vs_full():
+        table.add(
+            "%d us" % (row["latency_ns"] // 1000),
+            row["policy"],
+            "%.2fx" % row["overhead"],
+            "%.1f" % (row["wire_bytes"] / 1024),
+            row["messages"],
+            row["replicated"],
+            row["local"],
+        )
+    out.append(table.render())
+
+    table = Table(
+        "Transfer-unit size sweep (200 us links)",
+        ["batch", "messages", "frames", "frames/msg", "overhead"],
+    )
+    for row in batching_sweep():
+        table.add(row["batch_bytes"], row["messages"], row["frames"],
+                  "%.1f" % row["frames_per_msg"], "%.2fx" % row["overhead"])
+    out.append(table.render())
+
+    table = Table(
+        "Relaxation across nodes (200 us links)",
+        ["level", "rendezvous", "local", "replicated", "round trips",
+         "overhead"],
+    )
+    for row in relaxation_sweep():
+        table.add(row["level"], row["rendezvous"], row["local"],
+                  row["replicated"], row["round_trips"],
+                  "%.2fx" % row["overhead"])
+    out.append(table.render())
+
+    table = Table(
+        "Node-crash failover (3 nodes, min_quorum=2)",
+        ["scenario", "outcome", "quarantined", "promotions", "overhead"],
+    )
+    for row in failover_rows():
+        table.add(row["scenario"], row["outcome"], row["quarantined"],
+                  row["promotions"], "%.2fx" % row["overhead"])
+    out.append(table.render())
+
+    return "\n\n".join(out)

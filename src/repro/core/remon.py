@@ -75,6 +75,11 @@ class ReMonConfig:
     #: Graceful degradation (None = classic ReMon: every replica anomaly
     #: fail-stops the MVEE). See :class:`DegradationPolicy`.
     degradation: Optional[DegradationPolicy] = None
+    #: Distributed execution (None = classic single-machine ReMon). When
+    #: set to a :class:`repro.dist.DistConfig`, replicas run on separate
+    #: simulated nodes; use :func:`repro.dist.run_distributed` or
+    #: :class:`repro.dist.DistMvee` to drive such a config.
+    dist: Optional[object] = None
     seed: int = 0
 
     def policy(self) -> RelaxationPolicy:

@@ -55,6 +55,19 @@ class CostModel:
     futex_wake_ns: int = 1100
     rb_overflow_sync_ns: int = 25000  # GHUMVEE arbitration on RB reset
 
+    # -- distributed replication (repro.dist's currency) --------------------
+    # Cross-node replication swaps RB shared-memory costs for messaging
+    # costs: per-message kernel/NIC work on top of the simulated link
+    # latency, a per-byte encode/copy tax for building transfer units
+    # (dMVX's "copy to the transfer unit" term), and a fixed service cost
+    # on every lockstep rendezvous round. Crash detection across nodes is
+    # a timeout, not a waitpid: it costs real time.
+    dist_msg_syscall_ns: int = 1800  # sendmsg/recvmsg pair + NIC doorbell
+    dist_encode_ns_per_byte: float = 0.25  # serialise into a transfer unit
+    dist_frame_send_ns: int = 350  # per-frame queueing into a batch
+    dist_rendezvous_service_ns: int = 900  # monitor-side rendezvous work
+    dist_crash_detect_ns: int = 250_000  # heartbeat/timeout detection lag
+
     # -- memory-system interference (replicas share caches/DRAM) -----------
     # Per extra replica beyond the first, compute segments are slowed by
     # this fraction (cache and memory-bandwidth pressure; the paper's
@@ -77,6 +90,14 @@ class CostModel:
 
     def rb_copy_ns(self, nbytes: int) -> int:
         return int(self.rb_ns_per_byte * nbytes)
+
+    def dist_message_cost_ns(self, nbytes: int) -> int:
+        """CPU cost of sending one cross-node message (link delay excluded)."""
+        return int(self.dist_msg_syscall_ns + self.dist_encode_ns_per_byte * nbytes)
+
+    def dist_frame_cost_ns(self, nbytes: int) -> int:
+        """CPU cost of queueing one frame into an outgoing transfer unit."""
+        return int(self.dist_frame_send_ns + self.dist_encode_ns_per_byte * nbytes)
 
     def with_overrides(self, **kwargs) -> "CostModel":
         return replace(self, **kwargs)

@@ -1,0 +1,76 @@
+"""repro.dist — distributed multi-variant execution across simulated nodes.
+
+Where :class:`repro.core.ReMon` runs all replicas on one simulated
+machine (sharing its kernel, caches, and an IP-MON replication buffer in
+shared memory), this package places each replica on its own simulated
+node — a private kernel and filesystem image — connected by the
+simulated network. The design follows the distributed descendants of
+ReMon (dMVX, DMON): a leader node executes externally visible I/O and
+mirrors results to followers over an explicit wire format, most other
+calls run node-locally with lazy digest cross-checks, and monitored
+calls rendezvous in lockstep through a leader-hosted monitor.
+
+Entry points::
+
+    from repro.dist import DistConfig, run_distributed
+    cfg = ReMonConfig(replicas=3, dist=DistConfig(link_latency_ns=200_000))
+    result = run_distributed(program, cfg)
+
+See DESIGN.md §8 for the model and its simplifications.
+"""
+
+from repro.dist.cluster import DistConfig, DistMonitor, DistMvee, run_distributed
+from repro.dist.node import DistInterceptor, Node, NodeFdView, ReplicaView
+from repro.dist.remote_rb import RBMirror, RemoteRecord
+from repro.dist.selective import (
+    LOCAL,
+    REPLICATED,
+    SelectiveReplication,
+    full_replication,
+    selective_replication,
+    syscall_class,
+)
+from repro.dist.transport import Channel, Transport
+from repro.dist.wire import (
+    Frame,
+    T_CALL_DIGEST,
+    T_CONTROL,
+    T_RENDEZVOUS_OK,
+    T_RENDEZVOUS_REQ,
+    T_SYSCALL_RESULT,
+    decode_batch,
+    decode_frame,
+    encode_batch,
+    encode_frame,
+)
+
+__all__ = [
+    "DistConfig",
+    "DistMonitor",
+    "DistMvee",
+    "run_distributed",
+    "DistInterceptor",
+    "Node",
+    "NodeFdView",
+    "ReplicaView",
+    "RBMirror",
+    "RemoteRecord",
+    "LOCAL",
+    "REPLICATED",
+    "SelectiveReplication",
+    "full_replication",
+    "selective_replication",
+    "syscall_class",
+    "Channel",
+    "Transport",
+    "Frame",
+    "T_CALL_DIGEST",
+    "T_CONTROL",
+    "T_RENDEZVOUS_OK",
+    "T_RENDEZVOUS_REQ",
+    "T_SYSCALL_RESULT",
+    "decode_batch",
+    "decode_frame",
+    "encode_batch",
+    "encode_frame",
+]

@@ -1,0 +1,664 @@
+"""The distributed MVEE: N single-replica nodes on one simulated switch.
+
+:class:`DistMvee` mirrors :class:`repro.core.ReMon`'s public surface
+(``run`` → :class:`MveeResult`, ``divergence``/``replica_fault``/
+``quarantine`` events, a :class:`~repro.core.remon.ReplicaGroup` the
+fault injector binds to) but the replicas live on different simulated
+machines: each node owns a full kernel and filesystem image, all nodes
+share one discrete-event clock and one :class:`Network`, and monitor
+traffic rides the batched :class:`~repro.dist.transport.Transport`.
+
+The monitor state (:class:`DistMonitor`) is logically hosted on the
+leader node. We model it as one shared object whose *availability*
+tracks the leader: rendezvous rounds cannot complete while a crashed
+leader is undetected (its digest is still awaited), and complete only
+after the crash-detection timeout quarantines it and promotes a
+successor — at which point the monitor is "re-hosted" with its state
+intact. Real systems (DMON) rebuild this state from follower logs; the
+simplification is documented in DESIGN.md §8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.epoll_map import EpollShadowMap
+from repro.core.events import DivergenceReport, MveeResult
+from repro.core.handlers import build_handler_table
+from repro.core.remon import ReMonConfig, ReplicaGroup
+from repro.dist.node import DistInterceptor, Node, ReplicaView
+from repro.dist.remote_rb import RemoteRecord
+from repro.dist.selective import SelectiveReplication, selective_replication
+from repro.dist.transport import Transport
+from repro.dist.wire import (
+    Frame,
+    T_CALL_DIGEST,
+    T_CONTROL,
+    T_RENDEZVOUS_OK,
+    T_RENDEZVOUS_REQ,
+    T_SYSCALL_RESULT,
+    parse_digest_payload,
+)
+from repro.diversity.aslr import make_layouts
+from repro.errors import MonitorError
+from repro.guest.program import Program
+from repro.guest.runtime import GuestRuntime
+from repro.kernel import errno_codes as E
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.sockets import Network
+from repro.kernel.waitq import WaitQueue, wait_interruptible
+from repro.sim import Simulator
+
+
+@dataclass
+class DistConfig:
+    """Distributed-execution knobs, attached to ``ReMonConfig.dist``."""
+
+    #: Node count (None = one node per replica from ReMonConfig.replicas).
+    nodes: Optional[int] = None
+    node_cores: int = 8
+    #: One-way latency / bandwidth / jitter of every inter-node link.
+    link_latency_ns: int = 100_000
+    link_bandwidth_bps: Optional[float] = 1e9
+    link_jitter_ns: int = 0
+    #: Transport coalescing: flush a channel at this many pending bytes
+    #: or after this long, whichever comes first.
+    batch_bytes: int = 4096
+    flush_interval_ns: int = 50_000
+    replication: SelectiveReplication = field(
+        default_factory=selective_replication
+    )
+    #: A node waiting longer than this on a peer declares it stalled.
+    stall_timeout_ns: int = 400_000_000
+    backoff_initial_ns: int = 100_000
+    backoff_max_ns: int = 16_000_000
+    #: Crash-detection lag (None = costs.dist_crash_detect_ns + link latency).
+    crash_detect_ns: Optional[int] = None
+
+
+class _RendezvousState:
+    __slots__ = ("digests", "verdict", "waitq")
+
+    def __init__(self):
+        self.digests: Dict[int, Tuple[str, int]] = {}
+        self.verdict: Optional[int] = None
+        self.waitq = WaitQueue("rendezvous")
+
+
+class DistMonitor:
+    """Leader-hosted monitor: lockstep rendezvous + lazy async checks.
+
+    State is keyed by (vtid, per-thread sequence number); sequence
+    counters advance identically on every node because replicas run the
+    same program and thread creation is lockstepped, so a key names
+    "the same call" cluster-wide. Completed rendezvous states are
+    retained (a leader re-reads its verdict after waking) and reference
+    digests are kept for the run's lifetime — runs are short and the
+    memory is bounded by total syscall count.
+    """
+
+    def __init__(self, mvee: "DistMvee"):
+        self.mvee = mvee
+        self.references: Dict[Tuple[int, int], Tuple[str, int]] = {}
+        self.pending_checks: Dict[Tuple[int, int], List[Tuple[int, str, int]]] = {}
+        self.rendezvous: Dict[Tuple[int, int], _RendezvousState] = {}
+        self.stats = {
+            "async_checks": 0,
+            "async_mismatches": 0,
+            "rendezvous_completed": 0,
+        }
+
+    # -- async digest lane -------------------------------------------------
+    def record_reference(self, vtid: int, seq: int, name: str, digest: int) -> None:
+        key = (vtid, seq)
+        self.references[key] = (name, digest)
+        for sender, fname, fdigest in self.pending_checks.pop(key, []):
+            self._check(sender, key, fname, fdigest)
+
+    def check_digest(self, sender: int, vtid: int, seq: int, name: str,
+                     digest: int) -> None:
+        key = (vtid, seq)
+        if key not in self.references:
+            # The follower ran ahead of the leader on this call — park
+            # the digest until the leader records its own (§4 run-ahead).
+            self.pending_checks.setdefault(key, []).append((sender, name, digest))
+            return
+        self._check(sender, key, name, digest)
+
+    def _check(self, sender: int, key, name: str, digest: int) -> None:
+        self.stats["async_checks"] += 1
+        ref_name, ref_digest = self.references[key]
+        if name == ref_name and digest == ref_digest:
+            return
+        self.stats["async_mismatches"] += 1
+        self.mvee.divergence(
+            DivergenceReport(
+                self.mvee.sim.now,
+                key[0],
+                name,
+                "async digest from node %d differs from leader's %s"
+                % (sender, ref_name),
+                detected_by="dist-async",
+            )
+        )
+
+    # -- rendezvous lane ---------------------------------------------------
+    def state_for(self, vtid: int, seq: int) -> Optional[_RendezvousState]:
+        return self.rendezvous.get((vtid, seq))
+
+    def submit(self, sender: int, vtid: int, seq: int, name: str,
+               digest: int) -> _RendezvousState:
+        key = (vtid, seq)
+        state = self.rendezvous.get(key)
+        if state is None:
+            state = _RendezvousState()
+            self.rendezvous[key] = state
+        state.digests.setdefault(sender, (name, digest))
+        self.try_complete(vtid, seq)
+        return state
+
+    def try_complete(self, vtid: int, seq: int) -> None:
+        key = (vtid, seq)
+        state = self.rendezvous.get(key)
+        if state is None or state.verdict is not None:
+            return
+        participants = self.mvee.participants()
+        if not participants:
+            return
+        if any(p not in state.digests for p in participants):
+            return
+        votes = {state.digests[p] for p in participants}
+        verdict = 1 if len(votes) == 1 else 0
+        state.verdict = verdict
+        self.stats["rendezvous_completed"] += 1
+        if verdict == 0:
+            names = sorted({v[0] for v in votes})
+            self.mvee.divergence(
+                DivergenceReport(
+                    self.mvee.sim.now,
+                    vtid,
+                    names[0],
+                    "lockstep digest mismatch across nodes (%s)"
+                    % ", ".join(names),
+                    detected_by="dist-lockstep",
+                )
+            )
+        leader = self.mvee.leader_index
+        for peer in participants:
+            if peer == leader:
+                continue
+            self.mvee.send_frame(
+                leader, peer,
+                Frame(T_RENDEZVOUS_OK, leader, vtid, seq, aux=verdict),
+                cls="rendezvous", urgent=True,
+            )
+        state.waitq.notify_all(self.mvee.sim)
+
+    def on_membership_change(self) -> None:
+        """A node was quarantined (or promoted): re-try every open round
+        — the quorum may now be satisfiable without the lost node."""
+        for (vtid, seq), state in list(self.rendezvous.items()):
+            if state.verdict is None:
+                self.try_complete(vtid, seq)
+
+
+class DistMvee:
+    """An MVEE whose replicas run on separate simulated nodes.
+
+    Typical use::
+
+        mvee = DistMvee(program, ReMonConfig(replicas=3, dist=DistConfig()))
+        result = mvee.run(max_steps=...)
+    """
+
+    def __init__(self, program: Program, config: Optional[ReMonConfig] = None):
+        self.program = program
+        self.config = config or ReMonConfig(dist=DistConfig())
+        dconfig = self.config.dist
+        if dconfig is None:
+            dconfig = DistConfig()
+        if not isinstance(dconfig, DistConfig):
+            raise MonitorError(
+                "ReMonConfig.dist must be a DistConfig, got %r" % (dconfig,)
+            )
+        self.dconfig = dconfig
+        self.n = dconfig.nodes if dconfig.nodes is not None else self.config.replicas
+        if self.n < 1:
+            raise MonitorError("a distributed MVEE needs at least one node")
+        self.solo = self.n == 1
+        self.policy = self.config.policy()
+        self.replication = dconfig.replication
+        self.handlers = build_handler_table(self.policy.unmonitored_set())
+        self.group = ReplicaGroup()
+        self.epoll_map = EpollShadowMap(self.n)
+        self.result = MveeResult()
+        self.shutting_down = False
+        self.master_exit_ns: Optional[int] = None
+        self.stats = {
+            "local_calls": 0,
+            "replicated_calls": 0,
+            "adopted_results": 0,
+            "rendezvous_calls": 0,
+            "round_trips": 0,
+            "promoted_executions": 0,
+            "backoff_retries": 0,
+            "stall_reports": 0,
+            "failover_rebroadcasts": 0,
+            "control_frames": 0,
+        }
+        self.degradation_stats = {
+            "replicas_quarantined": 0,
+            "master_promotions": 0,
+        }
+        self.sim = Simulator(cores=dconfig.node_cores * self.n)
+        self.network = Network(
+            latency_ns=dconfig.link_latency_ns,
+            bandwidth_bps=dconfig.link_bandwidth_bps,
+            jitter_ns=dconfig.link_jitter_ns,
+            jitter_seed=self.config.seed or 0x5EED,
+        )
+        self.nodes: List[Node] = []
+        self.monitor = DistMonitor(self)
+        self._parkq = WaitQueue("dist-park")
+        self._started = False
+        self._build()
+
+    # ------------------------------------------------------------------
+    @property
+    def leader_index(self) -> int:
+        return self.group.master_index
+
+    @property
+    def diverged(self) -> bool:
+        return self.result.diverged
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        dconfig = self.dconfig
+        layouts = make_layouts(
+            self.n, seed=self.config.seed,
+            aslr=self.config.aslr, dcl=self.config.dcl,
+        )
+        for index, layout in enumerate(layouts):
+            kernel = Kernel(
+                sim=self.sim,
+                config=KernelConfig(cores=dconfig.node_cores),
+                network=self.network,
+            )
+            self.program.install_files(kernel)
+            process = kernel.create_process(
+                "%s.n%d" % (self.program.name, index),
+                mmap_base=layout.mmap_base,
+                brk_base=layout.brk_base,
+                host_ip="10.1.%d.1" % index,
+            )
+            # Nodes do not share caches or DRAM: no cross-replica memory
+            # pressure — one of distribution's selling points.
+            process.compute_factor = 1.0
+            self.group.add(process)
+            node = Node(index, kernel, process, layout)
+            node.view = ReplicaView(process, self.policy, self.epoll_map, index)
+            node.interceptor = DistInterceptor(self, node)
+            kernel.syscall_hooks.append(node.interceptor)
+            node.runtime = GuestRuntime(kernel, process, self.program, layout=layout)
+            self.nodes.append(node)
+            process.exit_event.add_listener(
+                lambda code, n=node: self._on_node_exit(n, code)
+            )
+        self.transport = Transport(
+            self.sim,
+            self.network,
+            [(node.host_ip, 0) for node in self.nodes],
+            self.nodes[0].kernel.config.costs,
+            batch_bytes=dconfig.batch_bytes,
+            flush_interval_ns=dconfig.flush_interval_ns,
+        )
+        self.transport.dispatch = self._dispatch
+
+    def attach_faults(self, injector) -> object:
+        """Install a :class:`repro.faults.FaultInjector` cluster-wide:
+        timed faults are scheduled on the shared clock; each node's
+        kernel consults the injector at its own syscall dispatch."""
+        injector.install(self.nodes[0].kernel)
+        for node in self.nodes:
+            node.kernel.fault_injector = injector
+        injector.bind_mvee(self)
+        return injector
+
+    #: Fault-injector compatibility: there is no in-process monitor, so
+    #: RB-corruption faults are skipped cleanly.
+    ipmon = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def participants(self) -> List[int]:
+        """Nodes a rendezvous must hear from: everyone not quarantined
+        and not *cleanly* exited. A crashed-but-undetected node still
+        counts — its silence is what stalls the round until the crash
+        detector quarantines it (the honest failure dynamics)."""
+        out = []
+        for node in self.nodes:
+            process = node.process
+            if process.quarantined:
+                continue
+            if process.exited and (process.exit_code or 0) < 128:
+                continue
+            out.append(node.index)
+        return out
+
+    def live_peers(self, exclude: int) -> List[int]:
+        return [
+            node.index
+            for node in self.nodes
+            if node.index != exclude
+            and not node.process.exited
+            and not node.process.quarantined
+        ]
+
+    def missing_participant(self, vtid: int, seq: int,
+                            reporter: int) -> Optional[int]:
+        """Whom to blame for a stalled rendezvous: the first participant
+        whose digest is missing. None means nobody is actually missing —
+        the round is completing and the release is merely in flight, so
+        the watchdog must not punish an innocent node."""
+        state = self.monitor.state_for(vtid, seq)
+        participants = self.participants()
+        if state is not None:
+            for index in participants:
+                if index != reporter and index not in state.digests:
+                    return index
+            return None
+        if self.leader_index != reporter:
+            return self.leader_index
+        others = [p for p in participants if p != reporter]
+        return others[0] if others else None
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def send_frame(self, src: int, dst: int, frame: Frame, cls: str,
+                   urgent: bool = False) -> None:
+        if src == dst:
+            return
+        self.transport.send(src, dst, frame, cls=cls, urgent=urgent)
+
+    def _dispatch(self, dst: int, frame: Frame) -> None:
+        if frame.type == T_CALL_DIGEST:
+            digest, name = parse_digest_payload(frame.payload)
+            self.monitor.check_digest(
+                frame.sender, frame.vtid, frame.seq, name, digest
+            )
+        elif frame.type == T_RENDEZVOUS_REQ:
+            digest, name = parse_digest_payload(frame.payload)
+            self.monitor.submit(frame.sender, frame.vtid, frame.seq, name, digest)
+        elif frame.type == T_RENDEZVOUS_OK:
+            self.nodes[dst].mirror.release(
+                frame.vtid, frame.seq, frame.aux, self.sim
+            )
+        elif frame.type == T_SYSCALL_RESULT:
+            self.nodes[dst].mirror.put(
+                frame.vtid, frame.seq,
+                RemoteRecord(frame.aux, frame.payload),
+                self.sim,
+            )
+        else:
+            self.stats["control_frames"] += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes:
+            node.runtime.start()
+
+    def run(self, until: Optional[int] = None,
+            max_steps: Optional[int] = None) -> MveeResult:
+        self.start()
+        self.sim.run(until=until, max_steps=max_steps)
+        return self.finalize()
+
+    def finalize(self) -> MveeResult:
+        for node in self.nodes:
+            if node.process.quarantined:
+                continue
+            for thread in node.process.threads.values():
+                task = thread.task
+                if task is not None and task.failure is not None:
+                    raise task.failure
+        result = self.result
+        result.exit_codes = [node.process.exit_code for node in self.nodes]
+        result.wall_time_ns = (
+            self.master_exit_ns if self.master_exit_ns is not None else self.sim.now
+        )
+        result.monitored_calls = self.stats["rendezvous_calls"]
+        result.unmonitored_calls = (
+            self.stats["local_calls"]
+            + self.stats["replicated_calls"]
+            + self.stats["adopted_results"]
+        )
+        stats = dict(("dist_" + k, v) for k, v in self.stats.items())
+        stats["dist_nodes"] = self.n
+        stats.update(("dist_" + k, v) for k, v in self.monitor.stats.items())
+        stats["dist_messages"] = self.transport.stats["messages_sent"]
+        stats["dist_wire_bytes"] = self.transport.stats["wire_bytes"]
+        stats["dist_frames"] = self.transport.stats["frames_sent"]
+        stats["dist_wire_errors"] = self.transport.stats["wire_errors"]
+        for key in ("flushes_size", "flushes_timer", "flushes_urgent"):
+            stats["dist_" + key] = self.transport.stats[key]
+        for cls, nbytes in sorted(self.transport.bytes_by_class.items()):
+            stats["dist_bytes_" + cls] = nbytes
+        for cls, count in sorted(self.transport.frames_by_class.items()):
+            stats["dist_frames_" + cls] = count
+        stats["replicas_quarantined"] = self.degradation_stats[
+            "replicas_quarantined"
+        ]
+        stats["master_promotions"] = self.degradation_stats["master_promotions"]
+        injector = getattr(self.nodes[0].kernel, "fault_injector", None)
+        stats["faults_injected"] = (
+            injector.total_injected if injector is not None else 0
+        )
+        result.stats = stats
+        return result
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def divergence(self, report: DivergenceReport) -> None:
+        if self.shutting_down or self.result.divergence is not None:
+            return
+        self.result.divergence = report
+        if self.group.all_exited():
+            if not self.result.shutdown_reason:
+                self.result.shutdown_reason = "divergence: %s" % report.detail
+            return
+        # Teardown is not instantaneous across machines: the kill
+        # messages ride the network.
+        delay = self.dconfig.link_latency_ns + self._costs().dist_msg_syscall_ns
+        self.sim.call_at(
+            self.sim.now + delay, self.shutdown, "divergence: %s" % report.detail
+        )
+
+    def shutdown(self, reason: str) -> None:
+        if self.shutting_down:
+            return
+        self.shutting_down = True
+        self.result.shutdown_reason = reason
+        for node in self.nodes:
+            if not node.process.exited:
+                node.kernel.terminate_process(node.process, 137, signo=9)
+        self._wake_everyone()
+
+    def _costs(self):
+        return self.nodes[0].kernel.config.costs
+
+    def crash_detect_ns(self) -> int:
+        if self.dconfig.crash_detect_ns is not None:
+            return self.dconfig.crash_detect_ns
+        return self._costs().dist_crash_detect_ns + self.dconfig.link_latency_ns
+
+    def _wake_everyone(self) -> None:
+        for node in self.nodes:
+            node.mirror.wake(self.sim)
+        self._parkq.notify_all(self.sim)
+
+    def _on_node_exit(self, node: Node, code) -> None:
+        code = code if isinstance(code, int) else (node.process.exit_code or 0)
+        if (
+            node.index == self.group.master_index
+            and not node.process.quarantined
+            and self.master_exit_ns is None
+            and code < 128
+        ):
+            self.master_exit_ns = self.sim.now
+        if self.group.all_exited() and not self.result.shutdown_reason:
+            self.result.shutdown_reason = "all replicas exited"
+        if (
+            code >= 128
+            and not self.shutting_down
+            and not self.diverged
+            and not node.process.quarantined
+        ):
+            # Remote crashes are detected by timeout, not by waitpid.
+            self.sim.call_at(
+                self.sim.now + self.crash_detect_ns(),
+                self._handle_crash, node, code,
+            )
+
+    def _handle_crash(self, node: Node, code: int) -> None:
+        if (
+            self.shutting_down
+            or self.diverged
+            or node.process.quarantined
+        ):
+            return
+        self.replica_fault(
+            node.process,
+            DivergenceReport(
+                self.sim.now,
+                0,
+                "",
+                "node %d (%s) crashed with code %d"
+                % (node.index, node.process.name, code),
+                detected_by="dist-heartbeat",
+                kind="crash",
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Graceful degradation across nodes (reuses repro.core policies)
+    # ------------------------------------------------------------------
+    def report_stall(self, reporter: Node, thread, req, blame: int,
+                     detail: str) -> None:
+        self.stats["stall_reports"] += 1
+        blamed = self.nodes[blame].process
+        self.replica_fault(
+            blamed,
+            DivergenceReport(
+                self.sim.now,
+                thread.vtid,
+                req.name,
+                "node %d reports node %d stalled: %s"
+                % (reporter.index, blame, detail),
+                detected_by="dist-watchdog",
+                kind="stall",
+            ),
+        )
+
+    def _survivors_excluding(self, process) -> List:
+        return [
+            p
+            for p in self.group.processes
+            if p is not process and not p.exited and not p.quarantined
+        ]
+
+    def replica_fault(self, process, report: DivergenceReport) -> None:
+        if self.shutting_down or self.diverged or process.quarantined:
+            return
+        policy = self.config.degradation
+        if policy is None or policy.classify(report) != "benign":
+            self.divergence(report)
+            return
+        survivors = self._survivors_excluding(process)
+        if len(survivors) < policy.min_quorum:
+            report.detail += " [quorum lost: %d survivors < min_quorum %d]" % (
+                len(survivors),
+                policy.min_quorum,
+            )
+            self.divergence(report)
+            return
+        self.quarantine(process, report)
+
+    def quarantine(self, process, report: DivergenceReport) -> None:
+        index = self.group.index_of(process)
+        was_leader = index == self.group.master_index
+        policy = self.config.degradation
+        if was_leader and (policy is None or not policy.promote_master):
+            self.divergence(report)
+            return
+        process.quarantined = True
+        self.result.fault_events.append(report)
+        self.result.quarantined_replicas.append(index)
+        self.degradation_stats["replicas_quarantined"] += 1
+        if was_leader:
+            self._promote_leader(index)
+        if not process.exited:
+            self.nodes[index].kernel.terminate_process(process, 137, signo=9)
+        self.monitor.on_membership_change()
+        self._wake_everyone()
+
+    def _promote_leader(self, dead_index: int) -> None:
+        survivors = self.group.survivors()
+        if not survivors:
+            return
+        new_leader = survivors[0]  # kept in index order
+        new_index = self.group.index_of(new_leader)
+        self.group.master_index = new_index
+        self.degradation_stats["master_promotions"] += 1
+        # The new leader re-broadcasts every result it holds but has not
+        # consumed: the dead leader may have shipped those records to us
+        # and not to every peer (the RB-survives-its-writer analogue).
+        node = self.nodes[new_index]
+        for (vtid, seq), record in sorted(node.mirror.unconsumed().items()):
+            frame = Frame(
+                T_SYSCALL_RESULT, new_index, vtid, seq,
+                aux=record.result, payload=record.payload,
+            )
+            for peer in self.live_peers(new_index):
+                self.send_frame(new_index, peer, frame, cls="control", urgent=True)
+            self.stats["failover_rebroadcasts"] += 1
+
+    # ------------------------------------------------------------------
+    # Parking (a replica that lost its rendezvous waits for the kill)
+    # ------------------------------------------------------------------
+    def park(self, thread):
+        """Block until this replica's process is torn down. Returning a
+        fake errno into the guest would trip its own assertions before
+        the kill lands; instead the thread sleeps and the runtime turns
+        the process exit into a clean teardown."""
+        while not thread.process.exited:
+            event = self._parkq.register()
+            status, _ = yield from wait_interruptible(
+                thread, event, timeout_ns=1_000_000
+            )
+            if status != "fired":
+                self._parkq.unregister(event)
+        return -E.EINTR
+
+
+def run_distributed(program: Program, config: Optional[ReMonConfig] = None,
+                    fault_plan=None, until: Optional[int] = None,
+                    max_steps: Optional[int] = None) -> MveeResult:
+    """Build and run a distributed MVEE in one call."""
+    mvee = DistMvee(program, config)
+    if fault_plan is not None:
+        from repro.faults import FaultInjector
+
+        mvee.attach_faults(FaultInjector(fault_plan))
+    return mvee.run(until=until, max_steps=max_steps)

@@ -1,0 +1,379 @@
+"""Per-node state and the distributed syscall interceptor.
+
+Each simulated node owns a full kernel (its own filesystem image,
+scheduler cores, fd space) and runs exactly one replica. There is no
+ptrace tracer and no in-process RB: the node's
+:class:`DistInterceptor` hooks the kernel's syscall path and sorts
+every call into one of three lanes:
+
+* **rendezvous** — monitored calls (resource management and anything
+  the relaxation policy keeps monitored). All nodes submit an argument
+  digest to the leader-hosted monitor, wait for its verdict, then — on
+  agreement — every node executes the call against its *own* kernel.
+  This differs from single-machine GHUMVEE, where only the master
+  executes most monitored calls: here each node has real local
+  resources (files, mappings, descriptors), so local execution is both
+  possible and necessary, and descriptor numbers stay aligned across
+  nodes because allocation order is identical.
+* **replicated** — unmonitored calls whose results followers cannot
+  reproduce (the :mod:`repro.dist.selective` policy decides). The
+  leader executes, then pushes the result + out-buffers to every
+  follower's RB mirror; followers adopt without executing.
+* **local** — unmonitored calls every node can reproduce. Executed
+  locally everywhere; followers ship an async digest the monitor
+  lazily cross-checks (the distributed analogue of the paper's §4
+  run-ahead window: a diverged follower is caught one message latency
+  late, never allowed to affect the outside world directly, since all
+  externally-visible I/O is leader-only or rendezvous).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.comparator import serialize_args
+from repro.dist import selective as sel
+from repro.dist.remote_rb import RBMirror, RemoteRecord
+from repro.dist.wire import (
+    Frame,
+    T_CALL_DIGEST,
+    T_RENDEZVOUS_REQ,
+    T_SYSCALL_RESULT,
+    call_digest,
+    digest_payload,
+)
+from repro.kernel.waitq import wait_interruptible
+from repro.sim import Sleep
+
+
+class NodeFdView:
+    """FileMapView stand-in reading the node's own descriptor table.
+
+    Single-machine IP-MON reads fd kinds from the shared metadata page
+    GHUMVEE maintains; a distributed node has no shared page but *does*
+    own real descriptors, so the kinds come straight from its fd table.
+    """
+
+    def __init__(self, process):
+        self.process = process
+
+    def fd_kind(self, fd: int) -> Optional[str]:
+        entry = self.process.fdtable.get(fd)
+        if entry is None:
+            return None
+        return getattr(entry.ofd.file, "kind", None)
+
+    def is_nonblocking(self, fd: int) -> bool:
+        entry = self.process.fdtable.get(fd)
+        return bool(entry and entry.ofd.nonblocking)
+
+    def may_block(self, name: str, fd: int) -> bool:
+        kind = self.fd_kind(fd)
+        if kind in ("reg", "dir", "chr", None):
+            return False
+        return not self.is_nonblocking(fd)
+
+
+class ReplicaView:
+    """The view object the shared IpmonHandler table operates through."""
+
+    def __init__(self, process, policy, epoll_map, node_index: int):
+        self.space = process.space
+        self.policy = policy
+        self.filemap = NodeFdView(process)
+        self.epoll_map = epoll_map
+        self.replica_index = node_index
+
+
+class Node:
+    """One simulated machine: a kernel, one replica, and mirror state."""
+
+    def __init__(self, index: int, kernel, process, layout):
+        self.index = index
+        self.kernel = kernel
+        self.process = process
+        self.layout = layout
+        self.mirror = RBMirror(index)
+        self.view: Optional[ReplicaView] = None
+        self.runtime = None
+        self.interceptor: Optional["DistInterceptor"] = None
+
+    @property
+    def host_ip(self) -> str:
+        return self.process.host_ip
+
+    def __repr__(self):
+        return "Node(%d, %s)" % (self.index, self.host_ip)
+
+
+class _DigestView:
+    """A request stand-in fed to serialize_args with virtualized args."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: tuple):
+        self.name = name
+        self.args = args
+
+
+class DistInterceptor:
+    """Kernel syscall hook routing one node's calls through the MVEE."""
+
+    def __init__(self, mvee, node: Node):
+        self.mvee = mvee
+        self.node = node
+        self._seq: Dict[int, int] = {}
+        self._self_ip = node.host_ip.encode()
+        self._self_ip_str = node.host_ip
+        # inet_aton form, as it appears inside serialized sockaddr bufs.
+        # A 4-byte pattern can in principle collide with unrelated data,
+        # but the x.y.z.w octets of our node addresses make that vanishly
+        # unlikely in practice and a collision only *loosens* one digest.
+        self._self_ip_packed = bytes(
+            int(octet) for octet in node.host_ip.split(".")
+        )
+
+    def _virtualized(self, req):
+        """Address virtualization (dMVX rewrites sockaddrs the same way
+        before comparison): a node's own IP is a node-local identifier,
+        so an argument naming it — e.g. connecting to one's own loopback
+        listener — is compared by role, not by value, exactly like a
+        pointer under ASLR. Arguments naming a *different* host are
+        still compared raw."""
+        if not any(a == self._self_ip_str for a in req.args):
+            return req
+        return _DigestView(
+            req.name,
+            tuple(
+                "<self-addr>" if a == self._self_ip_str else a for a in req.args
+            ),
+        )
+
+    # -- kernel hook protocol ---------------------------------------------
+    def intercept(self, thread, req):
+        if thread.process is not self.node.process:
+            return None
+        if getattr(req, "bypass_agents", False):
+            return None
+        return self._run(thread, req)
+
+    # ------------------------------------------------------------------
+    def _run(self, thread, req):
+        mvee = self.mvee
+        node = self.node
+        kernel = node.kernel
+        if (
+            mvee.solo
+            or mvee.shutting_down
+            or node.process.quarantined
+            or node.process.exited
+        ):
+            result = yield from kernel.invoke(thread, req)
+            return result
+        costs = kernel.config.costs
+        vtid = thread.vtid
+        seq = self._seq.get(vtid, 0)
+        self._seq[vtid] = seq + 1
+        blob = serialize_args(self._virtualized(req), node.process.space).encode()
+        if self._self_ip in blob:
+            blob = blob.replace(self._self_ip, b"<self-addr>")
+        if self._self_ip_packed in blob:
+            blob = blob.replace(self._self_ip_packed, b"<self-addr>")
+        yield Sleep(costs.compare_cost_ns(len(blob), len(req.args)), cpu=True)
+        digest = call_digest(req.name, blob)
+        handler = mvee.handlers.get(req.name)
+        view = node.view
+        if handler is None or handler.maybe_checked(view, req):
+            result = yield from self._rendezvous(thread, req, seq, digest)
+            return result
+        fd_kind = view.filemap.fd_kind(req.arg(0)) if req.args else None
+        cls = sel.syscall_class(req.name, fd_kind)
+        if mvee.replication.classify(req.name, fd_kind) == sel.LOCAL:
+            result = yield from self._local(thread, req, seq, digest, cls)
+            return result
+        if node.index == mvee.leader_index:
+            result = yield from self._lead_replicated(
+                thread, req, seq, digest, cls, handler, view
+            )
+            return result
+        result = yield from self._follow_replicated(
+            thread, req, seq, digest, cls, handler, view
+        )
+        return result
+
+    # -- local lane --------------------------------------------------------
+    def _local(self, thread, req, seq, digest, cls):
+        mvee, node = self.mvee, self.node
+        mvee.stats["local_calls"] += 1
+        if node.index == mvee.leader_index:
+            mvee.monitor.record_reference(thread.vtid, seq, req.name, digest)
+        else:
+            frame = Frame(
+                T_CALL_DIGEST, node.index, thread.vtid, seq,
+                payload=digest_payload(digest, req.name),
+            )
+            yield Sleep(
+                node.kernel.config.costs.dist_frame_cost_ns(frame.size()), cpu=True
+            )
+            mvee.send_frame(node.index, mvee.leader_index, frame, cls="digest")
+        result = yield from node.kernel.invoke(thread, req)
+        return result
+
+    # -- replicated lane ---------------------------------------------------
+    def _lead_replicated(self, thread, req, seq, digest, cls, handler, view):
+        mvee, node = self.mvee, self.node
+        costs = node.kernel.config.costs
+        mvee.stats["replicated_calls"] += 1
+        mvee.monitor.record_reference(thread.vtid, seq, req.name, digest)
+        result = yield from node.kernel.invoke(thread, req)
+        if not isinstance(result, int):
+            return result
+        payload = handler.collect_results(view, req, result)
+        frame = Frame(
+            T_SYSCALL_RESULT, node.index, thread.vtid, seq,
+            aux=result, payload=payload,
+        )
+        # dMVX's copy-to-transfer-unit tax: the leader's critical path
+        # pays the RB write plus the frame encode for every replicated
+        # call — the term selective replication exists to shrink.
+        yield Sleep(
+            costs.rb_write_base_ns + costs.dist_frame_cost_ns(frame.size()),
+            cpu=True,
+        )
+        node.mirror.put(
+            thread.vtid, seq, RemoteRecord(result, payload, req.name),
+            node.kernel.sim,
+        )
+        for peer in mvee.live_peers(node.index):
+            mvee.send_frame(node.index, peer, frame, cls="result_" + cls)
+        return result
+
+    def _follow_replicated(self, thread, req, seq, digest, cls, handler, view):
+        mvee, node = self.mvee, self.node
+        costs = node.kernel.config.costs
+        sim = node.kernel.sim
+        dcfg = mvee.dconfig
+        digest_frame = Frame(
+            T_CALL_DIGEST, node.index, thread.vtid, seq,
+            payload=digest_payload(digest, req.name),
+        )
+        yield Sleep(costs.dist_frame_cost_ns(digest_frame.size()), cpu=True)
+        mvee.send_frame(node.index, mvee.leader_index, digest_frame, cls="digest")
+        deadline = sim.now + dcfg.stall_timeout_ns
+        backoff = dcfg.backoff_initial_ns
+        while True:
+            record = node.mirror.get(thread.vtid, seq)
+            if record is not None:
+                yield Sleep(
+                    costs.rb_read_base_ns + costs.rb_copy_ns(len(record.payload)),
+                    cpu=True,
+                )
+                handler.apply_results(view, req, record.result, record.payload)
+                node.mirror.consume(thread.vtid, seq)
+                mvee.stats["adopted_results"] += 1
+                return record.result
+            if mvee.shutting_down or node.process.exited or node.process.quarantined:
+                result = yield from mvee.park(thread)
+                return result
+            if node.index == mvee.leader_index:
+                # Promoted mid-wait: the old leader died before shipping
+                # this record and nobody holds it — execute as leader.
+                mvee.stats["promoted_executions"] += 1
+                result = yield from self._lead_replicated(
+                    thread, req, seq, digest, cls, handler, view
+                )
+                return result
+            if sim.now >= deadline:
+                mvee.report_stall(
+                    node, thread, req,
+                    blame=mvee.leader_index,
+                    detail="no replicated result for %s after %d ns"
+                    % (req.name, dcfg.stall_timeout_ns),
+                )
+                deadline = sim.now + dcfg.stall_timeout_ns
+                continue
+            event = node.mirror.waitq.register()
+            status, _ = yield from wait_interruptible(
+                thread, event,
+                timeout_ns=min(backoff, max(1, deadline - sim.now)),
+            )
+            if status != "fired":
+                node.mirror.waitq.unregister(event)
+            mvee.stats["backoff_retries"] += 1
+            backoff = min(backoff * 2, dcfg.backoff_max_ns)
+
+    # -- rendezvous lane ---------------------------------------------------
+    def _rendezvous(self, thread, req, seq, digest):
+        mvee, node = self.mvee, self.node
+        costs = node.kernel.config.costs
+        vtid = thread.vtid
+        mvee.stats["rendezvous_calls"] += 1
+        if node.index == mvee.leader_index:
+            mvee.monitor.submit(node.index, vtid, seq, req.name, digest)
+        else:
+            frame = Frame(
+                T_RENDEZVOUS_REQ, node.index, vtid, seq,
+                payload=digest_payload(digest, req.name),
+            )
+            yield Sleep(costs.dist_frame_cost_ns(frame.size()), cpu=True)
+            mvee.send_frame(
+                node.index, mvee.leader_index, frame, cls="rendezvous", urgent=True
+            )
+            mvee.stats["round_trips"] += 1
+        verdict = yield from self._await_verdict(thread, req, vtid, seq, digest)
+        if verdict != 1:
+            result = yield from mvee.park(thread)
+            return result
+        yield Sleep(costs.dist_rendezvous_service_ns, cpu=True)
+        result = yield from node.kernel.invoke(thread, req)
+        return result
+
+    def _await_verdict(self, thread, req, vtid, seq, digest):
+        mvee, node = self.mvee, self.node
+        sim = node.kernel.sim
+        dcfg = mvee.dconfig
+        deadline = sim.now + dcfg.stall_timeout_ns
+        backoff = dcfg.backoff_initial_ns
+        was_leader = node.index == mvee.leader_index
+        while True:
+            if node.index == mvee.leader_index:
+                if not was_leader:
+                    # Promoted mid-rendezvous: re-submit as the leader so
+                    # the (re-hosted) monitor can complete the round.
+                    mvee.monitor.submit(node.index, vtid, seq, req.name, digest)
+                    was_leader = True
+                state = mvee.monitor.state_for(vtid, seq)
+                verdict = state.verdict if state is not None else None
+            else:
+                verdict = node.mirror.verdict(vtid, seq)
+            if verdict is not None:
+                return verdict
+            if mvee.shutting_down or node.process.exited or node.process.quarantined:
+                return 0
+            if sim.now >= deadline:
+                blame = mvee.missing_participant(vtid, seq, node.index)
+                if blame is not None:
+                    mvee.report_stall(
+                        node, thread, req, blame=blame,
+                        detail="rendezvous on %s stalled for %d ns"
+                        % (req.name, dcfg.stall_timeout_ns),
+                    )
+                # blame=None: every participant has voted, so the round
+                # is completing and only the release is in flight — a
+                # watchdog report now would punish an innocent node.
+                deadline = sim.now + dcfg.stall_timeout_ns
+                continue
+            if node.index == mvee.leader_index:
+                state = mvee.monitor.state_for(vtid, seq)
+                waitq = state.waitq if state is not None else node.mirror.waitq
+            else:
+                waitq = node.mirror.waitq
+            event = waitq.register()
+            status, _ = yield from wait_interruptible(
+                thread, event,
+                timeout_ns=min(backoff, max(1, deadline - sim.now)),
+            )
+            if status != "fired":
+                waitq.unregister(event)
+            mvee.stats["backoff_retries"] += 1
+            backoff = min(backoff * 2, dcfg.backoff_max_ns)

@@ -1,0 +1,102 @@
+"""Remote replication-buffer mirror.
+
+Single-machine ReMon replicates master results to slaves through the
+IP-MON replication buffer: shared memory, so a slave just spins/sleeps
+until the master's record appears. Across nodes there is no shared
+memory — the leader *pushes* result records over the transport and each
+follower keeps a local mirror of the in-flight window of the leader's
+RB, keyed like the RB itself by (virtual thread, per-thread sequence
+number).
+
+Records are retained after adoption (not trimmed on consume) so that a
+follower promoted to leader after a crash can re-broadcast results the
+dead leader shipped to *it* but possibly not to every peer — the
+distributed analogue of the RB surviving its writer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.kernel.waitq import WaitQueue
+
+Key = Tuple[int, int]  # (vtid, seq)
+
+
+class RemoteRecord:
+    """One mirrored syscall result: return value + serialised out-buffers."""
+
+    __slots__ = ("result", "payload", "name")
+
+    def __init__(self, result: int, payload: bytes = b"", name: str = ""):
+        self.result = result
+        self.payload = payload
+        self.name = name
+
+    def __repr__(self):
+        return "RemoteRecord(%s=%d, %d bytes)" % (
+            self.name, self.result, len(self.payload)
+        )
+
+
+class RBMirror:
+    """A node's local mirror of the leader's replication buffer."""
+
+    def __init__(self, node_index: int):
+        self.node_index = node_index
+        self.records: Dict[Key, RemoteRecord] = {}
+        self.consumed: Set[Key] = set()
+        #: Rendezvous verdicts pushed by the leader (1 ok, 0 diverged).
+        self.releases: Dict[Key, int] = {}
+        self.waitq = WaitQueue("rb-mirror-%d" % node_index)
+        self.records_received = 0
+        self.records_adopted = 0
+        self.releases_received = 0
+        self.duplicates_dropped = 0
+
+    # -- result records ----------------------------------------------------
+    def put(self, vtid: int, seq: int, record: RemoteRecord, sim=None) -> None:
+        key = (vtid, seq)
+        if key in self.records:
+            # Failover re-broadcasts make duplicates normal, not a bug.
+            self.duplicates_dropped += 1
+            return
+        self.records[key] = record
+        self.records_received += 1
+        if sim is not None:
+            self.waitq.notify_all(sim)
+
+    def get(self, vtid: int, seq: int) -> Optional[RemoteRecord]:
+        return self.records.get((vtid, seq))
+
+    def consume(self, vtid: int, seq: int) -> None:
+        """Mark a record adopted (it stays available for re-broadcast)."""
+        key = (vtid, seq)
+        if key in self.records and key not in self.consumed:
+            self.consumed.add(key)
+            self.records_adopted += 1
+
+    def unconsumed(self) -> Dict[Key, RemoteRecord]:
+        """Records held but not yet adopted locally — the window a new
+        leader re-broadcasts after a failover."""
+        return {
+            key: record
+            for key, record in self.records.items()
+            if key not in self.consumed
+        }
+
+    # -- rendezvous releases ----------------------------------------------
+    def release(self, vtid: int, seq: int, verdict: int, sim=None) -> None:
+        key = (vtid, seq)
+        if key not in self.releases:
+            self.releases[key] = verdict
+            self.releases_received += 1
+        if sim is not None:
+            self.waitq.notify_all(sim)
+
+    def verdict(self, vtid: int, seq: int) -> Optional[int]:
+        return self.releases.get((vtid, seq))
+
+    def wake(self, sim) -> None:
+        """Wake any waiter (membership changed, shutdown, promotion)."""
+        self.waitq.notify_all(sim)

@@ -1,0 +1,148 @@
+"""Batched, pipelined monitor transport between simulated nodes.
+
+Frames (see :mod:`repro.dist.wire`) are not sent one syscall at a time —
+that would pay a per-message syscall/NIC cost per event and drown in
+link latency. Instead each directed node pair owns a :class:`Channel`
+that coalesces frames into a transfer unit which is flushed when it
+reaches ``batch_bytes``, when a flush timer expires, or immediately for
+*urgent* frames (rendezvous rounds, control traffic — anything a thread
+is synchronously blocked on).
+
+Sending is asynchronous (async pipelining): the producer queues the
+frame and keeps running; only the per-frame encode cost lands on its
+critical path. The per-message CPU cost
+(:meth:`~repro.costs.model.CostModel.dist_message_cost_ns`) plus the
+link's latency/bandwidth/jitter delay (charged by
+:meth:`~repro.kernel.sockets.Network.transmit`, which also guarantees
+FIFO delivery per directed pair) is folded into the delivery time of
+the batch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dist.wire import BATCH_HEADER_SIZE, Frame, decode_batch, encode_batch
+from repro.errors import WireError
+from repro.kernel.sockets import Address
+
+
+class Channel:
+    """The outgoing frame queue for one directed node pair."""
+
+    __slots__ = ("src", "dst", "pending", "pending_bytes", "timer_armed")
+
+    def __init__(self, src: int, dst: int):
+        self.src = src
+        self.dst = dst
+        self.pending: List[Frame] = []
+        self.pending_bytes = 0
+        self.timer_armed = False
+
+
+class Transport:
+    """All monitor channels of one cluster, sharing a Network."""
+
+    def __init__(self, sim, network, addresses: List[Address], costs,
+                 batch_bytes: int = 4096, flush_interval_ns: int = 50_000):
+        self.sim = sim
+        self.network = network
+        self.addresses = addresses
+        self.costs = costs
+        self.batch_bytes = batch_bytes
+        self.flush_interval_ns = flush_interval_ns
+        #: Installed by the cluster: ``dispatch(dst_index, frame)``.
+        self.dispatch: Optional[Callable[[int, Frame], None]] = None
+        self._channels: Dict[Tuple[int, int], Channel] = {}
+        self.stats = {
+            "messages_sent": 0,
+            "wire_bytes": 0,
+            "frames_sent": 0,
+            "wire_errors": 0,
+            "flushes_size": 0,
+            "flushes_timer": 0,
+            "flushes_urgent": 0,
+        }
+        self.bytes_by_class: Dict[str, int] = {}
+        self.frames_by_class: Dict[str, int] = {}
+
+    def _channel(self, src: int, dst: int) -> Channel:
+        channel = self._channels.get((src, dst))
+        if channel is None:
+            channel = Channel(src, dst)
+            self._channels[(src, dst)] = channel
+        return channel
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, frame: Frame, cls: str = "control",
+             urgent: bool = False) -> None:
+        """Queue one frame from node ``src`` to node ``dst``.
+
+        Returns immediately; the caller pays only the frame-encode cost
+        (and even that is charged by the caller, since only the leader's
+        critical path matters for overhead accounting).
+        """
+        if src == dst:
+            raise WireError("a node does not message itself")
+        channel = self._channel(src, dst)
+        channel.pending.append(frame)
+        channel.pending_bytes += frame.size()
+        self.stats["frames_sent"] += 1
+        self.frames_by_class[cls] = self.frames_by_class.get(cls, 0) + 1
+        self.bytes_by_class[cls] = (
+            self.bytes_by_class.get(cls, 0) + frame.size()
+        )
+        if urgent or BATCH_HEADER_SIZE + channel.pending_bytes >= self.batch_bytes:
+            self.stats["flushes_urgent" if urgent else "flushes_size"] += 1
+            self._flush(channel)
+        elif not channel.timer_armed:
+            channel.timer_armed = True
+            self.sim.call_at(
+                self.sim.now + self.flush_interval_ns, self._timer_flush, channel
+            )
+
+    def flush_all(self) -> None:
+        for channel in self._channels.values():
+            if channel.pending:
+                self._flush(channel)
+
+    # ------------------------------------------------------------------
+    def _timer_flush(self, channel: Channel) -> None:
+        channel.timer_armed = False
+        if channel.pending:
+            self.stats["flushes_timer"] += 1
+            self._flush(channel)
+
+    def _flush(self, channel: Channel) -> None:
+        frames, channel.pending = channel.pending, []
+        channel.pending_bytes = 0
+        data = encode_batch(frames)
+        self.stats["messages_sent"] += 1
+        self.stats["wire_bytes"] += len(data)
+        src_addr = self.addresses[channel.src]
+        dst_addr = self.addresses[channel.dst]
+        dst = channel.dst
+        # The sender-side per-message CPU cost is folded into delivery
+        # time (the sending thread is not blocked on it: a kernel worker
+        # does the pushing in the systems we model).
+        send_cost = self.costs.dist_message_cost_ns(len(data))
+
+        def _transmit():
+            self.network.transmit(
+                self.sim, src_addr, dst_addr, len(data), self._deliver, dst, data
+            )
+
+        self.sim.call_at(self.sim.now + send_cost, _transmit)
+
+    def _deliver(self, dst: int, data: bytes) -> None:
+        try:
+            frames = decode_batch(data)
+        except WireError:
+            # A damaged transfer unit is a transmission fault: count and
+            # drop it rather than act on its contents.
+            self.stats["wire_errors"] += 1
+            return
+        if self.dispatch is None:
+            return
+        for frame in frames:
+            self.dispatch(dst, frame)

@@ -1,0 +1,202 @@
+"""Wire format for cross-node MVEE traffic.
+
+Every unit of monitor traffic between nodes — replicated syscall
+results, async call digests, lockstep rendezvous rounds, control
+messages — is a fixed-header *frame*. Frames are coalesced into
+*batches* (dMVX's transfer units) by the transport; a batch is what
+actually crosses the simulated link.
+
+The format is deliberately strict: magic, version, length, and a CRC32
+over header and payload are all validated on decode, and any violation
+raises :class:`~repro.errors.WireError`. A distributed monitor must
+treat a damaged frame as a transmission fault, never as data — a
+corrupted "result" silently adopted by a follower would be a
+cross-node divergence vector.
+
+Layout (little-endian)::
+
+    frame header (36 bytes)
+      u16 magic      0xD15C
+      u8  version    1
+      u8  type       T_* below
+      u16 sender     node index of the producer
+      u16 flags
+      u32 vtid       virtual thread the frame concerns
+      u64 seq        per-thread syscall sequence number
+      i64 aux        type-specific (result value, verdict, ...)
+      u32 payload_len
+      u32 crc32      over header-sans-crc + payload
+    payload (payload_len bytes)
+
+    batch header (8 bytes)
+      u16 magic      0xBA7C
+      u16 count      number of frames
+      u32 body_len   total frame bytes following
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import WireError
+
+MAGIC = 0xD15C
+VERSION = 1
+BATCH_MAGIC = 0xBA7C
+
+#: Async cross-check digest of a locally-executed call's arguments.
+T_CALL_DIGEST = 1
+#: A follower's request to join a lockstep rendezvous.
+T_RENDEZVOUS_REQ = 2
+#: The leader's verdict releasing a rendezvous (aux: 1 ok, 0 diverged).
+T_RENDEZVOUS_OK = 3
+#: A replicated syscall result (aux: return value; payload: out-buffers).
+T_SYSCALL_RESULT = 4
+#: Membership / failover control traffic.
+T_CONTROL = 5
+
+FRAME_TYPES = (
+    T_CALL_DIGEST,
+    T_RENDEZVOUS_REQ,
+    T_RENDEZVOUS_OK,
+    T_SYSCALL_RESULT,
+    T_CONTROL,
+)
+
+_HEADER = struct.Struct("<HBBHHIQqII")
+_BATCH_HEADER = struct.Struct("<HHI")
+_DIGEST = struct.Struct("<Q")
+
+HEADER_SIZE = _HEADER.size  # 36
+BATCH_HEADER_SIZE = _BATCH_HEADER.size  # 8
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+@dataclass
+class Frame:
+    """One decoded unit of cross-node monitor traffic."""
+
+    type: int
+    sender: int
+    vtid: int
+    seq: int
+    aux: int = 0
+    flags: int = 0
+    payload: bytes = field(default=b"")
+
+    def size(self) -> int:
+        return HEADER_SIZE + len(self.payload)
+
+
+def call_digest(name: str, blob_bytes: bytes) -> int:
+    """64-bit digest of one syscall's name + serialised arguments."""
+    h = hashlib.blake2b(digest_size=8)
+    h.update(name.encode())
+    h.update(blob_bytes)
+    return int.from_bytes(h.digest(), "little")
+
+
+def digest_payload(digest: int, name: str) -> bytes:
+    """Payload for T_CALL_DIGEST / T_RENDEZVOUS_REQ frames."""
+    return _DIGEST.pack(digest) + name.encode()
+
+
+def parse_digest_payload(payload: bytes) -> Tuple[int, str]:
+    if len(payload) < _DIGEST.size:
+        raise WireError("digest payload too short: %d bytes" % len(payload))
+    (digest,) = _DIGEST.unpack_from(payload)
+    return digest, payload[_DIGEST.size:].decode(errors="replace")
+
+
+def encode_frame(frame: Frame) -> bytes:
+    if frame.type not in FRAME_TYPES:
+        raise WireError("unknown frame type %r" % (frame.type,))
+    if not (_I64_MIN <= frame.aux <= _I64_MAX):
+        raise WireError("aux out of i64 range: %r" % (frame.aux,))
+    payload = bytes(frame.payload)
+    head = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        frame.type,
+        frame.sender & 0xFFFF,
+        frame.flags & 0xFFFF,
+        frame.vtid & 0xFFFFFFFF,
+        frame.seq & 0xFFFFFFFFFFFFFFFF,
+        frame.aux,
+        len(payload),
+        0,
+    )
+    crc = zlib.crc32(head[:-4] + payload) & 0xFFFFFFFF
+    return head[:-4] + struct.pack("<I", crc) + payload
+
+
+def decode_frame(data: bytes, offset: int = 0) -> Tuple[Frame, int]:
+    """Decode one frame at ``offset``; returns (frame, bytes consumed)."""
+    if len(data) - offset < HEADER_SIZE:
+        raise WireError(
+            "truncated frame header: %d of %d bytes"
+            % (max(0, len(data) - offset), HEADER_SIZE)
+        )
+    (magic, version, ftype, sender, flags, vtid, seq, aux, payload_len,
+     crc) = _HEADER.unpack_from(data, offset)
+    if magic != MAGIC:
+        raise WireError("bad frame magic 0x%04X" % magic)
+    if version != VERSION:
+        raise WireError("unsupported wire version %d" % version)
+    if ftype not in FRAME_TYPES:
+        raise WireError("unknown frame type %d" % ftype)
+    end = offset + HEADER_SIZE + payload_len
+    if end > len(data):
+        raise WireError(
+            "truncated frame payload: want %d bytes, have %d"
+            % (payload_len, len(data) - offset - HEADER_SIZE)
+        )
+    payload = bytes(data[offset + HEADER_SIZE:end])
+    expect = zlib.crc32(
+        bytes(data[offset:offset + HEADER_SIZE - 4]) + payload
+    ) & 0xFFFFFFFF
+    if crc != expect:
+        raise WireError("frame CRC mismatch: 0x%08X != 0x%08X" % (crc, expect))
+    frame = Frame(
+        type=ftype, sender=sender, vtid=vtid, seq=seq, aux=aux,
+        flags=flags, payload=payload,
+    )
+    return frame, HEADER_SIZE + payload_len
+
+
+def encode_batch(frames: List[Frame]) -> bytes:
+    if len(frames) > 0xFFFF:
+        raise WireError("batch too large: %d frames" % len(frames))
+    body = b"".join(encode_frame(f) for f in frames)
+    return _BATCH_HEADER.pack(BATCH_MAGIC, len(frames), len(body)) + body
+
+
+def decode_batch(data: bytes) -> List[Frame]:
+    if len(data) < BATCH_HEADER_SIZE:
+        raise WireError("truncated batch header: %d bytes" % len(data))
+    magic, count, body_len = _BATCH_HEADER.unpack_from(data)
+    if magic != BATCH_MAGIC:
+        raise WireError("bad batch magic 0x%04X" % magic)
+    if BATCH_HEADER_SIZE + body_len != len(data):
+        raise WireError(
+            "batch length mismatch: header says %d body bytes, have %d"
+            % (body_len, len(data) - BATCH_HEADER_SIZE)
+        )
+    frames: List[Frame] = []
+    offset = BATCH_HEADER_SIZE
+    for _ in range(count):
+        frame, used = decode_frame(data, offset)
+        frames.append(frame)
+        offset += used
+    if offset != len(data):
+        raise WireError(
+            "batch has %d trailing bytes after %d frames"
+            % (len(data) - offset, count)
+        )
+    return frames

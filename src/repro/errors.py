@@ -48,6 +48,12 @@ class PolicyError(ReproError):
     """A monitoring relaxation policy was configured inconsistently."""
 
 
+class WireError(ReproError):
+    """A cross-node wire-format frame failed validation (bad magic,
+    version, length, or checksum). The distributed transport treats this
+    as a transmission fault, never as silently-accepted data."""
+
+
 class FaultConfigError(ReproError):
     """A fault-injection plan was configured inconsistently (e.g. a
     crash fault with both a virtual deadline and a syscall count)."""

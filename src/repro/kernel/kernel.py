@@ -38,19 +38,27 @@ class KernelConfig:
     costs: CostModel = field(default_factory=CostModel)
     network_latency_ns: int = 100_000  # one-way; ~0.1 ms gigabit LAN
     loopback_latency_ns: int = 5_000
+    network_bandwidth_bps: Optional[float] = None  # None = infinite
+    network_jitter_ns: int = 0
     random_seed: int = 0x5EED
 
 
 class Kernel:
     """Owns every simulated process and dispatches their system calls."""
 
-    def __init__(self, sim: Optional[Simulator] = None, config: Optional[KernelConfig] = None):
+    def __init__(self, sim: Optional[Simulator] = None, config: Optional[KernelConfig] = None,
+                 network: Optional[Network] = None):
         self.config = config or KernelConfig()
         self.sim = sim or Simulator(cores=self.config.cores)
         self.fs = Filesystem()
-        self.network = Network(
+        # A Network may be shared between kernels (repro.dist gives every
+        # simulated node its own kernel on one switch).
+        self.network = network or Network(
             latency_ns=self.config.network_latency_ns,
             loopback_latency_ns=self.config.loopback_latency_ns,
+            bandwidth_bps=self.config.network_bandwidth_bps,
+            jitter_ns=self.config.network_jitter_ns,
+            jitter_seed=self.config.random_seed,
         )
         self.futexes = FutexManager()
         self.shm = ShmManager()

@@ -23,13 +23,28 @@ SOCKET_RCVBUF = 1 << 20
 
 
 class Network:
-    """A single-switch network shared by every simulated host."""
+    """A single-switch network shared by every simulated host.
 
-    def __init__(self, latency_ns: int = 100_000, loopback_latency_ns: int = 5_000):
+    Beyond the base one-way ``latency_ns``, links may model a serialisation
+    delay (``bandwidth_bps``) and bounded random jitter (``jitter_ns``), both
+    globally and per host pair via :meth:`set_link`. Loopback traffic is
+    exempt from bandwidth and jitter. Jitter is drawn from a seeded LCG so
+    runs stay deterministic, and :meth:`transmit` clamps delivery times so
+    jitter never reorders segments within a directed host pair.
+    """
+
+    def __init__(self, latency_ns: int = 100_000, loopback_latency_ns: int = 5_000,
+                 bandwidth_bps: Optional[float] = None, jitter_ns: int = 0,
+                 jitter_seed: int = 0x5EED):
         self.latency_ns = latency_ns
         self.loopback_latency_ns = loopback_latency_ns
+        self.bandwidth_bps = bandwidth_bps
+        self.jitter_ns = jitter_ns
         self.listeners: Dict[Address, "ListeningSocket"] = {}
         self._ephemeral = 32768
+        self._links: Dict[frozenset, Dict[str, object]] = {}
+        self._fifo_clock: Dict[Tuple[str, str], int] = {}
+        self._jitter_state = (jitter_seed & 0xFFFFFFFFFFFFFFFF) or 1
         # Counters used by benchmarks to report on-the-wire volume.
         self.bytes_sent = 0
         self.segments_sent = 0
@@ -38,22 +53,92 @@ class Network:
         self._ephemeral += 1
         return self._ephemeral
 
+    # -- link model -------------------------------------------------------
+    def set_link(self, a_ip: str, b_ip: str, latency_ns: Optional[int] = None,
+                 bandwidth_bps: Optional[float] = None,
+                 jitter_ns: Optional[int] = None) -> None:
+        """Override link parameters for the (unordered) host pair."""
+        override = self._links.setdefault(frozenset((a_ip, b_ip)), {})
+        if latency_ns is not None:
+            override["latency_ns"] = latency_ns
+        if bandwidth_bps is not None:
+            override["bandwidth_bps"] = bandwidth_bps
+        if jitter_ns is not None:
+            override["jitter_ns"] = jitter_ns
+
+    def link_params(self, a_ip: str, b_ip: str):
+        """Effective (latency_ns, bandwidth_bps, jitter_ns) for a host pair."""
+        override = self._links.get(frozenset((a_ip, b_ip)), {})
+        return (
+            override.get("latency_ns", self.latency_ns),
+            override.get("bandwidth_bps", self.bandwidth_bps),
+            override.get("jitter_ns", self.jitter_ns),
+        )
+
+    def _next_jitter(self) -> int:
+        self._jitter_state = (
+            self._jitter_state * 6364136223846793005 + 1442695040888963407
+        ) & 0xFFFFFFFFFFFFFFFF
+        return self._jitter_state >> 33
+
     def delay_between(self, a: Address, b: Address) -> int:
         if a[0] == b[0]:
             return self.loopback_latency_ns
-        return self.latency_ns
+        return self.link_params(a[0], b[0])[0]
 
+    def delay_for(self, a: Address, b: Address, nbytes: int = 0) -> int:
+        """One-way delay for an ``nbytes``-byte segment: latency plus
+        serialisation time plus jitter (loopback pays only latency)."""
+        if a[0] == b[0]:
+            return self.loopback_latency_ns
+        latency, bandwidth, jitter = self.link_params(a[0], b[0])
+        delay = latency
+        if bandwidth:
+            delay += int(nbytes * 8 * 1e9 / bandwidth)
+        if jitter:
+            delay += self._next_jitter() % (int(jitter) + 1)
+        return delay
+
+    def transmit(self, sim, src: Address, dst: Address, nbytes: int,
+                 deliver, *args, count: bool = True) -> int:
+        """Schedule ``deliver(*args)`` after the link delay for a segment.
+
+        Delivery order within a directed host pair is preserved: a jittered
+        segment is never delivered before an earlier one (FIFO clamp).
+        Returns the absolute delivery time.
+        """
+        if count:
+            self.bytes_sent += nbytes
+            self.segments_sent += 1
+        when = sim.now + self.delay_for(src, dst, nbytes)
+        key = (src[0], dst[0])
+        floor = self._fifo_clock.get(key, 0)
+        if when < floor:
+            when = floor
+        self._fifo_clock[key] = when
+        sim.call_at(when, deliver, *args)
+        return when
+
+    # -- listener registry ------------------------------------------------
     def bind_listener(self, addr: Address, sock: "ListeningSocket") -> int:
-        if addr in self.listeners:
+        key = addr
+        if addr[0] == "0.0.0.0":
+            # Wildcard binds are scoped to the listening host so distinct
+            # hosts sharing one Network can bind the same port.
+            key = ("0.0.0.0@" + sock.host_ip, addr[1])
+        if key in self.listeners:
             return -E.EADDRINUSE
-        self.listeners[addr] = sock
+        self.listeners[key] = sock
         return 0
 
     def lookup(self, addr: Address) -> Optional["ListeningSocket"]:
         exact = self.listeners.get(addr)
         if exact is not None:
             return exact
-        # 0.0.0.0 wildcard bind
+        # host-scoped 0.0.0.0 wildcard bind
+        wild = self.listeners.get(("0.0.0.0@" + addr[0], addr[1]))
+        if wild is not None:
+            return wild
         return self.listeners.get(("0.0.0.0", addr[1]))
 
 
@@ -119,12 +204,12 @@ class StreamSocket(FileObject):
         if self.peer.rcv_closed:
             return -E.EPIPE
         net = self.kernel.network
-        delay = net.delay_between(self.local_addr, self.peer_addr)
-        net.bytes_sent += len(data)
-        net.segments_sent += 1
         peer = self.peer
         payload = bytes(data)
-        self.kernel.sim.call_at(self.kernel.sim.now + delay, peer._arrive, payload)
+        net.transmit(
+            self.kernel.sim, self.local_addr, self.peer_addr, len(payload),
+            peer._arrive, payload,
+        )
         return len(data)
 
     def read(self, kernel, thread, ofd, count: int):
@@ -157,11 +242,13 @@ class StreamSocket(FileObject):
         if how in (C.SHUT_WR, C.SHUT_RDWR) and not self.snd_closed:
             self.snd_closed = True
             if self.peer is not None:
-                net = self.kernel.network
-                delay = net.delay_between(self.local_addr, self.peer_addr)
+                # Route the FIN through transmit so it cannot overtake
+                # in-flight data segments, but keep it out of the byte
+                # counters (it carries no payload).
                 peer = self.peer
-                self.kernel.sim.call_at(
-                    self.kernel.sim.now + delay, peer._arrive_fin
+                self.kernel.network.transmit(
+                    self.kernel.sim, self.local_addr, self.peer_addr, 0,
+                    peer._arrive_fin, count=False,
                 )
         if how in (C.SHUT_RD, C.SHUT_RDWR):
             self.rcv_closed = True

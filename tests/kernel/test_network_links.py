@@ -1,0 +1,113 @@
+"""Per-link bandwidth, jitter, and FIFO-delivery tests for Network."""
+
+from __future__ import annotations
+
+from repro.kernel.sockets import Network
+from repro.sim import Simulator
+
+A = ("10.0.0.1", 5000)
+B = ("10.0.0.2", 6000)
+C = ("10.0.0.3", 7000)
+
+
+def test_default_delay_is_flat_latency():
+    net = Network(latency_ns=250_000)
+    assert net.delay_for(A, B, 0) == 250_000
+    assert net.delay_for(A, B, 1 << 20) == 250_000  # no bandwidth model
+
+
+def test_loopback_ignores_bandwidth_and_jitter():
+    net = Network(latency_ns=100_000, loopback_latency_ns=7_000,
+                  bandwidth_bps=1e6, jitter_ns=50_000)
+    local = ("10.0.0.1", 1234)
+    assert net.delay_for(A, local, 1 << 20) == 7_000
+
+
+def test_bandwidth_adds_serialisation_delay():
+    net = Network(latency_ns=100_000, bandwidth_bps=1e9)  # 1 Gbit/s
+    # 125_000 bytes = 1 Mbit -> 1 ms on a 1 Gbit/s link.
+    assert net.delay_for(A, B, 125_000) == 100_000 + 1_000_000
+    assert net.delay_for(A, B, 0) == 100_000
+
+
+def test_set_link_overrides_one_pair_only():
+    net = Network(latency_ns=100_000)
+    net.set_link(A[0], B[0], latency_ns=900_000, bandwidth_bps=1e6)
+    assert net.link_params(A[0], B[0]) == (900_000, 1e6, 0)
+    assert net.link_params(B[0], A[0]) == (900_000, 1e6, 0)  # unordered
+    assert net.link_params(A[0], C[0]) == (100_000, None, 0)
+    assert net.delay_for(A, B, 0) == 900_000
+    assert net.delay_for(A, C, 0) == 100_000
+
+
+def test_partial_override_keeps_global_defaults():
+    net = Network(latency_ns=100_000, bandwidth_bps=1e9, jitter_ns=10)
+    net.set_link(A[0], B[0], latency_ns=500_000)
+    assert net.link_params(A[0], B[0]) == (500_000, 1e9, 10)
+
+
+def test_jitter_is_bounded_and_deterministic():
+    net1 = Network(latency_ns=100_000, jitter_ns=30_000, jitter_seed=42)
+    net2 = Network(latency_ns=100_000, jitter_ns=30_000, jitter_seed=42)
+    d1 = [net1.delay_for(A, B) for _ in range(200)]
+    d2 = [net2.delay_for(A, B) for _ in range(200)]
+    assert d1 == d2  # same seed, same draws
+    assert all(100_000 <= d <= 130_000 for d in d1)
+    assert len(set(d1)) > 1  # actually varies
+
+    net3 = Network(latency_ns=100_000, jitter_ns=30_000, jitter_seed=43)
+    assert [net3.delay_for(A, B) for _ in range(200)] != d1
+
+
+def test_transmit_counts_and_schedules():
+    sim = Simulator()
+    net = Network(latency_ns=100_000)
+    got = []
+    when = net.transmit(sim, A, B, 500, got.append, "x")
+    assert when == 100_000
+    assert (net.bytes_sent, net.segments_sent) == (500, 1)
+    net.transmit(sim, A, B, 0, got.append, "fin", count=False)
+    assert (net.bytes_sent, net.segments_sent) == (500, 1)  # uncounted
+    sim.run()
+    assert got == ["x", "fin"]
+
+
+def test_fifo_clamp_prevents_jitter_reordering():
+    sim = Simulator()
+    net = Network(latency_ns=100_000, jitter_ns=80_000, jitter_seed=7)
+    order = []
+    times = [
+        net.transmit(sim, A, B, 64, order.append, i) for i in range(50)
+    ]
+    # Delivery times never decrease for a directed pair, so delivery
+    # order matches send order even with jitter comparable to latency.
+    assert times == sorted(times)
+    sim.run()
+    assert order == list(range(50))
+
+
+def test_fifo_clamp_is_per_directed_pair():
+    sim = Simulator()
+    net = Network(latency_ns=100_000, jitter_ns=80_000, jitter_seed=7)
+    t_ab = net.transmit(sim, A, B, 64, lambda: None)
+    # The reverse direction and other pairs are unconstrained by A->B.
+    assert (B[0], A[0]) not in net._fifo_clock or True
+    t_ba = net.transmit(sim, B, A, 64, lambda: None)
+    assert t_ba >= 100_000  # its own delay, not clamped up to t_ab
+    assert net._fifo_clock[(A[0], B[0])] == t_ab
+
+
+def test_wildcard_binds_are_host_scoped():
+    class _FakeListener:
+        def __init__(self, host_ip):
+            self.host_ip = host_ip
+
+    net = Network()
+    l1 = _FakeListener("10.0.0.1")
+    l2 = _FakeListener("10.0.0.2")
+    assert net.bind_listener(("0.0.0.0", 80), l1) == 0
+    # A second host may bind the same wildcard port on one shared switch.
+    assert net.bind_listener(("0.0.0.0", 80), l2) == 0
+    assert net.lookup(("10.0.0.1", 80)) is l1
+    assert net.lookup(("10.0.0.2", 80)) is l2
+    assert net.lookup(("10.0.0.3", 80)) is None
