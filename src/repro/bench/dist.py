@@ -11,6 +11,7 @@ level, plus what a node crash costs end-to-end.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.native import run_native
@@ -33,13 +34,27 @@ MAX_STEPS = 400_000_000
 LATENCIES_NS: Tuple[int, ...] = (50_000, 200_000, 1_000_000)
 
 
+def smoke() -> bool:
+    """CI smoke mode (REPRO_BENCH_SMOKE=1): shorter workloads, fewer
+    sweep points — same assertions, minutes less wall time."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def sweep_latencies() -> Tuple[int, ...]:
+    return LATENCIES_NS[:2] if smoke() else LATENCIES_NS
+
+
+def _ms(native_ms: float) -> float:
+    return native_ms * (0.5 if smoke() else 1.0)
+
+
 def _workload(name: str = "dist", rate: float = 260_000.0,
               native_ms: float = 4.0) -> SyntheticWorkload:
     """A server-ish mix: mostly reproducible file/base traffic with a
     socket component only the leader may touch."""
     return SyntheticWorkload(
         name=name,
-        native_ms=native_ms,
+        native_ms=_ms(native_ms),
         mix=CategoryMix(
             {
                 "base": rate * 0.25,
@@ -62,11 +77,16 @@ def _run(workload: SyntheticWorkload, *, nodes: int = 3,
          replication: Optional[SelectiveReplication] = None,
          latency_ns: int = 200_000, batch_bytes: int = 4096,
          plan: Optional[FaultPlan] = None,
-         degradation: Optional[DegradationPolicy] = None):
+         degradation: Optional[DegradationPolicy] = None,
+         shard: bool = False, rendezvous_shards: Optional[int] = None,
+         compress: Optional[str] = None):
     dist = DistConfig(
         link_latency_ns=latency_ns,
         batch_bytes=batch_bytes,
         replication=replication or selective_replication(),
+        shard_rendezvous=shard,
+        rendezvous_shards=rendezvous_shards,
+        compress=compress,
     )
     config = ReMonConfig(replicas=nodes, level=level, degradation=degradation,
                          dist=dist)
@@ -79,14 +99,14 @@ def _run(workload: SyntheticWorkload, *, nodes: int = 3,
 # ---------------------------------------------------------------------------
 # 1. Selective vs full replication across link latency
 # ---------------------------------------------------------------------------
-def selective_vs_full(latencies_ns: Tuple[int, ...] = LATENCIES_NS,
+def selective_vs_full(latencies_ns: Optional[Tuple[int, ...]] = None,
                       nodes: int = 3) -> List[Dict]:
     """The dMVX headline: at every link latency, selective replication
     moves fewer bytes AND finishes faster than full replication."""
     workload = _workload("sel-vs-full")
     native_ns = _native_ns(workload)
     rows = []
-    for latency_ns in latencies_ns:
+    for latency_ns in latencies_ns or sweep_latencies():
         for policy in (selective_replication(), full_replication()):
             result = _run(workload, nodes=nodes, replication=policy,
                           latency_ns=latency_ns)
@@ -96,6 +116,8 @@ def selective_vs_full(latencies_ns: Tuple[int, ...] = LATENCIES_NS,
                     "latency_ns": latency_ns,
                     "policy": policy.name,
                     "overhead": result.wall_time_ns / max(1, native_ns),
+                    "wall_time_ns": result.wall_time_ns,
+                    "rounds": result.stats["dist_rendezvous_completed"],
                     "wire_bytes": result.stats["dist_wire_bytes"],
                     "messages": result.stats["dist_messages"],
                     "replicated": result.stats["dist_replicated_calls"],
@@ -125,6 +147,9 @@ def batching_sweep(batch_sizes=(512, 4096, 16384),
                 "frames": result.stats["dist_frames"],
                 "frames_per_msg": result.stats["dist_frames"]
                 / max(1, result.stats["dist_messages"]),
+                "wall_time_ns": result.wall_time_ns,
+                "rounds": result.stats["dist_rendezvous_completed"],
+                "wire_bytes": result.stats["dist_wire_bytes"],
                 "overhead": result.wall_time_ns / max(1, native_ns),
             }
         )
@@ -154,6 +179,9 @@ def relaxation_sweep(levels=(Level.NO_IPMON, Level.BASE, Level.NONSOCKET_RW,
                 "local": result.stats["dist_local_calls"],
                 "replicated": result.stats["dist_replicated_calls"],
                 "round_trips": result.stats["dist_round_trips"],
+                "wall_time_ns": result.wall_time_ns,
+                "rounds": result.stats["dist_rendezvous_completed"],
+                "wire_bytes": result.stats["dist_wire_bytes"],
                 "overhead": result.wall_time_ns / max(1, native_ns),
             }
         )
@@ -190,9 +218,161 @@ def failover_rows(latency_ns: int = 200_000) -> List[Dict]:
                 "outcome": "diverged" if result.diverged else "completed",
                 "quarantined": len(result.quarantined_replicas),
                 "promotions": result.stats["master_promotions"],
+                "wall_time_ns": result.wall_time_ns,
+                "rounds": result.stats["dist_rendezvous_completed"],
+                "wire_bytes": result.stats["dist_wire_bytes"],
                 "overhead": result.wall_time_ns / max(1, native_ns),
             }
         )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# 5. Sharded rendezvous: per-round serialization vs shard count
+# ---------------------------------------------------------------------------
+def shard_sweep(shard_counts: Tuple[int, ...] = (1, 2, 4), nodes: int = 4,
+                threads: int = 8, latency_ns: int = 50_000) -> List[Dict]:
+    """Many-threaded full lockstep against the single-owner monitor vs
+    hashed shard ownership: the owner's monitor is a serial resource
+    (``dist_monitor_round_ns`` per round), so concentrating every round
+    on one node queues them — ``monitor_wait_ns`` is exactly that queue
+    time, and ``rounds_owner_max`` the hottest node's share."""
+    rate = 900_000.0
+    workload = SyntheticWorkload(
+        name="shards",
+        native_ms=_ms(2.0),
+        mix=CategoryMix(
+            {"base": rate * 0.55, "file_ro": rate * 0.25, "mgmt": rate * 0.2}
+        ),
+        threads=threads,
+    )
+    native_ns = _native_ns(workload)
+    rows = []
+    for count in shard_counts:
+        result = _run(
+            workload, nodes=nodes, level=Level.NO_IPMON, latency_ns=latency_ns,
+            shard=count > 1, rendezvous_shards=count if count > 1 else None,
+        )
+        assert not result.diverged, result.divergence
+        stats = result.stats
+        rounds = stats["dist_rendezvous_completed"]
+        rows.append(
+            {
+                "shards": stats["dist_shards"],
+                "monitor_wait_ns": stats["dist_monitor_wait_ns"],
+                "wait_per_round_ns": stats["dist_monitor_wait_ns"]
+                / max(1, rounds),
+                "rounds": rounds,
+                "rounds_owner_max": stats["dist_rounds_owner_max"],
+                "round_trips": stats["dist_round_trips"],
+                "wall_time_ns": result.wall_time_ns,
+                "wire_bytes": stats["dist_wire_bytes"],
+                "overhead": result.wall_time_ns / max(1, native_ns),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# 6. RB mirror compression: wire bytes vs codec CPU across link latency
+# ---------------------------------------------------------------------------
+def compression_sweep(latencies_ns: Optional[Tuple[int, ...]] = None,
+                      codecs: Tuple[Optional[str], ...] = (None, "rle", "dict"),
+                      nodes: int = 3) -> List[Dict]:
+    """A replicated-read-heavy server: most traffic is leader->follower
+    result mirrors full of repeated socket reads. Each codec trades
+    leader/follower CPU (``dist_compress_*`` costs) for wire volume;
+    the sweep records both sides of that trade at every link latency."""
+    rate = 260_000.0
+    workload = SyntheticWorkload(
+        name="mirror-codec",
+        native_ms=_ms(4.0),
+        mix=CategoryMix(
+            {
+                "base": rate * 0.2,
+                "sock_ro": rate * 0.5,
+                "sock_rw": rate * 0.2,
+                "mgmt": rate * 0.1,
+            }
+        ),
+        threads=2,
+    )
+    native_ns = _native_ns(workload)
+    rows = []
+    for latency_ns in latencies_ns or sweep_latencies():
+        for codec in codecs:
+            result = _run(workload, nodes=nodes, latency_ns=latency_ns,
+                          compress=codec)
+            assert not result.diverged, result.divergence
+            stats = result.stats
+            rows.append(
+                {
+                    "latency_ns": latency_ns,
+                    "codec": codec or "raw",
+                    "wire_bytes": stats["dist_wire_bytes"],
+                    "payload_raw_bytes": stats["dist_payload_raw_bytes"],
+                    "payload_coded_bytes": stats["dist_payload_coded_bytes"],
+                    "frames_raw": stats["dist_codec_raw"],
+                    "frames_rle": stats["dist_codec_rle"],
+                    "frames_dict": stats["dist_codec_dict"],
+                    "wire_errors": stats["dist_wire_errors"],
+                    "wall_time_ns": result.wall_time_ns,
+                    "rounds": stats["dist_rendezvous_completed"],
+                    "overhead": result.wall_time_ns / max(1, native_ns),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# 7. The whole fast path vs the PR-2 baseline
+# ---------------------------------------------------------------------------
+def fast_path_rows(latencies_ns: Optional[Tuple[int, ...]] = None,
+                   nodes: int = 3) -> List[Dict]:
+    """Sharded rendezvous + dict-coded mirrors against the stock
+    configuration, same workload, same correctness: the fast path must
+    win on wire bytes everywhere and hold serialization down, while
+    exit codes and round counts stay identical."""
+    rate = 300_000.0
+    workload = SyntheticWorkload(
+        name="fast-path",
+        native_ms=_ms(3.0),
+        mix=CategoryMix(
+            {
+                "base": rate * 0.2,
+                "file_ro": rate * 0.2,
+                "sock_ro": rate * 0.3,
+                "sock_rw": rate * 0.1,
+                "mgmt": rate * 0.2,
+            }
+        ),
+        threads=6,
+    )
+    native_ns = _native_ns(workload)
+    rows = []
+    for latency_ns in latencies_ns or sweep_latencies():
+        for label, kwargs in (
+            ("baseline", {}),
+            ("fast-path", {"shard": True, "compress": "dict"}),
+        ):
+            result = _run(workload, nodes=nodes, latency_ns=latency_ns,
+                          **kwargs)
+            assert not result.diverged, result.divergence
+            stats = result.stats
+            rows.append(
+                {
+                    "latency_ns": latency_ns,
+                    "config": label,
+                    "wire_bytes": stats["dist_wire_bytes"],
+                    "monitor_wait_ns": stats["dist_monitor_wait_ns"],
+                    "rounds": stats["dist_rendezvous_completed"],
+                    "rounds_owner_max": stats["dist_rounds_owner_max"],
+                    "wire_errors": stats["dist_wire_errors"],
+                    "exit_codes": list(result.exit_codes),
+                    "wall_time_ns": result.wall_time_ns,
+                    "overhead": result.wall_time_ns / max(1, native_ns),
+                }
+            )
     return rows
 
 
@@ -244,6 +424,44 @@ def render_all() -> str:
     for row in failover_rows():
         table.add(row["scenario"], row["outcome"], row["quarantined"],
                   row["promotions"], "%.2fx" % row["overhead"])
+    out.append(table.render())
+
+    table = Table(
+        "Sharded rendezvous (4 nodes, 8 threads, NO_IPMON, 50 us links)",
+        ["shards", "wait us", "wait/round", "owner max", "rounds",
+         "overhead"],
+    )
+    for row in shard_sweep():
+        table.add(row["shards"],
+                  "%.1f" % (row["monitor_wait_ns"] / 1000),
+                  "%d ns" % row["wait_per_round_ns"],
+                  row["rounds_owner_max"], row["rounds"],
+                  "%.2fx" % row["overhead"])
+    out.append(table.render())
+
+    table = Table(
+        "RB mirror compression (3 nodes, replicated-read-heavy)",
+        ["latency", "codec", "wire KiB", "payload KiB", "coded KiB",
+         "overhead"],
+    )
+    for row in compression_sweep():
+        table.add("%d us" % (row["latency_ns"] // 1000), row["codec"],
+                  "%.1f" % (row["wire_bytes"] / 1024),
+                  "%.1f" % (row["payload_raw_bytes"] / 1024),
+                  "%.1f" % (row["payload_coded_bytes"] / 1024),
+                  "%.2fx" % row["overhead"])
+    out.append(table.render())
+
+    table = Table(
+        "Fast path vs baseline (3 nodes, 6 threads)",
+        ["latency", "config", "wire KiB", "wait us", "owner max",
+         "overhead"],
+    )
+    for row in fast_path_rows():
+        table.add("%d us" % (row["latency_ns"] // 1000), row["config"],
+                  "%.1f" % (row["wire_bytes"] / 1024),
+                  "%.1f" % (row["monitor_wait_ns"] / 1000),
+                  row["rounds_owner_max"], "%.2fx" % row["overhead"])
     out.append(table.render())
 
     return "\n\n".join(out)

@@ -68,6 +68,19 @@ class CostModel:
     dist_rendezvous_service_ns: int = 900  # monitor-side rendezvous work
     dist_crash_detect_ns: int = 250_000  # heartbeat/timeout detection lag
 
+    # -- distributed fast path (sharding + RB mirror compression) -----------
+    # The rendezvous monitor is a serial resource: the node hosting a
+    # round's state processes rounds one at a time, so a single-owner
+    # monitor queues under many-threaded lockstep load — the term
+    # sharding exists to shrink. Shard routing itself costs a hash and
+    # a hop decision per submission. Compression trades leader/follower
+    # CPU per payload byte for wire bytes.
+    dist_monitor_round_ns: int = 1400  # serialized per-round monitor work
+    dist_shard_route_ns: int = 150  # owner hash + shard-hop routing tax
+    dist_compress_frame_ns: int = 140  # per-frame codec dispatch + dict probe
+    dist_compress_ns_per_byte: float = 0.12  # RLE scan/emit over raw bytes
+    dist_decompress_ns_per_byte: float = 0.05  # expand on adoption
+
     # -- memory-system interference (replicas share caches/DRAM) -----------
     # Per extra replica beyond the first, compute segments are slowed by
     # this fraction (cache and memory-bandwidth pressure; the paper's
@@ -98,6 +111,15 @@ class CostModel:
     def dist_frame_cost_ns(self, nbytes: int) -> int:
         """CPU cost of queueing one frame into an outgoing transfer unit."""
         return int(self.dist_frame_send_ns + self.dist_encode_ns_per_byte * nbytes)
+
+    def dist_compress_cost_ns(self, nbytes: int) -> int:
+        """CPU cost of codec-wrapping one payload of ``nbytes`` raw bytes."""
+        return int(self.dist_compress_frame_ns
+                   + self.dist_compress_ns_per_byte * nbytes)
+
+    def dist_decompress_cost_ns(self, nbytes: int) -> int:
+        """CPU cost of expanding one coded payload back to ``nbytes``."""
+        return int(self.dist_decompress_ns_per_byte * nbytes)
 
     def with_overrides(self, **kwargs) -> "CostModel":
         return replace(self, **kwargs)

@@ -19,7 +19,23 @@ Entry points::
 See DESIGN.md §8 for the model and its simplifications.
 """
 
-from repro.dist.cluster import DistConfig, DistMonitor, DistMvee, run_distributed
+from repro.dist.cluster import (
+    DistConfig,
+    DistMonitor,
+    DistMvee,
+    run_distributed,
+    shard_owner,
+)
+from repro.dist.codec import (
+    PayloadDict,
+    TAG_DICT,
+    TAG_RAW,
+    TAG_RLE,
+    decode_payload,
+    encode_payload,
+    rle_decode,
+    rle_encode,
+)
 from repro.dist.node import DistInterceptor, Node, NodeFdView, ReplicaView
 from repro.dist.remote_rb import RBMirror, RemoteRecord
 from repro.dist.selective import (
@@ -30,9 +46,12 @@ from repro.dist.selective import (
     selective_replication,
     syscall_class,
 )
-from repro.dist.transport import Channel, Transport
+from repro.dist.transport import CODECS, Channel, Transport
 from repro.dist.wire import (
+    DigestCache,
+    F_CODED,
     Frame,
+    digest_cache,
     T_CALL_DIGEST,
     T_CONTROL,
     T_RENDEZVOUS_OK,
@@ -49,6 +68,15 @@ __all__ = [
     "DistMonitor",
     "DistMvee",
     "run_distributed",
+    "shard_owner",
+    "PayloadDict",
+    "TAG_DICT",
+    "TAG_RAW",
+    "TAG_RLE",
+    "decode_payload",
+    "encode_payload",
+    "rle_decode",
+    "rle_encode",
     "DistInterceptor",
     "Node",
     "NodeFdView",
@@ -61,8 +89,12 @@ __all__ = [
     "full_replication",
     "selective_replication",
     "syscall_class",
+    "CODECS",
     "Channel",
     "Transport",
+    "DigestCache",
+    "F_CODED",
+    "digest_cache",
     "Frame",
     "T_CALL_DIGEST",
     "T_CONTROL",

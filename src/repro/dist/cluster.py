@@ -28,9 +28,8 @@ from repro.core.events import DivergenceReport, MveeResult
 from repro.core.handlers import build_handler_table
 from repro.core.remon import ReMonConfig, ReplicaGroup
 from repro.dist.node import DistInterceptor, Node, ReplicaView
-from repro.dist.remote_rb import RemoteRecord
 from repro.dist.selective import SelectiveReplication, selective_replication
-from repro.dist.transport import Transport
+from repro.dist.transport import CODECS, Transport
 from repro.dist.wire import (
     Frame,
     T_CALL_DIGEST,
@@ -49,6 +48,31 @@ from repro.kernel.kernel import Kernel, KernelConfig
 from repro.kernel.sockets import Network
 from repro.kernel.waitq import WaitQueue, wait_interruptible
 from repro.sim import Simulator
+
+_M64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a cheap, stable 64-bit avalanche."""
+    x &= _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+def shard_owner(vtid: int, seq: int, owners: Tuple[int, ...]) -> int:
+    """The node owning the rendezvous round ``(vtid, seq)``.
+
+    A pure function of its inputs — every node computes the same owner
+    from the same membership without coordination (consistent routing is
+    what lets followers send digests straight to the owning shard). The
+    SplitMix64 avalanche keeps consecutive sequence numbers of one
+    thread spread across shards, so a hot thread does not pin one node.
+    """
+    if not owners:
+        raise MonitorError("shard routing needs at least one owner")
+    key = _mix64(((vtid & 0xFFFFFFFF) << 32) ^ (seq & _M64))
+    return owners[key % len(owners)]
 
 
 @dataclass
@@ -75,19 +99,45 @@ class DistConfig:
     backoff_max_ns: int = 16_000_000
     #: Crash-detection lag (None = costs.dist_crash_detect_ns + link latency).
     crash_detect_ns: Optional[int] = None
+    #: Fast path (off by default). ``shard_rendezvous`` spreads rendezvous
+    #: rounds across nodes by (vtid, seq) hash instead of serializing them
+    #: all through the leader's monitor; ``rendezvous_shards`` caps how
+    #: many nodes own shards (None = every live node).
+    shard_rendezvous: bool = False
+    rendezvous_shards: Optional[int] = None
+    #: Rendezvous verdicts are applied on every node at a *scheduled*
+    #: instant (owner completion + link latency + this slack) rather
+    #: than at frame arrival: arrival-order release wakes threads in
+    #: node-dependent order — variable batch serialization can swap two
+    #: nearby releases, and the broadcaster itself would wake in
+    #: completion order — which desynchronizes shared-namespace
+    #: allocation (fd numbers, memory races) across nodes. The slack
+    #: covers batch serialization and jitter so the release frame is
+    #: physically on every node before its delivery time (urgent
+    #: release batches are tens of bytes; an occasional frame landing
+    #: after its instant only means the uniform apply ran a hair early).
+    release_slack_ns: int = 2_000
+    #: RB mirror payload codec: None (raw), "rle", or "dict" (RLE plus a
+    #: per-channel dictionary over repeated reads). See repro.dist.codec.
+    compress: Optional[str] = None
 
 
 class _RendezvousState:
-    __slots__ = ("digests", "verdict", "waitq")
+    __slots__ = ("digests", "verdict", "completing", "owner", "waitq")
 
     def __init__(self):
         self.digests: Dict[int, Tuple[str, int]] = {}
         self.verdict: Optional[int] = None
+        #: All digests arrived; the owner's monitor is servicing the
+        #: round (verdict lands when its serial queue drains).
+        self.completing = False
+        #: The node that owned the round when its verdict landed.
+        self.owner: Optional[int] = None
         self.waitq = WaitQueue("rendezvous")
 
 
 class DistMonitor:
-    """Leader-hosted monitor: lockstep rendezvous + lazy async checks.
+    """Rendezvous monitor: lockstep rounds + lazy async checks.
 
     State is keyed by (vtid, per-thread sequence number); sequence
     counters advance identically on every node because replicas run the
@@ -96,6 +146,15 @@ class DistMonitor:
     retained (a leader re-reads its verdict after waking) and reference
     digests are kept for the run's lifetime — runs are short and the
     memory is bounded by total syscall count.
+
+    Each round is *owned* by one node (the leader by default; a hashed
+    shard owner under ``DistConfig.shard_rendezvous``) and that node's
+    monitor is a serial resource: rounds it owns are serviced one at a
+    time, each costing ``dist_monitor_round_ns``. With a single owner,
+    many-threaded lockstep load queues behind one timeline — the
+    serialization sharding exists to break up. The async digest lane
+    stays leader-hosted: it is off every thread's critical path, so
+    spreading it buys nothing.
     """
 
     def __init__(self, mvee: "DistMvee"):
@@ -103,10 +162,15 @@ class DistMonitor:
         self.references: Dict[Tuple[int, int], Tuple[str, int]] = {}
         self.pending_checks: Dict[Tuple[int, int], List[Tuple[int, str, int]]] = {}
         self.rendezvous: Dict[Tuple[int, int], _RendezvousState] = {}
+        #: Per-owner serial service timeline (sim-time the owner's
+        #: monitor becomes free) and per-owner round counts.
+        self._busy_until: Dict[int, int] = {}
+        self.rounds_by_owner: Dict[int, int] = {}
         self.stats = {
             "async_checks": 0,
             "async_mismatches": 0,
             "rendezvous_completed": 0,
+            "monitor_wait_ns": 0,
         }
 
     # -- async digest lane -------------------------------------------------
@@ -159,21 +223,95 @@ class DistMonitor:
         return state
 
     def try_complete(self, vtid: int, seq: int) -> None:
+        """If every participant has voted, queue the round on its owning
+        node's serial monitor timeline; the verdict lands (and is
+        broadcast by the owner) when the owner's queue drains."""
         key = (vtid, seq)
         state = self.rendezvous.get(key)
-        if state is None or state.verdict is not None:
+        if state is None or state.verdict is not None or state.completing:
             return
         participants = self.mvee.participants()
         if not participants:
             return
         if any(p not in state.digests for p in participants):
             return
+        state.completing = True
+        sim = self.mvee.sim
+        owner = self.mvee.shard_owner(vtid, seq)
+        start = max(sim.now, self._busy_until.get(owner, 0))
+        done = start + self.mvee._costs().dist_monitor_round_ns
+        self._busy_until[owner] = done
+        self.stats["monitor_wait_ns"] += start - sim.now
+        self.rounds_by_owner[owner] = self.rounds_by_owner.get(owner, 0) + 1
+        sim.call_at(done, self._complete, vtid, seq)
+
+    def _complete(self, vtid: int, seq: int) -> None:
+        """The owner's monitor finished servicing the round: vote over
+        the *current* participants (membership may have changed while
+        queued) and broadcast the release.
+
+        Releases are *scheduled*, not applied at frame arrival: the
+        owner stamps the round with a delivery instant one
+        release_lag_ns ahead, and :meth:`_release` applies it on every
+        node simultaneously (the frames still travel — they model the
+        physical transfer — but delivery timing comes from the stamp,
+        PTP-multicast style). Arrival-order release is subtly unsound
+        even with the single leader as broadcaster: the leader itself
+        would wake in completion order while followers wake in arrival
+        order, and variable batch serialization can swap two nearby
+        releases — either way nodes wake threads in different orders
+        and shared-namespace allocation (fd numbers, memory races)
+        desynchronizes. Uniform scheduled delivery is also what makes
+        sharding safe at all: with many broadcasters there is no single
+        FIFO order to lean on."""
+        key = (vtid, seq)
+        state = self.rendezvous.get(key)
+        if state is None or state.verdict is not None:
+            return
+        if self.mvee.shutting_down:
+            state.completing = False
+            return
+        participants = self.mvee.participants()
+        if not participants or any(p not in state.digests for p in participants):
+            # A participant joined or ownership moved while queued;
+            # the round re-enters the queue when its digest arrives.
+            state.completing = False
+            return
         votes = {state.digests[p] for p in participants}
         verdict = 1 if len(votes) == 1 else 0
+        owner = self.mvee.shard_owner(vtid, seq)
+        for peer in participants:
+            if peer == owner:
+                continue
+            self.mvee.send_frame(
+                owner, peer,
+                Frame(T_RENDEZVOUS_OK, owner, vtid, seq, aux=verdict),
+                cls="rendezvous", urgent=True,
+            )
+        lag = self.mvee.release_lag_ns()
+        if lag:
+            self.mvee.sim.call_at(
+                self.mvee.sim.now + lag, self._release, vtid, seq, verdict, owner
+            )
+        else:
+            self._release(vtid, seq, verdict, owner)
+
+    def _release(self, vtid: int, seq: int, verdict: int, owner: int) -> None:
+        """The verdict becomes visible: record it, report a divergence on
+        mismatch, and (under sharding) apply it to every node's mirror at
+        this one instant — uniform wake order across nodes."""
+        key = (vtid, seq)
+        state = self.rendezvous.get(key)
+        if state is None or state.verdict is not None:
+            return
+        state.completing = False
+        if self.mvee.shutting_down:
+            return
         state.verdict = verdict
+        state.owner = owner
         self.stats["rendezvous_completed"] += 1
         if verdict == 0:
-            names = sorted({v[0] for v in votes})
+            names = sorted({v[0] for v in state.digests.values()})
             self.mvee.divergence(
                 DivergenceReport(
                     self.mvee.sim.now,
@@ -184,22 +322,20 @@ class DistMonitor:
                     detected_by="dist-lockstep",
                 )
             )
-        leader = self.mvee.leader_index
-        for peer in participants:
-            if peer == leader:
-                continue
-            self.mvee.send_frame(
-                leader, peer,
-                Frame(T_RENDEZVOUS_OK, leader, vtid, seq, aux=verdict),
-                cls="rendezvous", urgent=True,
-            )
-        state.waitq.notify_all(self.mvee.sim)
+        sim = self.mvee.sim
+        # Scheduled delivery: land the release in every mirror at this
+        # one instant (the frames carry the bytes; _dispatch leaves
+        # their application to this event).
+        for node in self.mvee.nodes:
+            node.mirror.release(vtid, seq, verdict, sim)
+        state.waitq.notify_all(sim)
 
     def on_membership_change(self) -> None:
         """A node was quarantined (or promoted): re-try every open round
-        — the quorum may now be satisfiable without the lost node."""
+        — the quorum may now be satisfiable without the lost node, and
+        rounds owned by the lost node re-route to a surviving owner."""
         for (vtid, seq), state in list(self.rendezvous.items()):
-            if state.verdict is None:
+            if state.verdict is None and not state.completing:
                 self.try_complete(vtid, seq)
 
 
@@ -223,6 +359,11 @@ class DistMvee:
                 "ReMonConfig.dist must be a DistConfig, got %r" % (dconfig,)
             )
         self.dconfig = dconfig
+        if dconfig.compress is not None and dconfig.compress not in CODECS:
+            raise MonitorError(
+                "DistConfig.compress must be None or one of %r, got %r"
+                % (CODECS, dconfig.compress)
+            )
         self.n = dconfig.nodes if dconfig.nodes is not None else self.config.replicas
         if self.n < 1:
             raise MonitorError("a distributed MVEE needs at least one node")
@@ -315,6 +456,7 @@ class DistMvee:
             self.nodes[0].kernel.config.costs,
             batch_bytes=dconfig.batch_bytes,
             flush_interval_ns=dconfig.flush_interval_ns,
+            codec=dconfig.compress,
         )
         self.transport.dispatch = self._dispatch
 
@@ -359,6 +501,34 @@ class DistMvee:
             and not node.process.quarantined
         ]
 
+    def shard_owners(self) -> Tuple[int, ...]:
+        """The nodes currently eligible to own rendezvous rounds.
+
+        Without sharding this is the leader alone (PR-2 semantics: one
+        logical monitor serializes every round). With sharding it is
+        every live participant, optionally capped at
+        ``rendezvous_shards`` owners (lowest indices first, so the
+        owner set is identical on every node)."""
+        if not self.dconfig.shard_rendezvous:
+            return (self.leader_index,)
+        live = tuple(self.participants())
+        if not live:
+            return (self.leader_index,)
+        cap = self.dconfig.rendezvous_shards
+        if cap is not None:
+            live = live[:max(1, cap)]
+        return live
+
+    def shard_owner(self, vtid: int, seq: int) -> int:
+        return shard_owner(vtid, seq, self.shard_owners())
+
+    def release_lag_ns(self) -> int:
+        """Delay between a round's verdict and its cluster-wide
+        visibility: verdicts are applied on every node (owner included)
+        at owner-completion + this lag, so releases reach all nodes in
+        one global order — see :meth:`DistMonitor._complete`."""
+        return self.dconfig.link_latency_ns + self.dconfig.release_slack_ns
+
     def missing_participant(self, vtid: int, seq: int,
                             reporter: int) -> Optional[int]:
         """Whom to blame for a stalled rendezvous: the first participant
@@ -366,15 +536,15 @@ class DistMvee:
         the round is completing and the release is merely in flight, so
         the watchdog must not punish an innocent node."""
         state = self.monitor.state_for(vtid, seq)
-        participants = self.participants()
+        owner = self.shard_owner(vtid, seq)
         if state is not None:
-            for index in participants:
+            for index in self.participants():
                 if index != reporter and index not in state.digests:
                     return index
             return None
-        if self.leader_index != reporter:
-            return self.leader_index
-        others = [p for p in participants if p != reporter]
+        if owner != reporter:
+            return owner
+        others = [p for p in self.participants() if p != reporter]
         return others[0] if others else None
 
     # ------------------------------------------------------------------
@@ -395,16 +565,15 @@ class DistMvee:
         elif frame.type == T_RENDEZVOUS_REQ:
             digest, name = parse_digest_payload(frame.payload)
             self.monitor.submit(frame.sender, frame.vtid, frame.seq, name, digest)
-        elif frame.type == T_RENDEZVOUS_OK:
-            self.nodes[dst].mirror.release(
-                frame.vtid, frame.seq, frame.aux, self.sim
-            )
-        elif frame.type == T_SYSCALL_RESULT:
-            self.nodes[dst].mirror.put(
-                frame.vtid, frame.seq,
-                RemoteRecord(frame.aux, frame.payload),
-                self.sim,
-            )
+        elif frame.type in (T_RENDEZVOUS_OK, T_SYSCALL_RESULT):
+            # Releases and mirror records are applied by *scheduled*
+            # delivery (DistMonitor._release, the leader's scheduled
+            # mirror put): one global instant per record, so every node
+            # wakes its threads in the same order. These frames are the
+            # physical bytes of that transfer — a minimal frame can beat
+            # the schedule by a few hundred ns, so acting on arrival
+            # here would desynchronize wake order on the margin.
+            pass
         else:
             self.stats["control_frames"] += 1
 
@@ -449,9 +618,21 @@ class DistMvee:
         stats["dist_messages"] = self.transport.stats["messages_sent"]
         stats["dist_wire_bytes"] = self.transport.stats["wire_bytes"]
         stats["dist_frames"] = self.transport.stats["frames_sent"]
+        stats["dist_frame_bytes"] = self.transport.stats["frame_bytes"]
         stats["dist_wire_errors"] = self.transport.stats["wire_errors"]
-        for key in ("flushes_size", "flushes_timer", "flushes_urgent"):
+        for key in ("flushes_size", "flushes_timer", "flushes_urgent",
+                    "payload_raw_bytes", "payload_coded_bytes",
+                    "codec_raw", "codec_rle", "codec_dict"):
             stats["dist_" + key] = self.transport.stats[key]
+        # Owners that actually serviced rounds (shard_owners() shrinks to
+        # the leader once every node has exited cleanly, so it is not a
+        # faithful after-the-fact count).
+        stats["dist_shards"] = len(self.monitor.rounds_by_owner) or 1
+        for owner, count in sorted(self.monitor.rounds_by_owner.items()):
+            stats["dist_rounds_owner_%d" % owner] = count
+        stats["dist_rounds_owner_max"] = max(
+            self.monitor.rounds_by_owner.values(), default=0
+        )
         for cls, nbytes in sorted(self.transport.bytes_by_class.items()):
             stats["dist_bytes_" + cls] = nbytes
         for cls, count in sorted(self.transport.frames_by_class.items()):
@@ -625,7 +806,8 @@ class DistMvee:
         # consumed: the dead leader may have shipped those records to us
         # and not to every peer (the RB-survives-its-writer analogue).
         node = self.nodes[new_index]
-        for (vtid, seq), record in sorted(node.mirror.unconsumed().items()):
+        rebroadcast = sorted(node.mirror.unconsumed().items())
+        for (vtid, seq), record in rebroadcast:
             frame = Frame(
                 T_SYSCALL_RESULT, new_index, vtid, seq,
                 aux=record.result, payload=record.payload,
@@ -633,6 +815,19 @@ class DistMvee:
             for peer in self.live_peers(new_index):
                 self.send_frame(new_index, peer, frame, cls="control", urgent=True)
             self.stats["failover_rebroadcasts"] += 1
+        if rebroadcast:
+            # Scheduled delivery, like the leader's normal mirror push:
+            # the rebroadcast records land on every surviving peer at
+            # one instant (duplicates drop idempotently).
+            self.sim.call_at(
+                self.sim.now + self.release_lag_ns(),
+                self._deliver_rebroadcast, new_index, rebroadcast,
+            )
+
+    def _deliver_rebroadcast(self, leader_index: int, rebroadcast) -> None:
+        for (vtid, seq), record in rebroadcast:
+            for peer in self.live_peers(leader_index):
+                self.nodes[peer].mirror.put(vtid, seq, record, self.sim)
 
     # ------------------------------------------------------------------
     # Parking (a replica that lost its rendezvous waits for the kill)

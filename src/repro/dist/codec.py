@@ -1,0 +1,200 @@
+"""Self-describing payload codec for RB mirror traffic.
+
+Replicated syscall results dominate cross-node wire volume, and their
+payloads are extremely redundant: a server loop replays near-identical
+reads (dMVX's transfer units carry the same response bytes over and
+over), and out-buffers are full of byte runs. This module shrinks those
+payloads with two cheap, allocation-light schemes:
+
+* **RLE** — byte-run coding tuned for out-buffer fill patterns;
+* **dictionary** — a small per-channel ring of recently shipped
+  payloads; an exact repeat is sent as a 6-byte reference instead of
+  the payload itself.
+
+Every coded payload is *self-describing*: one tag byte (``TAG_RAW`` /
+``TAG_RLE`` / ``TAG_DICT``) followed by the tag-specific body, so a
+frame can always be decoded without negotiation, and incompressible
+payloads ship raw behind a one-byte tag. Dictionary references carry a
+CRC32 of the original payload: a desynchronized or corrupted reference
+is rejected as a :class:`~repro.errors.WireError` (a transmission
+fault), never silently expanded into wrong bytes.
+
+Synchronization: the transport keeps one sender-side dictionary per
+outgoing channel and one receiver-side dictionary per directed pair.
+Delivery is FIFO per directed pair, and both sides push every processed
+payload in frame order, so the receiver's ring always matches the state
+the sender encoded against.
+
+RLE body layout — a sequence of blocks, each one control byte ``c``::
+
+    c < 0x80   literal: the next c+1 bytes are copied verbatim (1..128)
+    c >= 0x80  run: the next byte repeats (c & 0x7F) + 3 times (3..130)
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, Optional
+
+from repro.errors import WireError
+
+TAG_RAW = 0
+TAG_RLE = 1
+TAG_DICT = 2
+
+TAG_NAMES = {TAG_RAW: "raw", TAG_RLE: "rle", TAG_DICT: "dict"}
+
+#: Ring slots per directed channel; u8 slot index on the wire.
+DICT_SLOTS = 16
+
+_TAG_RAW_B = bytes([TAG_RAW])
+_TAG_RLE_B = bytes([TAG_RLE])
+_TAG_DICT_B = bytes([TAG_DICT])
+
+_DICT_REF = struct.Struct("<BI")  # slot index, crc32 of the raw payload
+
+_MAX_LITERAL = 128
+_MAX_RUN = 130
+
+
+def rle_encode(data: bytes) -> bytes:
+    """Byte-run coding of ``data`` (body only, no tag)."""
+    out = bytearray()
+    literal = bytearray()
+
+    def flush_literal() -> None:
+        offset = 0
+        while offset < len(literal):
+            chunk = literal[offset:offset + _MAX_LITERAL]
+            out.append(len(chunk) - 1)
+            out.extend(chunk)
+            offset += _MAX_LITERAL
+        del literal[:]
+
+    i, n = 0, len(data)
+    while i < n:
+        byte = data[i]
+        j = i + 1
+        while j < n and data[j] == byte:
+            j += 1
+        count = j - i
+        i = j
+        while count >= 3:
+            take = min(count, _MAX_RUN)
+            flush_literal()
+            out.append(0x80 | (take - 3))
+            out.append(byte)
+            count -= take
+        if count:
+            literal.extend([byte] * count)
+    flush_literal()
+    return bytes(out)
+
+
+def rle_decode(body: bytes) -> bytes:
+    """Inverse of :func:`rle_encode`; raises WireError on truncation."""
+    out = bytearray()
+    i, n = 0, len(body)
+    while i < n:
+        control = body[i]
+        i += 1
+        if control < 0x80:
+            length = control + 1
+            if i + length > n:
+                raise WireError("truncated RLE literal block")
+            out += body[i:i + length]
+            i += length
+        else:
+            if i >= n:
+                raise WireError("truncated RLE run block")
+            out += bytes([body[i]]) * ((control & 0x7F) + 3)
+            i += 1
+    return bytes(out)
+
+
+class PayloadDict:
+    """A small ring of recently seen payloads, shared by convention
+    between the two ends of one directed channel (FIFO delivery keeps
+    the rings in lockstep without any negotiation)."""
+
+    __slots__ = ("slots", "_index", "_next")
+
+    def __init__(self, nslots: int = DICT_SLOTS):
+        self.slots: List[Optional[bytes]] = [None] * nslots
+        self._index = {}
+        self._next = 0
+
+    def find(self, payload: bytes) -> Optional[int]:
+        return self._index.get(payload)
+
+    def push(self, payload: bytes) -> None:
+        if payload in self._index:
+            return
+        slot = self._next
+        old = self.slots[slot]
+        if old is not None:
+            del self._index[old]
+        self.slots[slot] = payload
+        self._index[payload] = slot
+        self._next = (slot + 1) % len(self.slots)
+
+    def get(self, slot: int) -> bytes:
+        if not 0 <= slot < len(self.slots) or self.slots[slot] is None:
+            raise WireError("dictionary reference to empty slot %d" % slot)
+        return self.slots[slot]
+
+
+def encode_payload(payload: bytes, dictionary: Optional[PayloadDict] = None) -> bytes:
+    """Code one payload into ``tag + body``.
+
+    With a dictionary, an exact repeat becomes a 6-byte reference;
+    otherwise RLE is tried and kept only if it actually shrinks the
+    payload — incompressible data ships raw behind the tag byte. The
+    payload is entered into the dictionary either way (mirrored by
+    :func:`decode_payload` on the other side).
+    """
+    payload = bytes(payload)
+    coded = None
+    if dictionary is not None:
+        slot = dictionary.find(payload)
+        if slot is not None:
+            coded = _TAG_DICT_B + _DICT_REF.pack(
+                slot, zlib.crc32(payload) & 0xFFFFFFFF
+            )
+        dictionary.push(payload)
+    if coded is None:
+        body = rle_encode(payload)
+        if len(body) + 1 < len(payload):
+            coded = _TAG_RLE_B + body
+        else:
+            coded = _TAG_RAW_B + payload
+    return coded
+
+
+def decode_payload(coded: bytes, dictionary: Optional[PayloadDict] = None) -> bytes:
+    """Inverse of :func:`encode_payload`; raises WireError on any
+    malformed tag, truncated body, or dictionary mismatch."""
+    if len(coded) < 1:
+        raise WireError("coded payload missing its tag byte")
+    tag = coded[0]
+    body = coded[1:]
+    if tag == TAG_RAW:
+        raw = bytes(body)
+    elif tag == TAG_RLE:
+        raw = rle_decode(body)
+    elif tag == TAG_DICT:
+        if dictionary is None:
+            raise WireError("dictionary-coded payload on a dictionary-less channel")
+        if len(body) != _DICT_REF.size:
+            raise WireError("dictionary reference is %d bytes, want %d"
+                            % (len(body), _DICT_REF.size))
+        slot, crc = _DICT_REF.unpack(body)
+        raw = dictionary.get(slot)
+        if zlib.crc32(raw) & 0xFFFFFFFF != crc:
+            raise WireError("dictionary payload checksum mismatch in slot %d" % slot)
+    else:
+        raise WireError("unknown codec tag %d" % tag)
+    if dictionary is not None:
+        dictionary.push(raw)
+    return raw

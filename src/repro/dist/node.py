@@ -235,18 +235,35 @@ class DistInterceptor:
         )
         # dMVX's copy-to-transfer-unit tax: the leader's critical path
         # pays the RB write plus the frame encode for every replicated
-        # call — the term selective replication exists to shrink.
-        yield Sleep(
-            costs.rb_write_base_ns + costs.dist_frame_cost_ns(frame.size()),
-            cpu=True,
-        )
-        node.mirror.put(
-            thread.vtid, seq, RemoteRecord(result, payload, req.name),
-            node.kernel.sim,
-        )
+        # call — the term selective replication exists to shrink. With
+        # compression on it also pays the codec scan over the raw bytes
+        # (the CPU side of the bytes-vs-CPU trade).
+        encode_ns = costs.rb_write_base_ns + costs.dist_frame_cost_ns(frame.size())
+        if mvee.dconfig.compress is not None and payload:
+            encode_ns += costs.dist_compress_cost_ns(len(payload))
+        yield Sleep(encode_ns, cpu=True)
+        sim = node.kernel.sim
+        record = RemoteRecord(result, payload, req.name)
+        node.mirror.put(thread.vtid, seq, record, sim)
         for peer in mvee.live_peers(node.index):
             mvee.send_frame(node.index, peer, frame, cls="result_" + cls)
+        # Scheduled delivery (same discipline as rendezvous releases):
+        # the record becomes visible on every follower at ONE instant,
+        # one release lag out, regardless of how batching staggered the
+        # physical frames — urgent flushes on one channel must not let
+        # that follower wake earlier than its peers.
+        mvee.sim.call_at(
+            sim.now + mvee.release_lag_ns(), self._mirror_peers,
+            thread.vtid, seq, record,
+        )
         return result
+
+    def _mirror_peers(self, vtid, seq, record):
+        """Land one replicated record in every live peer's mirror (the
+        scheduled-delivery instant; membership is read at fire time)."""
+        mvee, node = self.mvee, self.node
+        for peer in mvee.live_peers(node.index):
+            mvee.nodes[peer].mirror.put(vtid, seq, record, mvee.sim)
 
     def _follow_replicated(self, thread, req, seq, digest, cls, handler, view):
         mvee, node = self.mvee, self.node
@@ -264,10 +281,13 @@ class DistInterceptor:
         while True:
             record = node.mirror.get(thread.vtid, seq)
             if record is not None:
-                yield Sleep(
-                    costs.rb_read_base_ns + costs.rb_copy_ns(len(record.payload)),
-                    cpu=True,
+                adopt_ns = (
+                    costs.rb_read_base_ns + costs.rb_copy_ns(len(record.payload))
                 )
+                if mvee.dconfig.compress is not None and record.payload:
+                    # Codec expansion happens on the adoption copy path.
+                    adopt_ns += costs.dist_decompress_cost_ns(len(record.payload))
+                yield Sleep(adopt_ns, cpu=True)
                 handler.apply_results(view, req, record.result, record.payload)
                 node.mirror.consume(thread.vtid, seq)
                 mvee.stats["adopted_results"] += 1
@@ -308,16 +328,24 @@ class DistInterceptor:
         costs = node.kernel.config.costs
         vtid = thread.vtid
         mvee.stats["rendezvous_calls"] += 1
-        if node.index == mvee.leader_index:
+        # Digests go straight to the round's owning shard (the leader,
+        # unless DistConfig.shard_rendezvous spreads ownership).
+        owner = mvee.shard_owner(vtid, seq)
+        route_ns = (
+            costs.dist_shard_route_ns if mvee.dconfig.shard_rendezvous else 0
+        )
+        if node.index == owner:
+            if route_ns:
+                yield Sleep(route_ns, cpu=True)
             mvee.monitor.submit(node.index, vtid, seq, req.name, digest)
         else:
             frame = Frame(
                 T_RENDEZVOUS_REQ, node.index, vtid, seq,
                 payload=digest_payload(digest, req.name),
             )
-            yield Sleep(costs.dist_frame_cost_ns(frame.size()), cpu=True)
+            yield Sleep(costs.dist_frame_cost_ns(frame.size()) + route_ns, cpu=True)
             mvee.send_frame(
-                node.index, mvee.leader_index, frame, cls="rendezvous", urgent=True
+                node.index, owner, frame, cls="rendezvous", urgent=True
             )
             mvee.stats["round_trips"] += 1
         verdict = yield from self._await_verdict(thread, req, vtid, seq, digest)
@@ -334,18 +362,38 @@ class DistInterceptor:
         dcfg = mvee.dconfig
         deadline = sim.now + dcfg.stall_timeout_ns
         backoff = dcfg.backoff_initial_ns
-        was_leader = node.index == mvee.leader_index
+        was_owner = node.index == mvee.shard_owner(vtid, seq)
         while True:
-            if node.index == mvee.leader_index:
-                if not was_leader:
-                    # Promoted mid-rendezvous: re-submit as the leader so
-                    # the (re-hosted) monitor can complete the round.
+            # Ownership can move under us (quarantine reshuffles the
+            # shard map; a promotion moves the default owner), so it is
+            # recomputed each pass.
+            owner = mvee.shard_owner(vtid, seq)
+            state = mvee.monitor.state_for(vtid, seq)
+            if node.index == owner:
+                if not was_owner:
+                    # Became the owner mid-rendezvous: re-submit so the
+                    # (re-hosted) monitor re-checks the round.
                     mvee.monitor.submit(node.index, vtid, seq, req.name, digest)
-                    was_leader = True
-                state = mvee.monitor.state_for(vtid, seq)
+                    state = mvee.monitor.state_for(vtid, seq)
+                    was_owner = True
                 verdict = state.verdict if state is not None else None
+                if verdict is None:
+                    # The release may have shipped before ownership
+                    # moved here; the mirror then already holds it.
+                    verdict = node.mirror.verdict(vtid, seq)
             else:
+                was_owner = False
                 verdict = node.mirror.verdict(vtid, seq)
+                if (
+                    verdict is None
+                    and state is not None
+                    and state.verdict is not None
+                    and state.owner == node.index
+                ):
+                    # This node owned the round when the verdict landed
+                    # (no release frame was addressed to it) and lost
+                    # ownership afterwards: read its own monitor state.
+                    verdict = state.verdict
             if verdict is not None:
                 return verdict
             if mvee.shutting_down or node.process.exited or node.process.quarantined:
@@ -363,9 +411,8 @@ class DistInterceptor:
                 # watchdog report now would punish an innocent node.
                 deadline = sim.now + dcfg.stall_timeout_ns
                 continue
-            if node.index == mvee.leader_index:
-                state = mvee.monitor.state_for(vtid, seq)
-                waitq = state.waitq if state is not None else node.mirror.waitq
+            if node.index == owner and state is not None:
+                waitq = state.waitq
             else:
                 waitq = node.mirror.waitq
             event = waitq.register()

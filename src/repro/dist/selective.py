@@ -23,6 +23,7 @@ the lockstep path regardless of policy.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional
 
 LOCAL = "local"
@@ -94,6 +95,7 @@ _PROC_INFO = frozenset(
 _SOCKETISH_KINDS = ("sock", "listen")
 
 
+@lru_cache(maxsize=None)
 def syscall_class(name: str, fd_kind: Optional[str] = None) -> str:
     """Coarse syscall class used to break down wire traffic in stats:
     ``time`` / ``sock`` / ``file`` / ``proc`` / ``mgmt``."""
@@ -128,8 +130,18 @@ class SelectiveReplication:
         self.name = name
         self.replicate_time = replicate_time
         self.full = full
+        # classify() runs once per unmonitored syscall on every node;
+        # the (name, fd_kind) domain is tiny, so memoize it.
+        self._memo = {}
 
     def classify(self, name: str, fd_kind: Optional[str] = None) -> str:
+        key = (name, fd_kind)
+        lane = self._memo.get(key)
+        if lane is None:
+            lane = self._memo[key] = self._classify(name, fd_kind)
+        return lane
+
+    def _classify(self, name: str, fd_kind: Optional[str]) -> str:
         if name in _PROCESS_LOCAL:
             return LOCAL
         if self.full:

@@ -16,21 +16,46 @@ link's latency/bandwidth/jitter delay (charged by
 :meth:`~repro.kernel.sockets.Network.transmit`, which also guarantees
 FIFO delivery per directed pair) is folded into the delivery time of
 the batch.
+
+With a ``codec`` configured (``"rle"`` or ``"dict"``, see
+:mod:`repro.dist.codec`), replicated-result payloads are compressed
+here — *before* a frame enters its channel queue — so batch thresholds,
+per-class byte accounting, and the wire-byte stats all see one truth:
+the size of the frame as actually encoded. Frames are decoded back to
+raw payloads on delivery, before dispatch; a frame whose coded payload
+fails to decode is a transmission fault (counted and dropped), exactly
+like a CRC-damaged frame.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.dist.wire import BATCH_HEADER_SIZE, Frame, decode_batch, encode_batch
+from repro.dist.codec import TAG_NAMES, PayloadDict, decode_payload, encode_payload
+from repro.dist.wire import (
+    BATCH_HEADER_SIZE,
+    F_CODED,
+    Frame,
+    T_SYSCALL_RESULT,
+    decode_batch,
+    encode_batch,
+)
 from repro.errors import WireError
 from repro.kernel.sockets import Address
+
+#: Codec names accepted by Transport/DistConfig. ``None`` ships raw.
+CODECS = ("rle", "dict")
+
+#: Payloads below this length cannot win (dict reference is 6 bytes,
+#: and the tag byte costs 1): ship them unwrapped.
+MIN_CODEC_LEN = 8
 
 
 class Channel:
     """The outgoing frame queue for one directed node pair."""
 
-    __slots__ = ("src", "dst", "pending", "pending_bytes", "timer_armed")
+    __slots__ = ("src", "dst", "pending", "pending_bytes", "timer_armed",
+                 "enc_dict", "next_depart")
 
     def __init__(self, src: int, dst: int):
         self.src = src
@@ -38,30 +63,51 @@ class Channel:
         self.pending: List[Frame] = []
         self.pending_bytes = 0
         self.timer_armed = False
+        #: Sender-side payload dictionary (dict codec only; lazily built).
+        self.enc_dict: Optional[PayloadDict] = None
+        #: Earliest time the next batch may enter the network: one
+        #: kernel worker pushes a channel's batches in flush order, so
+        #: a large batch's bigger per-message cost can never let a later
+        #: small batch overtake it (overtaking would break the FIFO
+        #: delivery the payload dictionaries are synchronized by).
+        self.next_depart = 0
 
 
 class Transport:
     """All monitor channels of one cluster, sharing a Network."""
 
     def __init__(self, sim, network, addresses: List[Address], costs,
-                 batch_bytes: int = 4096, flush_interval_ns: int = 50_000):
+                 batch_bytes: int = 4096, flush_interval_ns: int = 50_000,
+                 codec: Optional[str] = None):
+        if codec is not None and codec not in CODECS:
+            raise WireError("unknown transport codec %r (want one of %r)"
+                            % (codec, CODECS))
         self.sim = sim
         self.network = network
         self.addresses = addresses
         self.costs = costs
         self.batch_bytes = batch_bytes
         self.flush_interval_ns = flush_interval_ns
+        self.codec = codec
         #: Installed by the cluster: ``dispatch(dst_index, frame)``.
         self.dispatch: Optional[Callable[[int, Frame], None]] = None
         self._channels: Dict[Tuple[int, int], Channel] = {}
+        #: Receiver-side payload dictionaries, keyed by directed pair.
+        self._dec_dicts: Dict[Tuple[int, int], PayloadDict] = {}
         self.stats = {
             "messages_sent": 0,
             "wire_bytes": 0,
             "frames_sent": 0,
+            "frame_bytes": 0,
             "wire_errors": 0,
             "flushes_size": 0,
             "flushes_timer": 0,
             "flushes_urgent": 0,
+            "payload_raw_bytes": 0,
+            "payload_coded_bytes": 0,
+            "codec_raw": 0,
+            "codec_rle": 0,
+            "codec_dict": 0,
         }
         self.bytes_by_class: Dict[str, int] = {}
         self.frames_by_class: Dict[str, int] = {}
@@ -74,24 +120,83 @@ class Transport:
         return channel
 
     # ------------------------------------------------------------------
+    # Codec plumbing
+    # ------------------------------------------------------------------
+    def _encode_payload(self, channel: Channel, frame: Frame) -> Frame:
+        """Wrap a replicated-result payload with the configured codec.
+
+        Returns a *new* frame (the caller may broadcast the original to
+        several channels, each with its own dictionary state). Only
+        ``T_SYSCALL_RESULT`` frames are coded: RB mirror traffic is
+        where the redundant bytes live, and rendezvous/digest frames are
+        small and latency-critical.
+        """
+        if (
+            self.codec is None
+            or frame.type != T_SYSCALL_RESULT
+            or frame.flags & F_CODED
+            or len(frame.payload) < MIN_CODEC_LEN
+        ):
+            return frame
+        dictionary = None
+        if self.codec == "dict":
+            if channel.enc_dict is None:
+                channel.enc_dict = PayloadDict()
+            dictionary = channel.enc_dict
+        raw_len = len(frame.payload)
+        coded = encode_payload(frame.payload, dictionary)
+        self.stats["payload_raw_bytes"] += raw_len
+        self.stats["payload_coded_bytes"] += len(coded)
+        self.stats["codec_" + TAG_NAMES[coded[0]]] += 1
+        return Frame(
+            frame.type, frame.sender, frame.vtid, frame.seq,
+            aux=frame.aux, flags=frame.flags | F_CODED, payload=coded,
+        )
+
+    def _decode_frame(self, dst: int, frame: Frame) -> Optional[Frame]:
+        """Unwrap a codec-coded payload on delivery; None = drop."""
+        if not frame.flags & F_CODED:
+            return frame
+        dictionary = None
+        if self.codec == "dict":
+            key = (frame.sender, dst)
+            dictionary = self._dec_dicts.get(key)
+            if dictionary is None:
+                dictionary = self._dec_dicts[key] = PayloadDict()
+        try:
+            raw = decode_payload(frame.payload, dictionary)
+        except WireError:
+            # A payload that cannot be decoded is a transmission fault:
+            # count and drop the frame, never act on its contents.
+            self.stats["wire_errors"] += 1
+            return None
+        frame.payload = raw
+        frame.flags &= ~F_CODED
+        return frame
+
+    # ------------------------------------------------------------------
     def send(self, src: int, dst: int, frame: Frame, cls: str = "control",
-             urgent: bool = False) -> None:
+             urgent: bool = False) -> int:
         """Queue one frame from node ``src`` to node ``dst``.
 
-        Returns immediately; the caller pays only the frame-encode cost
-        (and even that is charged by the caller, since only the leader's
-        critical path matters for overhead accounting).
+        Returns the queued frame's encoded size in bytes (post-codec) —
+        the single source of truth the caller's cost accounting and the
+        wire-byte stats both see. Returns immediately; the caller pays
+        only the frame-encode cost (and even that is charged by the
+        caller, since only the leader's critical path matters for
+        overhead accounting).
         """
         if src == dst:
             raise WireError("a node does not message itself")
         channel = self._channel(src, dst)
+        frame = self._encode_payload(channel, frame)
+        size = frame.size()
         channel.pending.append(frame)
-        channel.pending_bytes += frame.size()
+        channel.pending_bytes += size
         self.stats["frames_sent"] += 1
+        self.stats["frame_bytes"] += size
         self.frames_by_class[cls] = self.frames_by_class.get(cls, 0) + 1
-        self.bytes_by_class[cls] = (
-            self.bytes_by_class.get(cls, 0) + frame.size()
-        )
+        self.bytes_by_class[cls] = self.bytes_by_class.get(cls, 0) + size
         if urgent or BATCH_HEADER_SIZE + channel.pending_bytes >= self.batch_bytes:
             self.stats["flushes_urgent" if urgent else "flushes_size"] += 1
             self._flush(channel)
@@ -100,6 +205,7 @@ class Transport:
             self.sim.call_at(
                 self.sim.now + self.flush_interval_ns, self._timer_flush, channel
             )
+        return size
 
     def flush_all(self) -> None:
         for channel in self._channels.values():
@@ -115,8 +221,13 @@ class Transport:
 
     def _flush(self, channel: Channel) -> None:
         frames, channel.pending = channel.pending, []
-        channel.pending_bytes = 0
+        # One source of truth for sizing: the bytes counted at send()
+        # are exactly the bytes encode_batch produces (header aside).
+        pending_bytes, channel.pending_bytes = channel.pending_bytes, 0
         data = encode_batch(frames)
+        assert len(data) == BATCH_HEADER_SIZE + pending_bytes, (
+            "frame byte accounting diverged from encoded batch size"
+        )
         self.stats["messages_sent"] += 1
         self.stats["wire_bytes"] += len(data)
         src_addr = self.addresses[channel.src]
@@ -124,7 +235,8 @@ class Transport:
         dst = channel.dst
         # The sender-side per-message CPU cost is folded into delivery
         # time (the sending thread is not blocked on it: a kernel worker
-        # does the pushing in the systems we model).
+        # does the pushing in the systems we model). Departures are
+        # serialized per channel so batches never overtake each other.
         send_cost = self.costs.dist_message_cost_ns(len(data))
 
         def _transmit():
@@ -132,7 +244,9 @@ class Transport:
                 self.sim, src_addr, dst_addr, len(data), self._deliver, dst, data
             )
 
-        self.sim.call_at(self.sim.now + send_cost, _transmit)
+        depart = max(self.sim.now + send_cost, channel.next_depart)
+        channel.next_depart = depart
+        self.sim.call_at(depart, _transmit)
 
     def _deliver(self, dst: int, data: bytes) -> None:
         try:
@@ -145,4 +259,6 @@ class Transport:
         if self.dispatch is None:
             return
         for frame in frames:
-            self.dispatch(dst, frame)
+            frame = self._decode_frame(dst, frame)
+            if frame is not None:
+                self.dispatch(dst, frame)

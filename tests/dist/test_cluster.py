@@ -169,6 +169,100 @@ class TestDivergenceDetection:
             assert not result.diverged, (level, result.divergence)
 
 
+#: The off-by-default fast-path knobs, enabled together.
+FAST_PATH = {"shard_rendezvous": True, "compress": "dict"}
+
+
+class TestFastPath:
+    def test_clean_program_completes_with_fast_path(self):
+        result = run_distributed(
+            mixed_program(), dist_config(dist_kwargs=dict(FAST_PATH)),
+            max_steps=MAX_STEPS,
+        )
+        assert not result.diverged, result.divergence
+        assert result.exit_codes == [5, 5, 5]
+        assert result.stats["dist_wire_errors"] == 0
+        # The codec actually touched mirror traffic, and rounds were
+        # owned by more than one shard.
+        assert result.stats["dist_payload_raw_bytes"] > 0
+        assert result.stats["dist_shards"] > 1
+
+    def test_fast_path_matches_baseline_semantics(self):
+        base = run_distributed(mixed_program(), dist_config(),
+                               max_steps=MAX_STEPS)
+        fast = run_distributed(
+            mixed_program(), dist_config(dist_kwargs=dict(FAST_PATH)),
+            max_steps=MAX_STEPS,
+        )
+        # Same outcome and identical lane traffic — the fast path only
+        # changes who owns each round and how bytes travel.
+        assert fast.exit_codes == base.exit_codes
+        for key in ("dist_local_calls", "dist_replicated_calls",
+                    "dist_rendezvous_calls", "dist_rendezvous_completed",
+                    "dist_async_mismatches"):
+            assert fast.stats[key] == base.stats[key], key
+        assert fast.stats["dist_wire_bytes"] <= base.stats["dist_wire_bytes"]
+
+    def test_fast_path_is_deterministic(self):
+        kwargs = dict(FAST_PATH, link_jitter_ns=20_000)
+        a = run_distributed(mixed_program(),
+                            dist_config(dist_kwargs=dict(kwargs)),
+                            max_steps=MAX_STEPS)
+        b = run_distributed(mixed_program(),
+                            dist_config(dist_kwargs=dict(kwargs)),
+                            max_steps=MAX_STEPS)
+        assert a.wall_time_ns == b.wall_time_ns
+        assert a.stats == b.stats
+        assert a.exit_codes == b.exit_codes
+
+    def test_shard_cap_limits_owner_set(self):
+        result = run_distributed(
+            mixed_program(),
+            dist_config(dist_kwargs={"shard_rendezvous": True,
+                                     "rendezvous_shards": 2}),
+            max_steps=MAX_STEPS,
+        )
+        assert not result.diverged, result.divergence
+        assert 1 < result.stats["dist_shards"] <= 2
+
+    def test_async_lane_still_catches_divergence(self):
+        def main(ctx):
+            libc = ctx.libc
+            evil = ctx.process.name.endswith(".n1")
+            out = yield from libc.open("/tmp/log.txt", C.O_WRONLY | C.O_CREAT)
+            yield from libc.write(out, b"EVIL BYTES" if evil else b"good data!")
+            yield from libc.close(out)
+            for _ in range(40):
+                yield ctx.sys.getpid()
+            return 0
+
+        result = run_distributed(
+            Program("async-div-fast", main),
+            dist_config(dist_kwargs=dict(FAST_PATH)),
+            max_steps=MAX_STEPS,
+        )
+        assert result.diverged
+        assert result.divergence.detected_by == "dist-async"
+
+    def test_lockstep_lane_still_catches_divergence(self):
+        def main(ctx):
+            libc = ctx.libc
+            evil = ctx.process.name.endswith(".n2")
+            path = "/tmp/exfil" if evil else "/tmp/legit"
+            fd = yield from libc.open(path, C.O_WRONLY | C.O_CREAT)
+            yield from libc.close(fd)
+            return 0
+
+        result = run_distributed(
+            Program("lockstep-div-fast", main),
+            dist_config(level=Level.BASE, dist_kwargs=dict(FAST_PATH)),
+            max_steps=MAX_STEPS,
+        )
+        assert result.diverged
+        assert result.divergence.detected_by == "dist-lockstep"
+        assert "divergence" in result.shutdown_reason
+
+
 class TestConfig:
     def test_bad_dist_config_rejected(self):
         from repro.errors import MonitorError

@@ -125,6 +125,35 @@ class TestLeaderCrash:
         assert result.diverged
 
 
+class TestFastPathFaults:
+    def test_leader_crash_promotes_with_fast_path_on(self):
+        """Sharded rendezvous + coded mirrors must not break failover:
+        the crashed node leaves the owner set and survivors finish."""
+        plan = FaultPlan([CrashFault(replica=0, after_syscalls=20)])
+        mvee, result = run_cluster(
+            worker_program(), plan=plan,
+            degradation=DegradationPolicy(min_quorum=2),
+            dist_kwargs={"shard_rendezvous": True, "compress": "dict"},
+        )
+        assert not result.diverged, result.divergence
+        assert result.quarantined_replicas == [0]
+        assert result.stats["master_promotions"] == 1
+        assert mvee.leader_index == 1
+        assert result.exit_codes[1] == 7 and result.exit_codes[2] == 7
+        assert result.stats["dist_wire_errors"] == 0
+
+    def test_follower_crash_quarantined_with_fast_path_on(self):
+        plan = FaultPlan([CrashFault(replica=2, after_syscalls=20)])
+        _mvee, result = run_cluster(
+            worker_program(), plan=plan,
+            degradation=DegradationPolicy(min_quorum=2),
+            dist_kwargs={"shard_rendezvous": True, "compress": "rle"},
+        )
+        assert not result.diverged, result.divergence
+        assert result.quarantined_replicas == [2]
+        assert result.exit_codes[0] == 7 and result.exit_codes[1] == 7
+
+
 class TestStalls:
     def test_long_stall_is_blamed_and_quarantined(self):
         plan = FaultPlan([StallFault(replica=2, duration_ns=400_000_000,
