@@ -1,0 +1,108 @@
+"""Obs tracing-overhead benches (repro.obs, DESIGN.md §9): the Figure-3
+sweep at four obs settings, plus the traced-run artifact emission CI
+uploads (JSON-lines trace, Prometheus export, divergence postmortem).
+
+Rows land in ``BENCH_dist.json`` next to the dist sweeps.
+"""
+
+import json
+import os
+
+from repro.bench import dist
+from repro.bench import obs as obs_bench
+from repro.bench.reporting import Table
+
+_BENCH_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_dist.json")
+_ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "..")
+
+
+def _record(section, rows):
+    """Merge one sweep's rows into BENCH_dist.json."""
+    data = {}
+    try:
+        with open(_BENCH_JSON) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        pass
+    data[section] = rows
+    data["smoke"] = dist.smoke()
+    with open(_BENCH_JSON, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_tracing_overhead(benchmark, report):
+    rows = obs_bench.overhead_rows()
+    _record("obs_overhead", rows)
+    table = Table(
+        "Obs overhead over the Figure-3 sweep (2 replicas)",
+        ["bench", "level", "base ms", "metrics", "spans", "full",
+         "rdv waits", "p50", "p99", "span events"],
+    )
+    for row in rows:
+        table.add(row["bench"], row["level"],
+                  "%.2f" % (row["wall_base_ns"] / 1e6),
+                  "%+.3f%%" % (100.0 * (row["wall_metrics_ns"]
+                                        / row["wall_base_ns"] - 1)),
+                  "%+.3f%%" % (100.0 * (row["spans_ratio"] - 1)),
+                  "%+.3f%%" % (100.0 * (row["full_ratio"] - 1)),
+                  row["rendezvous_wait_count"],
+                  "%d ns" % row["rendezvous_wait_p50_ns"],
+                  "%d ns" % row["rendezvous_wait_p99_ns"],
+                  row["span_events"])
+    report(table.render())
+
+    for row in rows:
+        key = (row["bench"], row["level"])
+        # Obs disabled (the default metrics-only registry) is free in
+        # virtual time: byte-identical wall time, far inside the < 1%
+        # acceptance budget.
+        assert row["wall_metrics_ns"] == row["wall_base_ns"], key
+        # Spans (and spans + flight recorder) charge deterministic
+        # per-choke-point costs, bounded well under the 10% budget.
+        assert row["wall_base_ns"] <= row["wall_spans_ns"], key
+        assert row["wall_spans_ns"] <= 1.10 * row["wall_base_ns"], key
+        assert row["wall_full_ns"] <= 1.10 * row["wall_base_ns"], key
+        # Histograms populate even with spans off, and percentiles are
+        # ordered.
+        assert row["rendezvous_wait_count"] > 0, key
+        assert (row["rendezvous_wait_p50_ns"]
+                <= row["rendezvous_wait_p99_ns"]), key
+        assert row["span_events"] > 0, key
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_traced_sweep_artifacts(benchmark, report):
+    trace_path = os.path.join(_ARTIFACT_DIR, "obs_trace.jsonl")
+    postmortem_path = os.path.join(_ARTIFACT_DIR, "obs_postmortem.json")
+    prom_path = os.path.join(_ARTIFACT_DIR, "obs_metrics.prom")
+    summary = obs_bench.write_artifacts(trace_path, postmortem_path, prom_path)
+    _record("obs_artifacts", summary)
+    report("obs artifacts: %d trace events, postmortem replica=%r syscall=%r"
+           % (summary["trace_events"], summary["postmortem_replica"],
+              summary["postmortem_syscall"]))
+
+    # The trace is valid JSON lines with virtual timestamps.
+    with open(trace_path) as handle:
+        lines = [json.loads(line) for line in handle]
+    assert len(lines) == summary["trace_events"] > 0
+    assert all("t" in event and "component" in event for event in lines)
+    # The Prometheus export exposes the rendezvous-wait histogram.
+    with open(prom_path) as handle:
+        prom = handle.read()
+    assert "# TYPE repro_rendezvous_wait_ns histogram" in prom
+    assert 'repro_rendezvous_wait_ns_bucket{le="+Inf"}' in prom
+    # The postmortem names the diverging replica and syscall.
+    with open(postmortem_path) as handle:
+        postmortem = json.load(handle)
+    assert postmortem["replica"] == 1
+    assert postmortem["syscall"] == "open"
+    assert "arg 0 differs in replica 1" in postmortem["detail"]
+    assert postmortem["tails"]["0"] and postmortem["tails"]["1"]
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)

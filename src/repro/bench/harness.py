@@ -39,18 +39,24 @@ def measure_mvee_overhead(
     level: Level,
     replicas: int = 2,
     _suite_key: str = "",
+    obs=None,
 ) -> float:
     """Normalized execution time of one suite benchmark at one level.
 
-    Cached per (benchmark, level, replicas); the PaperBenchmark is
-    resolved by name from the registered suites.
+    Cached per (benchmark, level, replicas, obs); the PaperBenchmark is
+    resolved by name from the registered suites. ``obs`` is an optional
+    (frozen, hashable) :class:`repro.obs.ObsConfig`.
     """
     bench = _find_bench(bench_name)
     workload = _scaled(derive_workload(bench, calibrate()))
     program = build_program(workload)
     native = run_native(program)
     kernel = Kernel()
-    mvee = ReMon(kernel, build_program(workload), ReMonConfig(replicas=replicas, level=level))
+    mvee = ReMon(
+        kernel,
+        build_program(workload),
+        ReMonConfig(replicas=replicas, level=level, obs=obs),
+    )
     result = mvee.run(max_steps=MAX_STEPS)
     if result.diverged:
         raise AssertionError(

@@ -160,10 +160,12 @@ def _callable_shape(value) -> int:
 class Mismatch:
     """Description of a cross-replica argument mismatch."""
 
-    def __init__(self, syscall: str, detail: str, index: Optional[int] = None):
+    def __init__(self, syscall: str, detail: str, index: Optional[int] = None,
+                 replica: Optional[int] = None):
         self.syscall = syscall
         self.detail = detail
         self.index = index
+        self.replica = replica
 
     def __repr__(self):
         return "Mismatch(%s: %s)" % (self.syscall, self.detail)
@@ -178,12 +180,14 @@ def compare_blobs(blobs: List[ArgBlob]) -> Optional[Mismatch]:
                 reference.name,
                 "replica %d issued %s instead of %s"
                 % (replica_index, blob.name, reference.name),
+                replica=replica_index,
             )
         if len(blob.items) != len(reference.items):
             return Mismatch(
                 reference.name,
                 "replica %d passed %d args, expected %d"
                 % (replica_index, len(blob.items), len(reference.items)),
+                replica=replica_index,
             )
         for arg_index, (ref_item, item) in enumerate(zip(reference.items, blob.items)):
             if ref_item != item:
@@ -192,6 +196,7 @@ def compare_blobs(blobs: List[ArgBlob]) -> Optional[Mismatch]:
                     "arg %d differs in replica %d: %r != %r"
                     % (arg_index, replica_index, _clip(item), _clip(ref_item)),
                     index=arg_index,
+                    replica=replica_index,
                 )
     return None
 

@@ -17,6 +17,7 @@ class DivergenceReport:
         detected_by: str,
         replica_args: Optional[list] = None,
         kind: str = "mismatch",
+        replica: Optional[int] = None,
     ):
         self.time_ns = time_ns
         self.vtid = vtid
@@ -32,6 +33,10 @@ class DivergenceReport:
         #: stopped participating). Only non-mismatch kinds may be
         #: classified benign and absorbed by quarantining.
         self.kind = kind
+        #: Index of the replica whose behaviour deviated from the
+        #: reference, when the detector could attribute it (None when
+        #: only a quorum-level disagreement is known).
+        self.replica = replica
 
     def __repr__(self):
         return "DivergenceReport(t=%d, vtid=%d, %s via %s: %s)" % (
@@ -61,10 +66,18 @@ class MveeResult:
         self.fault_events: List[DivergenceReport] = []
         #: Replica indexes quarantined during the run, in order.
         self.quarantined_replicas: List[int] = []
+        #: Flight-recorder postmortems (repro.obs), one per divergence
+        #: or quarantine; empty unless ObsConfig.flight_recorder is on.
+        self.postmortems: List = []
 
     @property
     def diverged(self) -> bool:
         return self.divergence is not None
+
+    @property
+    def postmortem(self):
+        """The first postmortem, or None."""
+        return self.postmortems[0] if self.postmortems else None
 
     def syscall_total(self) -> int:
         return self.monitored_calls + self.unmonitored_calls

@@ -271,11 +271,25 @@ class LockstepContext:
         # shares the monitor's waitpid loop and kernel-side tracing
         # locks, which is a large part of why CP monitoring scales so
         # poorly with syscall density.
+        obs = ghumvee.obs
+        lock_wait_from = ghumvee.kernel.sim.now
         yield from ghumvee.monitor_lock.acquire()
+        span = None
+        if obs is not None:
+            obs.registry.histogram("rendezvous_wait_ns").observe(
+                ghumvee.kernel.sim.now - lock_wait_from
+            )
+            if obs.tracer.enabled:
+                span = obs.tracer.begin(
+                    "ghumvee", "rendezvous", syscall=name, vtid=self.vtid,
+                    replicas=len(stops),
+                )
         try:
             yield from self._rendezvous_locked(stops)
         finally:
             ghumvee.monitor_lock.release()
+            if span is not None:
+                span.finish()
 
     def _rendezvous_locked(self, stops):
         ghumvee = self.ghumvee
@@ -288,8 +302,19 @@ class LockstepContext:
         spaces = [stop.thread.process.space for stop in stops]
         n = len(stops)
 
-        # ptrace entry stops + monitor dispatch.
-        yield Sleep(n * costs.ptrace_roundtrip_ns() + costs.monitor_dispatch_ns, cpu=True)
+        # ptrace entry stops + monitor dispatch (+ obs instruments when on).
+        yield Sleep(
+            n * costs.ptrace_roundtrip_ns()
+            + costs.monitor_dispatch_ns
+            + ghumvee._obs_ns,
+            cpu=True,
+        )
+        obs = ghumvee.obs
+        if obs is not None and obs.recorder is not None:
+            now = ghumvee.kernel.sim.now
+            for index, stop in sorted(self.entry_stops.items()):
+                obs.recorder.record(index, now, "rendezvous",
+                                    stop.req.name, vtid=self.vtid)
 
         # Cross-check arguments (deep copies via process_vm_readv).
         mismatch, nbytes = compare_requests(list(zip(reqs, spaces)))
@@ -307,6 +332,7 @@ class LockstepContext:
                     mismatch.detail,
                     detected_by="ghumvee",
                     replica_args=[r.args for r in reqs],
+                    replica=mismatch.replica,
                 )
             )
             return
@@ -828,6 +854,10 @@ class Ghumvee:
         self.group_exiting = False
         self.monitor_lock = AsyncLock(self.kernel.sim, "monitor")
         self.clone_lock = AsyncLock(self.kernel.sim, "clone")
+        self.obs = remon.obs
+        # Deterministic virtual cost obs instruments add per rendezvous;
+        # zero unless spans / the flight recorder are enabled.
+        self._obs_ns = self.obs.dispatch_cost_ns if self.obs is not None else 0
         #: How long a partially-filled rendezvous may wait before the
         #: monitor declares the replicas' syscall sequences diverged.
         self.lockstep_timeout_ns = 1_000_000_000

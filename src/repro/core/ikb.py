@@ -101,7 +101,15 @@ class InKernelBroker:
             self._outstanding[thread.tid] = (token, req.name)
         self.stats["tokens_issued"] += 1
         self.stats["forwarded_to_ipmon"] += 1
-        yield Sleep(costs.ikb_forward_ns, cpu=True)
+        obs = getattr(self.kernel, "obs", None)
+        if obs is not None and obs.tracer.enabled:
+            obs.tracer.instant(
+                "ikb", "route-ipmon", syscall=req.name, vtid=thread.vtid,
+                replica=getattr(thread.process, "replica_index", None),
+            )
+            yield Sleep(costs.ikb_forward_ns + obs.span_cost_ns, cpu=True)
+        else:
+            yield Sleep(costs.ikb_forward_ns, cpu=True)
         # Overwrite the "program counter": re-enter userspace at IP-MON's
         # syscall entry point, with the token and RB pointer in reserved
         # registers (modelled as call arguments that never touch guest
@@ -177,6 +185,12 @@ class InKernelBroker:
         """Coroutine: revoke any token and hand the call to GHUMVEE."""
         self.revoke_token(thread)
         self.stats["forwarded_to_monitor"] += 1
+        obs = getattr(self.kernel, "obs", None)
+        if obs is not None and obs.tracer.enabled:
+            obs.tracer.instant(
+                "ikb", "route-monitor", syscall=req.name, vtid=thread.vtid,
+                replica=getattr(thread.process, "replica_index", None),
+            )
         clean = req.replace(site="app", token=None)
         result = yield from self.kernel.traced_invoke(thread, clean)
         return result

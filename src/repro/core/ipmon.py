@@ -84,6 +84,8 @@ class IpMonGroup:
             "rb_backoff_retries": 0,
             "token_reissues": 0,
         }
+        self.obs = remon.obs
+        self._obs_ns = self.obs.dispatch_cost_ns if self.obs is not None else 0
 
     def signals_pending(self) -> bool:
         return self.rb.region.data[SIGNALS_PENDING_OFFSET] != 0
@@ -247,7 +249,13 @@ class IpmonReplica:
     def entry(self, thread, req: SyscallRequest, token: int, rb_base: int):
         costs = self.kernel.config.costs
         group = self.group
-        yield Sleep(costs.ipmon_entry_ns, cpu=True)
+        yield Sleep(costs.ipmon_entry_ns + group._obs_ns, cpu=True)
+        obs = group.obs
+        if obs is not None and obs.tracer.enabled:
+            obs.tracer.instant(
+                "ipmon", "entry", syscall=req.name, vtid=thread.vtid,
+                replica=self.replica_index, master=self.is_master,
+            )
         handler = group.handlers.get(req.name)
         broker = self.kernel.ikb
         if handler is None:
@@ -362,6 +370,8 @@ class IpmonReplica:
         backoff = policy.rb_backoff_initial_ns if policy is not None else 0
         waited = 0
         last_progress = min(lane.consumed.values()) if lane.consumed else 0
+        obs = group.obs
+        room_wait_from = self.kernel.sim.now
         while not lane.has_room(record_bytes):
             if lane.slaves_caught_up():
                 yield Sleep(costs.rb_overflow_sync_ns, cpu=False)
@@ -395,6 +405,15 @@ class IpmonReplica:
                         min(lane.consumed.values()) if lane.consumed else 0
                     )
 
+        if obs is not None:
+            obs.registry.histogram("ipmon_rb_wait_ns").observe(
+                self.kernel.sim.now - room_wait_from
+            )
+            if obs.tracer.enabled:
+                obs.tracer.instant(
+                    "ipmon", "rb-publish", syscall=req.name,
+                    vtid=thread.vtid, nbytes=record_bytes,
+                )
         record = lane.reserve(record_bytes)
         group.rb.total_records += 1
 

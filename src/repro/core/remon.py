@@ -17,6 +17,7 @@ from repro.diversity.aslr import make_layouts
 from repro.errors import MonitorError
 from repro.guest.program import Program
 from repro.guest.runtime import GuestRuntime
+from repro.obs import Obs
 
 
 class ReplicaGroup:
@@ -80,6 +81,10 @@ class ReMonConfig:
     #: simulated nodes; use :func:`repro.dist.run_distributed` or
     #: :class:`repro.dist.DistMvee` to drive such a config.
     dist: Optional[object] = None
+    #: Observability (repro.obs). None = metrics-only defaults: the
+    #: registry still serves RunResult.stats, but spans and the flight
+    #: recorder stay off and add zero virtual time.
+    obs: Optional[object] = None
     seed: int = 0
 
     def policy(self) -> RelaxationPolicy:
@@ -123,6 +128,7 @@ class ReMon:
         self._runtimes: List[GuestRuntime] = []
         self._started = False
         self.master_exit_ns: Optional[int] = None
+        self.obs = Obs.create(self.config.obs, kernel.sim)
         self._build()
 
     # ------------------------------------------------------------------
@@ -130,6 +136,9 @@ class ReMon:
     # ------------------------------------------------------------------
     def _build(self) -> None:
         kernel = self.kernel
+        kernel.attach_obs(self.obs)
+        if self.obs.tracer.enabled and kernel.sim.trace_sink is None:
+            kernel.sim.trace_sink = self.obs.tracer
         self.program.install_files(kernel)
         pressure = kernel.config.costs.memory_pressure_per_replica
         sensitivity = getattr(self.program, "cache_sensitivity", 1.0)
@@ -271,36 +280,75 @@ class ReMon:
             result.unmonitored_calls = self.ipmon.stats["unmonitored_calls"]
             result.rb_resets = self.ipmon.stats["rb_resets"]
         result.deferred_signals = self.ghumvee.stats["signals_deferred"]
-        result.stats = dict(self.ghumvee.stats)
-        result.stats.update(("broker_" + k, v) for k, v in self.broker.stats.items())
+        # All component stats flow through the obs registry adapter; the
+        # view it renders is byte-identical to the old hand-prefixed
+        # merge (ingest is idempotent, so finalize may run twice).
+        registry = self.obs.registry
+        registry.ingest("", self.ghumvee.stats, source="ghumvee")
+        registry.ingest("broker_", self.broker.stats, source="broker")
         if self.ipmon is not None:
-            result.stats.update(("ipmon_" + k, v) for k, v in self.ipmon.stats.items())
+            registry.ingest("ipmon_", self.ipmon.stats, source="ipmon")
         if self.rr_agent is not None:
-            result.stats.update(("rr_" + k, v) for k, v in self.rr_agent.stats.items())
+            registry.ingest("rr_", self.rr_agent.stats, source="rr")
         injector = getattr(self.kernel, "fault_injector", None)
-        result.stats["faults_injected"] = (
-            injector.total_injected if injector is not None else 0
+        registry.expose(
+            "faults_injected",
+            injector.total_injected if injector is not None else 0,
         )
-        result.stats["replicas_quarantined"] = self.degradation_stats[
-            "replicas_quarantined"
-        ]
-        result.stats["master_promotions"] = self.degradation_stats[
-            "master_promotions"
-        ]
-        result.stats["rb_backoff_retries"] = (
+        registry.expose(
+            "replicas_quarantined",
+            self.degradation_stats["replicas_quarantined"],
+        )
+        registry.expose(
+            "master_promotions", self.degradation_stats["master_promotions"]
+        )
+        registry.expose(
+            "rb_backoff_retries",
             self.ipmon.stats.get("rb_backoff_retries", 0)
             if self.ipmon is not None
-            else 0
+            else 0,
         )
+        result.stats = registry.stats_view()
+        self.obs.export_files(result.postmortems)
         return result
 
     # ------------------------------------------------------------------
     # Events
     # ------------------------------------------------------------------
+    def _record_postmortem(self, reason: str, report: DivergenceReport) -> None:
+        """Snapshot the flight recorder (if enabled) into the result."""
+        ipmon = self.ipmon
+        postmortem = self.obs.emit_postmortem(
+            reason,
+            report,
+            attribution={
+                "vtid": report.vtid,
+                "replica": report.replica,
+                "master_index": self.group.master_index,
+                "quarantined": list(self.result.quarantined_replicas),
+            },
+            backoff={
+                "rendezvous_backoff_retries": self.ghumvee.stats[
+                    "rendezvous_backoff_retries"
+                ],
+                "rb_backoff_retries": (
+                    ipmon.stats.get("rb_backoff_retries", 0)
+                    if ipmon is not None
+                    else 0
+                ),
+                "rb_resets": (
+                    ipmon.stats.get("rb_resets", 0) if ipmon is not None else 0
+                ),
+            },
+        )
+        if postmortem is not None:
+            self.result.postmortems.append(postmortem)
+
     def divergence(self, report: DivergenceReport) -> None:
         if self.shutting_down or self.result.divergence is not None:
             return
         self.result.divergence = report
+        self._record_postmortem("divergence", report)
         if self.group.all_exited():
             # Nothing left to kill, and the simulator clock may already
             # have stopped advancing — scheduling a delayed shutdown
@@ -327,6 +375,8 @@ class ReMon:
             "slave argument record differs from master's (%d vs %d bytes)"
             % (len(own_blob), len(master_blob)),
             detected_by="ipmon",
+            replica_args=[master_blob, own_blob],
+            replica=getattr(thread.process, "replica_index", None),
         )
         self.divergence(report)
 
@@ -402,8 +452,11 @@ class ReMon:
             return
         process.quarantined = True
         self.result.fault_events.append(report)
+        if report.replica is None:
+            report.replica = index
         self.result.quarantined_replicas.append(index)
         self.degradation_stats["replicas_quarantined"] += 1
+        self._record_postmortem("quarantine", report)
         # Promotion must precede termination: fd migration reads the
         # dying master's still-intact descriptor table.
         if was_master:

@@ -81,6 +81,13 @@ class CostModel:
     dist_compress_ns_per_byte: float = 0.12  # RLE scan/emit over raw bytes
     dist_decompress_ns_per_byte: float = 0.05  # expand on adoption
 
+    # -- observability (repro.obs) ------------------------------------------
+    # Charged only while the corresponding instrument is enabled; with
+    # obs at defaults both are folded in as zero, so metrics-only runs
+    # keep wall times byte-identical to obs-free ones.
+    obs_span_ns: int = 60  # span begin/finish pair: clock reads + buffer append
+    obs_event_ns: int = 40  # flight-recorder ring append
+
     # -- memory-system interference (replicas share caches/DRAM) -----------
     # Per extra replica beyond the first, compute segments are slowed by
     # this fraction (cache and memory-bandwidth pressure; the paper's

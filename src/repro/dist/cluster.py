@@ -27,6 +27,7 @@ from repro.core.epoll_map import EpollShadowMap
 from repro.core.events import DivergenceReport, MveeResult
 from repro.core.handlers import build_handler_table
 from repro.core.remon import ReMonConfig, ReplicaGroup
+from repro.obs import Obs
 from repro.dist.node import DistInterceptor, Node, ReplicaView
 from repro.dist.selective import SelectiveReplication, selective_replication
 from repro.dist.transport import CODECS, Transport
@@ -120,6 +121,9 @@ class DistConfig:
     #: RB mirror payload codec: None (raw), "rle", or "dict" (RLE plus a
     #: per-channel dictionary over repeated reads). See repro.dist.codec.
     compress: Optional[str] = None
+    #: Observability (repro.obs.ObsConfig). None falls back to
+    #: ``ReMonConfig.obs``, then to metrics-only defaults.
+    obs: Optional[object] = None
 
 
 class _RendezvousState:
@@ -242,6 +246,11 @@ class DistMonitor:
         done = start + self.mvee._costs().dist_monitor_round_ns
         self._busy_until[owner] = done
         self.stats["monitor_wait_ns"] += start - sim.now
+        obs = self.mvee.obs
+        if obs is not None:
+            obs.registry.histogram("dist_monitor_wait_ns").observe(
+                start - sim.now
+            )
         self.rounds_by_owner[owner] = self.rounds_by_owner.get(owner, 0) + 1
         sim.call_at(done, self._complete, vtid, seq)
 
@@ -393,6 +402,13 @@ class DistMvee:
             "master_promotions": 0,
         }
         self.sim = Simulator(cores=dconfig.node_cores * self.n)
+        self.obs = Obs.create(
+            dconfig.obs if dconfig.obs is not None
+            else getattr(self.config, "obs", None),
+            self.sim,
+        )
+        if self.obs.tracer.enabled and self.sim.trace_sink is None:
+            self.sim.trace_sink = self.obs.tracer
         self.network = Network(
             latency_ns=dconfig.link_latency_ns,
             bandwidth_bps=dconfig.link_bandwidth_bps,
@@ -429,6 +445,7 @@ class DistMvee:
                 config=KernelConfig(cores=dconfig.node_cores),
                 network=self.network,
             )
+            kernel.attach_obs(self.obs)
             self.program.install_files(kernel)
             process = kernel.create_process(
                 "%s.n%d" % (self.program.name, index),
@@ -458,6 +475,7 @@ class DistMvee:
             flush_interval_ns=dconfig.flush_interval_ns,
             codec=dconfig.compress,
         )
+        self.transport.obs = self.obs
         self.transport.dispatch = self._dispatch
 
     def attach_faults(self, injector) -> object:
@@ -612,41 +630,73 @@ class DistMvee:
             + self.stats["replicated_calls"]
             + self.stats["adopted_results"]
         )
-        stats = dict(("dist_" + k, v) for k, v in self.stats.items())
-        stats["dist_nodes"] = self.n
-        stats.update(("dist_" + k, v) for k, v in self.monitor.stats.items())
-        stats["dist_messages"] = self.transport.stats["messages_sent"]
-        stats["dist_wire_bytes"] = self.transport.stats["wire_bytes"]
-        stats["dist_frames"] = self.transport.stats["frames_sent"]
-        stats["dist_frame_bytes"] = self.transport.stats["frame_bytes"]
-        stats["dist_wire_errors"] = self.transport.stats["wire_errors"]
+        # Stats assembly goes through the obs registry adapter: the two
+        # live component dicts are ingested under the dist_ prefix, the
+        # derived scalars are exposed, and the rendered view is
+        # byte-identical to the old hand-built dict.
+        registry = self.obs.registry
+        registry.ingest("dist_", self.stats, source="mvee")
+        registry.ingest("dist_", self.monitor.stats, source="monitor")
+        registry.expose("dist_nodes", self.n)
+        registry.expose("dist_messages", self.transport.stats["messages_sent"])
+        registry.expose("dist_wire_bytes", self.transport.stats["wire_bytes"])
+        registry.expose("dist_frames", self.transport.stats["frames_sent"])
+        registry.expose("dist_frame_bytes", self.transport.stats["frame_bytes"])
+        registry.expose("dist_wire_errors", self.transport.stats["wire_errors"])
         for key in ("flushes_size", "flushes_timer", "flushes_urgent",
                     "payload_raw_bytes", "payload_coded_bytes",
                     "codec_raw", "codec_rle", "codec_dict"):
-            stats["dist_" + key] = self.transport.stats[key]
+            registry.expose("dist_" + key, self.transport.stats[key])
         # Owners that actually serviced rounds (shard_owners() shrinks to
         # the leader once every node has exited cleanly, so it is not a
         # faithful after-the-fact count).
-        stats["dist_shards"] = len(self.monitor.rounds_by_owner) or 1
+        registry.expose("dist_shards", len(self.monitor.rounds_by_owner) or 1)
         for owner, count in sorted(self.monitor.rounds_by_owner.items()):
-            stats["dist_rounds_owner_%d" % owner] = count
-        stats["dist_rounds_owner_max"] = max(
-            self.monitor.rounds_by_owner.values(), default=0
+            registry.expose("dist_rounds_owner_%d" % owner, count)
+        registry.expose(
+            "dist_rounds_owner_max",
+            max(self.monitor.rounds_by_owner.values(), default=0),
         )
         for cls, nbytes in sorted(self.transport.bytes_by_class.items()):
-            stats["dist_bytes_" + cls] = nbytes
+            registry.expose("dist_bytes_" + cls, nbytes)
         for cls, count in sorted(self.transport.frames_by_class.items()):
-            stats["dist_frames_" + cls] = count
-        stats["replicas_quarantined"] = self.degradation_stats[
-            "replicas_quarantined"
-        ]
-        stats["master_promotions"] = self.degradation_stats["master_promotions"]
-        injector = getattr(self.nodes[0].kernel, "fault_injector", None)
-        stats["faults_injected"] = (
-            injector.total_injected if injector is not None else 0
+            registry.expose("dist_frames_" + cls, count)
+        registry.expose(
+            "replicas_quarantined",
+            self.degradation_stats["replicas_quarantined"],
         )
-        result.stats = stats
+        registry.expose(
+            "master_promotions", self.degradation_stats["master_promotions"]
+        )
+        injector = getattr(self.nodes[0].kernel, "fault_injector", None)
+        registry.expose(
+            "faults_injected",
+            injector.total_injected if injector is not None else 0,
+        )
+        result.stats = registry.stats_view()
+        self.obs.export_files(result.postmortems)
         return result
+
+    def _record_postmortem(self, reason: str, report: DivergenceReport) -> None:
+        """Snapshot the flight recorder (if enabled) into the result."""
+        postmortem = self.obs.emit_postmortem(
+            reason,
+            report,
+            attribution={
+                "vtid": report.vtid,
+                "replica": report.replica,
+                "leader_index": self.leader_index,
+                "quarantined": list(self.result.quarantined_replicas),
+                "shard_owners": sorted(self.monitor.rounds_by_owner),
+            },
+            backoff={
+                "backoff_retries": self.stats["backoff_retries"],
+                "stall_reports": self.stats["stall_reports"],
+                "rounds_by_owner": dict(self.monitor.rounds_by_owner),
+            },
+        )
+        if postmortem is not None:
+            self.result.postmortems.append(postmortem)
 
     # ------------------------------------------------------------------
     # Events
@@ -655,6 +705,7 @@ class DistMvee:
         if self.shutting_down or self.result.divergence is not None:
             return
         self.result.divergence = report
+        self._record_postmortem("divergence", report)
         if self.group.all_exited():
             if not self.result.shutdown_reason:
                 self.result.shutdown_reason = "divergence: %s" % report.detail
@@ -786,6 +837,9 @@ class DistMvee:
         process.quarantined = True
         self.result.fault_events.append(report)
         self.result.quarantined_replicas.append(index)
+        if report.replica is None:
+            report.replica = index
+        self._record_postmortem("quarantine", report)
         self.degradation_stats["replicas_quarantined"] += 1
         if was_leader:
             self._promote_leader(index)

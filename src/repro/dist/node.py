@@ -331,6 +331,17 @@ class DistInterceptor:
         # Digests go straight to the round's owning shard (the leader,
         # unless DistConfig.shard_rendezvous spreads ownership).
         owner = mvee.shard_owner(vtid, seq)
+        obs = mvee.obs
+        span = None
+        wait_from = mvee.sim.now
+        if obs.recorder is not None:
+            obs.recorder.record(node.index, wait_from, "rendezvous",
+                                req.name, vtid=vtid, seq=seq, owner=owner)
+        if obs.tracer.enabled:
+            span = obs.tracer.begin(
+                "dist", "rendezvous", syscall=req.name, vtid=vtid,
+                seq=seq, node=node.index, owner=owner,
+            )
         route_ns = (
             costs.dist_shard_route_ns if mvee.dconfig.shard_rendezvous else 0
         )
@@ -349,10 +360,16 @@ class DistInterceptor:
             )
             mvee.stats["round_trips"] += 1
         verdict = yield from self._await_verdict(thread, req, vtid, seq, digest)
+        obs.registry.histogram("dist_rendezvous_wait_ns").observe(
+            mvee.sim.now - wait_from
+        )
+        if span is not None:
+            span.finish(verdict=verdict)
         if verdict != 1:
             result = yield from mvee.park(thread)
             return result
-        yield Sleep(costs.dist_rendezvous_service_ns, cpu=True)
+        yield Sleep(costs.dist_rendezvous_service_ns + obs.dispatch_cost_ns,
+                    cpu=True)
         result = yield from node.kernel.invoke(thread, req)
         return result
 

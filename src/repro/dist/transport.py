@@ -111,6 +111,9 @@ class Transport:
         }
         self.bytes_by_class: Dict[str, int] = {}
         self.frames_by_class: Dict[str, int] = {}
+        #: Optional repro.obs.Obs hub, installed by the cluster; used
+        #: only for span-tracing flush/codec decisions when enabled.
+        self.obs = None
 
     def _channel(self, src: int, dst: int) -> Channel:
         channel = self._channels.get((src, dst))
@@ -148,6 +151,11 @@ class Transport:
         self.stats["payload_raw_bytes"] += raw_len
         self.stats["payload_coded_bytes"] += len(coded)
         self.stats["codec_" + TAG_NAMES[coded[0]]] += 1
+        if self.obs is not None and self.obs.tracer.enabled:
+            self.obs.tracer.instant(
+                "transport", "codec", src=channel.src, dst=channel.dst,
+                tag=TAG_NAMES[coded[0]], raw=raw_len, coded=len(coded),
+            )
         return Frame(
             frame.type, frame.sender, frame.vtid, frame.seq,
             aux=frame.aux, flags=frame.flags | F_CODED, payload=coded,
@@ -230,6 +238,11 @@ class Transport:
         )
         self.stats["messages_sent"] += 1
         self.stats["wire_bytes"] += len(data)
+        if self.obs is not None and self.obs.tracer.enabled:
+            self.obs.tracer.instant(
+                "transport", "flush", src=channel.src, dst=channel.dst,
+                nbytes=len(data), frames=len(frames),
+            )
         src_addr = self.addresses[channel.src]
         dst_addr = self.addresses[channel.dst]
         dst = channel.dst

@@ -161,6 +161,7 @@ class FaultInjector:
         self.plan = plan or FaultPlan()
         self.kernel = None
         self.mvee = None
+        self.obs = None
         self.stats: Dict[str, int] = {
             "crashes": 0,
             "stalls": 0,
@@ -224,6 +225,19 @@ class FaultInjector:
     def bind_mvee(self, mvee) -> None:
         """Called by ReMon._build: gives the injector replica/RB access."""
         self.mvee = mvee
+        self.obs = getattr(mvee, "obs", None)
+
+    def _obs_fault(self, kind: str, replica: Optional[int] = None) -> None:
+        """Mirror one injected fault into the obs registry (and the
+        flight recorder ring, so postmortem tails show the injection)."""
+        obs = self.obs
+        if obs is None:
+            return
+        obs.registry.counter("faults_injected_total").inc()
+        obs.registry.counter("faults_" + kind).inc()
+        if obs.recorder is not None and replica is not None:
+            now = self.kernel.sim.now if self.kernel is not None else 0
+            obs.recorder.record(replica, now, "fault", kind)
 
     def _replica_process(self, index: int):
         if self.mvee is not None:
@@ -246,6 +260,7 @@ class FaultInjector:
             self.stats["skipped"] += 1
             return
         self.stats["crashes"] += 1
+        self._obs_fault("crash", fault.replica)
         self.kernel.terminate_process(process, 128 + fault.signo, signo=fault.signo)
 
     def _fire_stall(self, fault: StallFault) -> None:
@@ -277,6 +292,7 @@ class FaultInjector:
         pos = record.offset + HEADER_SIZE
         region.data[pos] = (region.data[pos] ^ fault.flip_mask) & 0xFF
         self.stats["rb_corruptions"] += 1
+        self._obs_fault("rb_corruption")
 
     def _find_pending_record(self, fault: RBCorruptionFault):
         mvee = self.mvee
@@ -314,6 +330,7 @@ class FaultInjector:
         if pending:
             duration = pending.pop(0)
             self.stats["stalls"] += 1
+            self._obs_fault("stall", index)
             return ("stall", duration)
         faults = self._count_faults.get(index)
         if not faults:
@@ -323,11 +340,13 @@ class FaultInjector:
                 faults.remove(fault)
                 if isinstance(fault, CrashFault):
                     self.stats["crashes"] += 1
+                    self._obs_fault("crash", index)
                     self.kernel.terminate_process(
                         thread.process, 128 + fault.signo, signo=fault.signo
                     )
                     return ("crash", fault.signo)
                 self.stats["stalls"] += 1
+                self._obs_fault("stall", index)
                 return ("stall", fault.duration_ns)
         return None
 
@@ -350,6 +369,7 @@ class FaultInjector:
                 continue
             state[2] = left - 1
             self.stats["errors"] += 1
+            self._obs_fault("error", index)
             return fault.errno
         return None
 
@@ -372,5 +392,6 @@ class FaultInjector:
                 continue
             state[2] = left - 1
             self.stats["tokens_lost"] += 1
+            self._obs_fault("token_loss", index)
             return True
         return False

@@ -79,6 +79,25 @@ class Kernel:
         self.fault_injector = None
         self.syscall_counter = 0
         self.syscall_counts_by_name: Dict[str, int] = {}
+        #: Optional repro.obs.Obs hub (attach_obs); instrumentation in
+        #: syscall_path is skipped entirely while this is None or the
+        #: hub has no virtual-cost-bearing instrument enabled.
+        self.obs = None
+        self._obs_dispatch_ns = 0
+        self._obs_syscall_hist = None
+
+    def attach_obs(self, obs) -> None:
+        """Wire a repro.obs hub into syscall dispatch."""
+        self.obs = obs
+        if obs is None:
+            self._obs_dispatch_ns = 0
+            self._obs_syscall_hist = None
+            return
+        obs.bind_costs(self.config.costs)
+        self._obs_dispatch_ns = obs.dispatch_cost_ns
+        self._obs_syscall_hist = (
+            obs.registry.histogram("kernel_syscall_ns") if obs.active else None
+        )
 
     # ------------------------------------------------------------------
     # Process management
@@ -153,8 +172,23 @@ class Kernel:
             self.syscall_counts_by_name.get(req.name, 0) + 1
         )
         thread.current_syscall = req
+        obs = self.obs
+        span = None
+        dispatch_start = 0
+        if obs is not None and obs.active:
+            dispatch_start = self.sim.now
+            replica = getattr(thread.process, "replica_index", None)
+            if obs.recorder is not None and replica is not None:
+                obs.recorder.record(replica, dispatch_start, "syscall",
+                                    req.name, vtid=thread.vtid)
+            if obs.tracer.enabled:
+                span = obs.tracer.begin("kernel", "syscall", syscall=req.name,
+                                        vtid=thread.vtid, replica=replica)
         try:
-            yield Sleep(self.config.costs.syscall_base_ns, cpu=True)
+            yield Sleep(
+                self.config.costs.syscall_base_ns + self._obs_dispatch_ns,
+                cpu=True,
+            )
             injector = self.fault_injector
             if injector is not None:
                 action = injector.on_syscall_entry(thread, req)
@@ -175,6 +209,10 @@ class Kernel:
             return result
         finally:
             thread.current_syscall = None
+            if span is not None:
+                span.finish()
+            if self._obs_syscall_hist is not None:
+                self._obs_syscall_hist.observe(self.sim.now - dispatch_start)
 
     def traced_invoke(self, thread: Thread, req: SyscallRequest):
         """Invoke with ptrace interposition if the thread is traced."""

@@ -1,0 +1,48 @@
+"""repro.obs — observability for the MVEE reproduction (DESIGN.md §9).
+
+Three instruments behind one hub:
+
+* :class:`MetricsRegistry` — counters, gauges, mergeable fixed-bucket
+  histograms on virtual nanoseconds, plus a compatibility adapter that
+  serves the legacy ``RunResult.stats`` mapping from ingested component
+  stats dicts.
+* :class:`Tracer` — structured span/instant tracing on ``Simulator``
+  virtual time, zero-cost when disabled.
+* :class:`FlightRecorder` — bounded per-replica rings of recent
+  syscall/rendezvous events, dumped as a :class:`Postmortem` on
+  divergence or quarantine.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.export import (
+    write_postmortem,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from repro.obs.hub import Obs
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import FlightRecorder, Postmortem
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BOUNDS",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Obs",
+    "ObsConfig",
+    "Postmortem",
+    "Span",
+    "Tracer",
+    "write_postmortem",
+    "write_prometheus",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,28 @@
+"""File exporters: JSON-lines traces, postmortems, Prometheus text."""
+
+from __future__ import annotations
+
+import json
+
+
+def write_trace_jsonl(path: str, tracer) -> int:
+    """Write the tracer's buffered events as JSON lines; returns the
+    number of events written."""
+    with open(path, "w") as handle:
+        for event in tracer.events:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True,
+                                    default=repr))
+            handle.write("\n")
+    return len(tracer.events)
+
+
+def write_postmortem(path: str, postmortem) -> None:
+    with open(path, "w") as handle:
+        json.dump(postmortem.to_json(), handle, indent=2, sort_keys=True,
+                  default=repr)
+        handle.write("\n")
+
+
+def write_prometheus(path: str, registry, prefix: str = "repro_") -> None:
+    with open(path, "w") as handle:
+        handle.write(registry.to_prometheus(prefix=prefix))

@@ -13,7 +13,7 @@ given their seeds.
 """
 
 from repro.sim.effects import Effect, Event, Sleep, Spawn, WaitEvent
-from repro.sim.simulator import Simulator, Task
+from repro.sim.simulator import Simulator, Task, TraceEvent
 
 __all__ = [
     "Effect",
@@ -22,5 +22,6 @@ __all__ = [
     "Sleep",
     "Spawn",
     "Task",
+    "TraceEvent",
     "WaitEvent",
 ]

@@ -21,6 +21,68 @@ from repro.sim.effects import Effect, Event, Sleep, Spawn, WaitEvent
 _TIMED_OUT = object()
 
 
+class TraceEvent:
+    """One structured trace record on the virtual clock.
+
+    Events come in two kinds: ``"instant"`` (a point in time) and
+    ``"span"`` (a completed interval, ``dur_ns`` set by the emitter).
+    ``component``/``name`` identify the choke point (for example
+    ``("ghumvee", "rendezvous")``); free-form context rides in ``attrs``.
+    """
+
+    __slots__ = ("time_ns", "kind", "component", "name", "dur_ns", "attrs",
+                 "_message")
+
+    def __init__(self, time_ns, kind, component, name, dur_ns=0, attrs=None,
+                 message=None):
+        self.time_ns = time_ns
+        self.kind = kind
+        self.component = component
+        self.name = name
+        self.dur_ns = dur_ns
+        self.attrs = attrs or {}
+        self._message = message
+
+    def message(self) -> str:
+        """Human-readable rendering (what legacy callables receive)."""
+        if self._message is not None:
+            return self._message
+        parts = ["%s.%s" % (self.component, self.name)]
+        if self.kind == "span":
+            parts.append("dur=%dns" % self.dur_ns)
+        parts.extend("%s=%r" % kv for kv in sorted(self.attrs.items()))
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        out = {
+            "t": self.time_ns,
+            "kind": self.kind,
+            "component": self.component,
+            "name": self.name,
+        }
+        if self.kind == "span":
+            out["dur_ns"] = self.dur_ns
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+    def __repr__(self):
+        return "TraceEvent(%d, %s, %s)" % (self.time_ns, self.kind,
+                                           self.message())
+
+
+class _LegacyTraceAdapter:
+    """Wraps an old-style ``(time_ns, message)`` callable as an event sink."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def emit(self, event: TraceEvent) -> None:
+        self.fn(event.time_ns, event.message())
+
+
 class Task:
     """A running coroutine plus its bookkeeping.
 
@@ -69,8 +131,11 @@ class Simulator:
             sleeps (``Sleep(ns, cpu=True)``) are stretched when more of
             them are active than there are cores, which is how the model
             accounts for replicas competing for the machine.
-        trace: optional callable receiving ``(time_ns, message)`` for
-            debug tracing.
+        trace: optional event sink for debug tracing. Either an object
+            with an ``emit(event: TraceEvent)`` method (the typed form,
+            e.g. ``repro.obs.Tracer``) or a legacy
+            ``(time_ns, message)`` callable, which is wrapped in an
+            adapter that renders each event to a string.
     """
 
     def __init__(self, cores: int = 16, trace: Optional[Callable] = None):
@@ -79,6 +144,12 @@ class Simulator:
         self.cores = cores
         self.now = 0
         self.trace = trace
+        if trace is None:
+            self.trace_sink = None
+        elif hasattr(trace, "emit"):
+            self.trace_sink = trace
+        else:
+            self.trace_sink = _LegacyTraceAdapter(trace)
         self._queue: list = []
         self._seq = 0
         self._cpu_active = 0
@@ -186,8 +257,12 @@ class Simulator:
         task.failure = failure
         self._live_tasks -= 1
         self.fire(task.done_event, result)
-        if failure is not None and self.trace:
-            self.trace(self.now, "task %s failed: %r" % (task.name, failure))
+        if failure is not None and self.trace_sink is not None:
+            self.trace_sink.emit(TraceEvent(
+                self.now, "instant", "sim", "task-failed",
+                attrs={"task": task.name, "failure": repr(failure)},
+                message="task %s failed: %r" % (task.name, failure),
+            ))
 
     def _dispatch(self, task: Task, item: Effect) -> None:
         if isinstance(item, Sleep):
