@@ -1,7 +1,7 @@
 """Distributed-MVEE benches: the dMVX selective-replication claim, batch
-coalescing, cross-node relaxation, node-crash failover, and the fast
-path — sharded rendezvous + compressed RB mirrors (repro.dist,
-DESIGN.md §8).
+coalescing, cross-node relaxation, node-crash failover, the fast path —
+sharded rendezvous + compressed RB mirrors — and what an epoch handoff
+costs when a shard owner dies (repro.dist, DESIGN.md §8).
 
 Every sweep's rows are also written to ``BENCH_dist.json`` at the repo
 root (merged section by section, so partial runs keep earlier data):
@@ -184,6 +184,60 @@ def test_sharded_rendezvous_cuts_serialization(benchmark, report):
     assert by_shards[counts[-1]]["rounds_owner_max"] * 2 < base["rounds_owner_max"]
     # ...and the routing hop does not blow up wall time.
     assert by_shards[counts[-1]]["wall_time_ns"] <= 1.03 * base["wall_time_ns"]
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_shard_owner_recovery_cost(benchmark, report):
+    rows = dist.recovery_sweep()
+    _record("recovery", rows)
+    table = Table(
+        "Shard-owner recovery (4 nodes, 2 shards, min_quorum=2)",
+        ["latency", "scenario", "epoch", "lost", "resubmits", "transfers",
+         "handoff us", "overhead"],
+    )
+    for row in rows:
+        table.add("%d us" % (row["latency_ns"] // 1000), row["scenario"],
+                  row["epoch"], row["lost_rounds"], row["resubmits"],
+                  row["handoff_rounds"],
+                  "%.1f" % (row["handoff_cost_ns"] / 1000),
+                  "%.2fx" % row["overhead"])
+    report(table.render())
+
+    by_key = {(r["latency_ns"], r["scenario"]): r for r in rows}
+    latencies = sorted({r["latency_ns"] for r in rows})
+    for latency in latencies:
+        free = by_key[(latency, "fault-free")]
+        owner = by_key[(latency, "owner crash")]
+        follower = by_key[(latency, "follower crash")]
+        leader = by_key[(latency, "leader crash")]
+        # No membership change: the epoch never moves and no handoff
+        # machinery is billed (the stats keys do not even exist).
+        assert free["epoch"] == 0 and free["handoff_cost_ns"] == 0, latency
+        assert free["quarantined"] == 0, latency
+        # Killing a shard owner costs real recovery work: open rounds
+        # are lost and re-collected, each billed dist_handoff_ns.
+        assert owner["epoch"] == 1 and owner["handoff_cost_ns"] > 0, latency
+        assert owner["lost_rounds"] > 0, latency
+        assert owner["resubmits"] >= owner["lost_rounds"], latency
+        # Killing a non-owner follower bumps the epoch but moves no
+        # shard state: recovery is free.
+        assert follower["epoch"] == 1 and follower["handoff_cost_ns"] == 0, latency
+        assert follower["lost_rounds"] == 0 == follower["resubmits"], latency
+        # The leader is an owner too: promotion plus nonzero handoff.
+        assert leader["promotions"] == 1, latency
+        assert leader["handoff_cost_ns"] > 0, latency
+        assert leader["handoff_rounds"] + leader["lost_rounds"] > 0, latency
+
+    # The whole sweep is deterministic: a second pass at the first
+    # latency reproduces every recovery figure bit for bit.
+    again = {(r["latency_ns"], r["scenario"]): r
+             for r in dist.recovery_sweep(latencies_ns=(latencies[0],))}
+    for scenario in ("fault-free", "owner crash", "follower crash",
+                     "leader crash"):
+        assert again[(latencies[0], scenario)] == by_key[(latencies[0], scenario)]
 
     from repro.bench.harness import timed_exhibit_run
 

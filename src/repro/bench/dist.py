@@ -24,7 +24,7 @@ from repro.dist import (
     full_replication,
     selective_replication,
 )
-from repro.faults import CrashFault, FaultInjector, FaultPlan
+from repro.faults import CrashFault, FaultInjector, FaultPlan, ShardOwnerCrashFault
 from repro.workloads.synthetic import CategoryMix, SyntheticWorkload, build_program
 
 MAX_STEPS = 400_000_000
@@ -377,6 +377,71 @@ def fast_path_rows(latencies_ns: Optional[Tuple[int, ...]] = None,
 
 
 # ---------------------------------------------------------------------------
+# 8. Shard-owner recovery: what an epoch handoff costs
+# ---------------------------------------------------------------------------
+def recovery_sweep(latencies_ns: Optional[Tuple[int, ...]] = None,
+                   nodes: int = 4, threads: int = 8) -> List[Dict]:
+    """Crash cost under sharded rendezvous, by who dies.
+
+    A shard *owner* crash loses that shard's open rounds (waiting
+    threads re-collect them with ``T_ROUND_RESUBMIT``) and remaps its
+    key range; surviving remapped rounds ship as ``T_SHARD_HANDOFF``
+    state frames — every adopted/rebuilt round is billed
+    ``dist_handoff_ns`` on the new owner's serial timeline and the
+    transfer bytes land on the wire. Crashing a non-owner follower
+    bumps the epoch but moves no state (zero handoff cost); a leader
+    crash additionally pays promotion. The fault-free row keeps the
+    epoch at zero and must expose no handoff stats at all.
+    """
+    rate = 900_000.0
+    workload = SyntheticWorkload(
+        name="recovery",
+        native_ms=_ms(2.0),
+        mix=CategoryMix(
+            {"base": rate * 0.55, "file_ro": rate * 0.25, "mgmt": rate * 0.2}
+        ),
+        threads=threads,
+    )
+    native_ns = _native_ns(workload)
+    policy = DegradationPolicy(min_quorum=2)
+    scenarios = [
+        ("fault-free", None),
+        ("owner crash", FaultPlan([ShardOwnerCrashFault(at_ns=2_000_000)])),
+        ("follower crash",
+         FaultPlan([CrashFault(replica=nodes - 1, at_ns=2_000_000)])),
+        ("leader crash", FaultPlan([CrashFault(replica=0, at_ns=2_000_000)])),
+    ]
+    rows = []
+    for latency_ns in latencies_ns or sweep_latencies():
+        for name, plan in scenarios:
+            result = _run(
+                workload, nodes=nodes, level=Level.NO_IPMON,
+                latency_ns=latency_ns, shard=True, rendezvous_shards=2,
+                plan=plan, degradation=policy,
+            )
+            assert not result.diverged, result.divergence
+            stats = result.stats
+            rows.append(
+                {
+                    "latency_ns": latency_ns,
+                    "scenario": name,
+                    "epoch": stats.get("dist_epoch", 0),
+                    "handoff_rounds": stats.get("dist_handoff_rounds", 0),
+                    "lost_rounds": stats.get("dist_handoff_lost_rounds", 0),
+                    "resubmits": stats.get("dist_round_resubmits", 0),
+                    "handoff_cost_ns": stats.get("dist_handoff_cost_ns", 0),
+                    "bytes_handoff": stats.get("dist_bytes_handoff", 0),
+                    "stale_drops": stats.get("dist_stale_drops", 0),
+                    "quarantined": len(result.quarantined_replicas),
+                    "promotions": result.stats["master_promotions"],
+                    "wall_time_ns": result.wall_time_ns,
+                    "overhead": result.wall_time_ns / max(1, native_ns),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 def render_all() -> str:
     out = []
 
@@ -462,6 +527,18 @@ def render_all() -> str:
                   "%.1f" % (row["wire_bytes"] / 1024),
                   "%.1f" % (row["monitor_wait_ns"] / 1000),
                   row["rounds_owner_max"], "%.2fx" % row["overhead"])
+    out.append(table.render())
+
+    table = Table(
+        "Shard-owner recovery (4 nodes, 2 shards, min_quorum=2)",
+        ["latency", "scenario", "lost", "resubmits", "transfers",
+         "handoff us", "overhead"],
+    )
+    for row in recovery_sweep():
+        table.add("%d us" % (row["latency_ns"] // 1000), row["scenario"],
+                  row["lost_rounds"], row["resubmits"], row["handoff_rounds"],
+                  "%.1f" % (row["handoff_cost_ns"] / 1000),
+                  "%.2fx" % row["overhead"])
     out.append(table.render())
 
     return "\n\n".join(out)

@@ -77,6 +77,11 @@ class CostModel:
     # CPU per payload byte for wire bytes.
     dist_monitor_round_ns: int = 1400  # serialized per-round monitor work
     dist_shard_route_ns: int = 150  # owner hash + shard-hop routing tax
+    #: Per-round shard recovery work after a membership change: adopting
+    #: a transferred round (or rebuilding a lost one from resubmitted
+    #: digests) on the new owner's serial timeline. State-transfer bytes
+    #: are billed separately by the transport.
+    dist_handoff_ns: int = 2_500
     dist_compress_frame_ns: int = 140  # per-frame codec dispatch + dict probe
     dist_compress_ns_per_byte: float = 0.12  # RLE scan/emit over raw bytes
     dist_decompress_ns_per_byte: float = 0.05  # expand on adoption

@@ -8,7 +8,12 @@ simulated network. The design follows the distributed descendants of
 ReMon (dMVX, DMON): a leader node executes externally visible I/O and
 mirrors results to followers over an explicit wire format, most other
 calls run node-locally with lazy digest cross-checks, and monitored
-calls rendezvous in lockstep through a leader-hosted monitor.
+calls rendezvous in lockstep through per-owner monitor shards (the
+leader's alone by default; a rendezvous-hashed owner set under
+``DistConfig.shard_rendezvous``). Ownership is versioned by an epoch
+bumped on every quarantine, with an explicit, costed handoff protocol
+(``T_SHARD_HANDOFF`` / ``T_ROUND_RESUBMIT``) re-homing or re-collecting
+a dead owner's open rounds.
 
 Entry points::
 
@@ -37,10 +42,17 @@ from repro.dist.codec import (
     rle_encode,
 )
 from repro.dist.node import DistInterceptor, Node, NodeFdView, ReplicaView
+from repro.dist.shard import MonitorShard, RendezvousState, round_key
 from repro.dist.remote_rb import RBMirror, RemoteRecord
 from repro.dist.selective import (
+    CLS_CONTROL,
+    CLS_DIGEST,
+    CLS_HANDOFF,
+    CLS_RENDEZVOUS,
+    FRAME_CLASSES,
     LOCAL,
     REPLICATED,
+    frame_class,
     SelectiveReplication,
     full_replication,
     selective_replication,
@@ -56,6 +68,8 @@ from repro.dist.wire import (
     T_CONTROL,
     T_RENDEZVOUS_OK,
     T_RENDEZVOUS_REQ,
+    T_ROUND_RESUBMIT,
+    T_SHARD_HANDOFF,
     T_SYSCALL_RESULT,
     decode_batch,
     decode_frame,
@@ -69,6 +83,9 @@ __all__ = [
     "DistMvee",
     "run_distributed",
     "shard_owner",
+    "MonitorShard",
+    "RendezvousState",
+    "round_key",
     "PayloadDict",
     "TAG_DICT",
     "TAG_RAW",
@@ -83,6 +100,12 @@ __all__ = [
     "ReplicaView",
     "RBMirror",
     "RemoteRecord",
+    "CLS_CONTROL",
+    "CLS_DIGEST",
+    "CLS_HANDOFF",
+    "CLS_RENDEZVOUS",
+    "FRAME_CLASSES",
+    "frame_class",
     "LOCAL",
     "REPLICATED",
     "SelectiveReplication",
@@ -100,6 +123,8 @@ __all__ = [
     "T_CONTROL",
     "T_RENDEZVOUS_OK",
     "T_RENDEZVOUS_REQ",
+    "T_ROUND_RESUBMIT",
+    "T_SHARD_HANDOFF",
     "T_SYSCALL_RESULT",
     "decode_batch",
     "decode_frame",

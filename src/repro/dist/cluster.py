@@ -8,14 +8,21 @@ machines: each node owns a full kernel and filesystem image, all nodes
 share one discrete-event clock and one :class:`Network`, and monitor
 traffic rides the batched :class:`~repro.dist.transport.Transport`.
 
-The monitor state (:class:`DistMonitor`) is logically hosted on the
-leader node. We model it as one shared object whose *availability*
-tracks the leader: rendezvous rounds cannot complete while a crashed
-leader is undetected (its digest is still awaited), and complete only
-after the crash-detection timeout quarantines it and promotes a
-successor — at which point the monitor is "re-hosted" with its state
-intact. Real systems (DMON) rebuild this state from follower logs; the
-simplification is documented in DESIGN.md §8.
+Rendezvous state is held in per-owner :class:`~repro.dist.shard.
+MonitorShard` instances living on their owner nodes (the leader alone
+without sharding; a rendezvous-hashed owner set under
+``DistConfig.shard_rendezvous``), coordinated by :class:`DistMonitor`.
+Ownership is versioned by an **epoch** bumped on every quarantine:
+rendezvous frames carry the epoch they were sent under, stale frames
+addressed to a shard that no longer hosts their round are rejected,
+and an owner crash triggers an explicit handoff — surviving rounds
+that remap are shipped to their new owner (``T_SHARD_HANDOFF``), the
+dead shard's open rounds are lost and re-collected from the surviving
+participants (``T_ROUND_RESUBMIT``) — all charged through the cost
+model so recovery latency is measurable (DESIGN.md §8). A *clean*
+exit changes membership without an epoch bump: rounds stay on their
+hosting shard and nothing is re-sent, which keeps fault-free stats
+byte-identical to the pre-shard monitor.
 """
 
 from __future__ import annotations
@@ -29,7 +36,18 @@ from repro.core.handlers import build_handler_table
 from repro.core.remon import ReMonConfig, ReplicaGroup
 from repro.obs import Obs
 from repro.dist.node import DistInterceptor, Node, ReplicaView
-from repro.dist.selective import SelectiveReplication, selective_replication
+from repro.dist.selective import (
+    CLS_CONTROL,
+    CLS_HANDOFF,
+    CLS_RENDEZVOUS,
+    SelectiveReplication,
+    selective_replication,
+)
+from repro.dist.shard import (
+    MonitorShard,
+    RendezvousState,
+    shard_owner,
+)
 from repro.dist.transport import CODECS, Transport
 from repro.dist.wire import (
     Frame,
@@ -37,7 +55,11 @@ from repro.dist.wire import (
     T_CONTROL,
     T_RENDEZVOUS_OK,
     T_RENDEZVOUS_REQ,
+    T_ROUND_RESUBMIT,
+    T_SHARD_HANDOFF,
     T_SYSCALL_RESULT,
+    handoff_payload,
+    owners_payload,
     parse_digest_payload,
 )
 from repro.diversity.aslr import make_layouts
@@ -50,30 +72,13 @@ from repro.kernel.sockets import Network
 from repro.kernel.waitq import WaitQueue, wait_interruptible
 from repro.sim import Simulator
 
-_M64 = (1 << 64) - 1
-
-
-def _mix64(x: int) -> int:
-    """SplitMix64 finalizer: a cheap, stable 64-bit avalanche."""
-    x &= _M64
-    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
-    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
-    return x ^ (x >> 31)
-
-
-def shard_owner(vtid: int, seq: int, owners: Tuple[int, ...]) -> int:
-    """The node owning the rendezvous round ``(vtid, seq)``.
-
-    A pure function of its inputs — every node computes the same owner
-    from the same membership without coordination (consistent routing is
-    what lets followers send digests straight to the owning shard). The
-    SplitMix64 avalanche keeps consecutive sequence numbers of one
-    thread spread across shards, so a hot thread does not pin one node.
-    """
-    if not owners:
-        raise MonitorError("shard routing needs at least one owner")
-    key = _mix64(((vtid & 0xFFFFFFFF) << 32) ^ (seq & _M64))
-    return owners[key % len(owners)]
+__all__ = [
+    "DistConfig",
+    "DistMonitor",
+    "DistMvee",
+    "run_distributed",
+    "shard_owner",  # re-exported from repro.dist.shard (HRW routing)
+]
 
 
 @dataclass
@@ -126,20 +131,6 @@ class DistConfig:
     obs: Optional[object] = None
 
 
-class _RendezvousState:
-    __slots__ = ("digests", "verdict", "completing", "owner", "waitq")
-
-    def __init__(self):
-        self.digests: Dict[int, Tuple[str, int]] = {}
-        self.verdict: Optional[int] = None
-        #: All digests arrived; the owner's monitor is servicing the
-        #: round (verdict lands when its serial queue drains).
-        self.completing = False
-        #: The node that owned the round when its verdict landed.
-        self.owner: Optional[int] = None
-        self.waitq = WaitQueue("rendezvous")
-
-
 class DistMonitor:
     """Rendezvous monitor: lockstep rounds + lazy async checks.
 
@@ -151,31 +142,73 @@ class DistMonitor:
     digests are kept for the run's lifetime — runs are short and the
     memory is bounded by total syscall count.
 
-    Each round is *owned* by one node (the leader by default; a hashed
-    shard owner under ``DistConfig.shard_rendezvous``) and that node's
-    monitor is a serial resource: rounds it owns are serviced one at a
-    time, each costing ``dist_monitor_round_ns``. With a single owner,
+    Round state lives in per-owner :class:`MonitorShard` instances on
+    the owner nodes; this object is the cluster-side coordinator: it
+    routes submissions to the hosting shard (``_home`` tracks where each
+    round physically lives — routing can move on membership change, the
+    state itself only moves through an explicit handoff), runs the
+    handoff protocol after a quarantine, and hosts the async digest
+    lane, which stays leader-side: it is off every thread's critical
+    path, so spreading it buys nothing.
+
+    Each shard is a serial resource: rounds it owns are serviced one at
+    a time, each costing ``dist_monitor_round_ns``. With a single owner,
     many-threaded lockstep load queues behind one timeline — the
-    serialization sharding exists to break up. The async digest lane
-    stays leader-hosted: it is off every thread's critical path, so
-    spreading it buys nothing.
+    serialization sharding exists to break up.
     """
 
     def __init__(self, mvee: "DistMvee"):
         self.mvee = mvee
         self.references: Dict[Tuple[int, int], Tuple[str, int]] = {}
         self.pending_checks: Dict[Tuple[int, int], List[Tuple[int, str, int]]] = {}
-        self.rendezvous: Dict[Tuple[int, int], _RendezvousState] = {}
-        #: Per-owner serial service timeline (sim-time the owner's
-        #: monitor becomes free) and per-owner round counts.
-        self._busy_until: Dict[int, int] = {}
-        self.rounds_by_owner: Dict[int, int] = {}
+        #: Which owner's shard currently *hosts* each round's state.
+        self._home: Dict[Tuple[int, int], int] = {}
+        self._shards: Dict[int, MonitorShard] = {}
+        #: Owners in first-service order (stable rounds_by_owner view).
+        self._service_order: List[int] = []
         self.stats = {
             "async_checks": 0,
             "async_mismatches": 0,
             "rendezvous_completed": 0,
             "monitor_wait_ns": 0,
         }
+        #: Recovery-path counters, kept out of ``stats`` so fault-free
+        #: runs render a stats view byte-identical to the pre-shard
+        #: monitor; finalize folds them in only once the epoch moved.
+        self.handoff_stats = {
+            "handoff_rounds": 0,
+            "handoff_lost_rounds": 0,
+            "round_resubmits": 0,
+            "stale_epoch_rejects": 0,
+            "handoff_cost_ns": 0,
+        }
+        #: Round keys evicted with a dead shard / re-collected after,
+        #: for postmortems and the blast-radius assertions in tests.
+        self.lost_keys: set = set()
+        self.resubmitted_keys: set = set()
+        self._handoff_span = None
+        self._pending_adoptions = 0
+
+    # -- shard plumbing ----------------------------------------------------
+    def shard(self, owner: int) -> MonitorShard:
+        """The owner's shard, created on first use and attached to the
+        owner node (the state physically lives there)."""
+        shard = self._shards.get(owner)
+        if shard is None:
+            shard = self._shards[owner] = MonitorShard(owner)
+            self.mvee.nodes[owner].shard = shard
+        return shard
+
+    @property
+    def rounds_by_owner(self) -> Dict[int, int]:
+        """Per-owner serviced-round counts, in first-service order."""
+        return {
+            owner: self._shards[owner].rounds for owner in self._service_order
+        }
+
+    def host_of(self, vtid: int, seq: int) -> Optional[int]:
+        """The owner whose shard currently hosts this round, if any."""
+        return self._home.get((vtid, seq))
 
     # -- async digest lane -------------------------------------------------
     def record_reference(self, vtid: int, seq: int, name: str, digest: int) -> None:
@@ -212,16 +245,34 @@ class DistMonitor:
         )
 
     # -- rendezvous lane ---------------------------------------------------
-    def state_for(self, vtid: int, seq: int) -> Optional[_RendezvousState]:
-        return self.rendezvous.get((vtid, seq))
+    def state_for(self, vtid: int, seq: int) -> Optional[RendezvousState]:
+        host = self._home.get((vtid, seq))
+        if host is None:
+            return None
+        return self._shards[host].rendezvous.get((vtid, seq))
 
     def submit(self, sender: int, vtid: int, seq: int, name: str,
-               digest: int) -> _RendezvousState:
+               digest: int, resubmit: bool = False) -> RendezvousState:
         key = (vtid, seq)
-        state = self.rendezvous.get(key)
+        host = self._home.get(key)
+        if host is None or self._shards[host].dead:
+            # First submission for this round (or its old host died and
+            # evicted it): the current owner's shard hosts it. Routing
+            # may later drift on *clean* membership changes without the
+            # state moving — the home map keeps it addressable.
+            host = self.mvee.shard_owner(vtid, seq)
+            self._home[key] = host
+        shard = self.shard(host)
+        state = shard.rendezvous.get(key)
         if state is None:
-            state = _RendezvousState()
-            self.rendezvous[key] = state
+            state = shard.rendezvous[key] = RendezvousState()
+            if resubmit:
+                # Rebuilding a round lost with its shard: the new owner
+                # pays the per-round recovery work on its timeline.
+                self._charge_handoff(shard)
+        if resubmit:
+            self.handoff_stats["round_resubmits"] += 1
+            self.resubmitted_keys.add(key)
         state.digests.setdefault(sender, (name, digest))
         self.try_complete(vtid, seq)
         return state
@@ -230,8 +281,7 @@ class DistMonitor:
         """If every participant has voted, queue the round on its owning
         node's serial monitor timeline; the verdict lands (and is
         broadcast by the owner) when the owner's queue drains."""
-        key = (vtid, seq)
-        state = self.rendezvous.get(key)
+        state = self.state_for(vtid, seq)
         if state is None or state.verdict is not None or state.completing:
             return
         participants = self.mvee.participants()
@@ -242,16 +292,19 @@ class DistMonitor:
         state.completing = True
         sim = self.mvee.sim
         owner = self.mvee.shard_owner(vtid, seq)
-        start = max(sim.now, self._busy_until.get(owner, 0))
+        shard = self.shard(owner)
+        start = max(sim.now, shard.busy_until)
         done = start + self.mvee._costs().dist_monitor_round_ns
-        self._busy_until[owner] = done
+        shard.busy_until = done
         self.stats["monitor_wait_ns"] += start - sim.now
         obs = self.mvee.obs
         if obs is not None:
             obs.registry.histogram("dist_monitor_wait_ns").observe(
                 start - sim.now
             )
-        self.rounds_by_owner[owner] = self.rounds_by_owner.get(owner, 0) + 1
+        if shard.rounds == 0:
+            self._service_order.append(owner)
+        shard.rounds += 1
         sim.call_at(done, self._complete, vtid, seq)
 
     def _complete(self, vtid: int, seq: int) -> None:
@@ -273,8 +326,7 @@ class DistMonitor:
         desynchronizes. Uniform scheduled delivery is also what makes
         sharding safe at all: with many broadcasters there is no single
         FIFO order to lean on."""
-        key = (vtid, seq)
-        state = self.rendezvous.get(key)
+        state = self.state_for(vtid, seq)
         if state is None or state.verdict is not None:
             return
         if self.mvee.shutting_down:
@@ -295,7 +347,7 @@ class DistMonitor:
             self.mvee.send_frame(
                 owner, peer,
                 Frame(T_RENDEZVOUS_OK, owner, vtid, seq, aux=verdict),
-                cls="rendezvous", urgent=True,
+                cls=CLS_RENDEZVOUS, urgent=True,
             )
         lag = self.mvee.release_lag_ns()
         if lag:
@@ -309,8 +361,7 @@ class DistMonitor:
         """The verdict becomes visible: record it, report a divergence on
         mismatch, and (under sharding) apply it to every node's mirror at
         this one instant — uniform wake order across nodes."""
-        key = (vtid, seq)
-        state = self.rendezvous.get(key)
+        state = self.state_for(vtid, seq)
         if state is None or state.verdict is not None:
             return
         state.completing = False
@@ -340,12 +391,129 @@ class DistMonitor:
         state.waitq.notify_all(sim)
 
     def on_membership_change(self) -> None:
-        """A node was quarantined (or promoted): re-try every open round
-        — the quorum may now be satisfiable without the lost node, and
-        rounds owned by the lost node re-route to a surviving owner."""
-        for (vtid, seq), state in list(self.rendezvous.items()):
-            if state.verdict is None and not state.completing:
-                self.try_complete(vtid, seq)
+        """Membership moved: re-try every open round — the quorum may
+        now be satisfiable without the lost node, and service ownership
+        re-routes to the surviving owner set."""
+        for shard in list(self._shards.values()):
+            for (vtid, seq), state in list(shard.rendezvous.items()):
+                if state.verdict is None and not state.completing:
+                    self.try_complete(vtid, seq)
+
+    # -- epoch handoff -----------------------------------------------------
+    def _charge_handoff(self, shard: MonitorShard) -> None:
+        """One round's recovery work on the adopting shard's timeline."""
+        cost = self.mvee._costs().dist_handoff_ns
+        shard.busy_until = max(shard.busy_until, self.mvee.sim.now) + cost
+        self.handoff_stats["handoff_cost_ns"] += cost
+
+    def begin_handoff(self, dead_index: int) -> None:
+        """Run the ownership handoff after ``dead_index`` was
+        quarantined (the epoch was already bumped by the caller).
+
+        Three steps, all billed: the leader announces the new epoch +
+        owner set; the dead shard's open rounds are evicted (their state
+        died with the owner — waiting participants re-collect them via
+        ``T_ROUND_RESUBMIT`` when they observe the epoch change); and
+        surviving hosted rounds whose routing remapped are shipped to
+        their new owner as ``T_SHARD_HANDOFF`` state transfers, adopted
+        one release lag later.
+        """
+        mvee = self.mvee
+        sim = mvee.sim
+        epoch = mvee.epoch
+        owners = mvee.shard_owners()
+        leader = mvee.leader_index
+        announce = Frame(
+            T_SHARD_HANDOFF, leader, 0, 0, aux=epoch,
+            payload=owners_payload(owners),
+        )
+        for peer in mvee.live_peers(leader):
+            mvee.send_frame(leader, peer, announce, cls=CLS_HANDOFF, urgent=True)
+        if mvee.obs.tracer.enabled and self._handoff_span is None:
+            self._handoff_span = mvee.obs.tracer.begin(
+                "dist", "handoff", epoch=epoch, dead=dead_index,
+            )
+        lost = 0
+        dead = self._shards.get(dead_index)
+        if dead is not None and not dead.dead:
+            dead.dead = True
+            for key, state in dead.open_rounds():
+                del dead.rendezvous[key]
+                self._home.pop(key, None)
+                self.lost_keys.add(key)
+                lost += 1
+                # Wake any owner-side waiter parked on the dead state so
+                # it re-reads membership and resubmits.
+                state.waitq.notify_all(sim)
+        self.handoff_stats["handoff_lost_rounds"] += lost
+        transfers = []
+        for host, shard in list(self._shards.items()):
+            if shard.dead:
+                continue
+            for key, state in shard.open_rounds():
+                if state.completing:
+                    # Verdict already queued on the old service timeline;
+                    # it completes there (the broadcast re-reads the
+                    # fresh owner), like a response already in flight.
+                    continue
+                new_owner = shard_owner(key[0], key[1], owners)
+                if new_owner != host:
+                    transfers.append((host, new_owner, key, state))
+        for host, new_owner, key, state in transfers:
+            frame = Frame(
+                T_SHARD_HANDOFF, host, key[0], key[1], aux=epoch,
+                payload=handoff_payload(state.digests),
+            )
+            mvee.send_frame(host, new_owner, frame, cls=CLS_HANDOFF, urgent=True)
+        self.handoff_stats["handoff_rounds"] += len(transfers)
+        if transfers:
+            self._pending_adoptions += len(transfers)
+            sim.call_at(
+                sim.now + mvee.release_lag_ns(), self._adopt_transfers, transfers
+            )
+        self.on_membership_change()
+        if self._pending_adoptions == 0:
+            self._finish_handoff_span(lost)
+
+    def _adopt_transfers(self, transfers) -> None:
+        """The scheduled arrival of shipped round state: move each round
+        to its new owner's shard, charge the adoption work, and retry
+        completion under the new membership."""
+        mvee = self.mvee
+        sim = mvee.sim
+        cost = mvee._costs().dist_handoff_ns
+        hist = mvee.obs.registry.histogram("dist_handoff_ns")
+        for host, new_owner, key, state in transfers:
+            self._pending_adoptions -= 1
+            source = self._shards.get(host)
+            if (
+                source is None
+                or source.rendezvous.get(key) is not state
+                or state.verdict is not None
+            ):
+                continue
+            del source.rendezvous[key]
+            shard = self.shard(new_owner)
+            shard.rendezvous[key] = state
+            self._home[key] = new_owner
+            self._charge_handoff(shard)
+            hist.observe(sim.now - mvee.last_epoch_bump_ns + cost)
+            self.try_complete(*key)
+            state.waitq.notify_all(sim)
+        if self._pending_adoptions == 0:
+            self._finish_handoff_span()
+
+    def _finish_handoff_span(self, lost: Optional[int] = None) -> None:
+        span = self._handoff_span
+        if span is not None:
+            self._handoff_span = None
+            span.finish(
+                handoff_rounds=self.handoff_stats["handoff_rounds"],
+                lost_rounds=(
+                    lost if lost is not None
+                    else self.handoff_stats["handoff_lost_rounds"]
+                ),
+            )
 
 
 class DistMvee:
@@ -417,6 +585,11 @@ class DistMvee:
         )
         self.nodes: List[Node] = []
         self.monitor = DistMonitor(self)
+        #: Ownership epoch: bumped on every quarantine (never on a clean
+        #: exit), carried in rendezvous frames, and the trigger for the
+        #: shard handoff protocol. 0 for a run's whole fault-free life.
+        self.epoch = 0
+        self.last_epoch_bump_ns = 0
         self._parkq = WaitQueue("dist-park")
         self._started = False
         self._build()
@@ -477,6 +650,7 @@ class DistMvee:
         )
         self.transport.obs = self.obs
         self.transport.dispatch = self._dispatch
+        self.transport.stale_filter = self._stale_frame
 
     def attach_faults(self, injector) -> object:
         """Install a :class:`repro.faults.FaultInjector` cluster-wide:
@@ -574,6 +748,35 @@ class DistMvee:
             return
         self.transport.send(src, dst, frame, cls=cls, urgent=urgent)
 
+    def _stale_frame(self, dst: int, frame: Frame) -> bool:
+        """Epoch gate, checked by the transport before dispatch.
+
+        True drops the frame: it was sent under an older epoch and the
+        handoff has since moved (or killed) the shard it addressed, so
+        merging it into a fresh shard's state would smuggle pre-handoff
+        votes past the re-collection protocol. The sender re-submits
+        when it observes the epoch change, so nothing is lost. Frames
+        whose target still hosts the round pass: digests are
+        epoch-independent content, and a same-owner frame raced only by
+        the bump itself is exactly a valid resubmission.
+        """
+        if frame.type not in (
+            T_CALL_DIGEST, T_RENDEZVOUS_REQ, T_ROUND_RESUBMIT
+        ):
+            return False
+        if self.nodes[frame.sender].process.quarantined:
+            # A dead node's in-flight digest must never count as a vote.
+            self.monitor.handoff_stats["stale_epoch_rejects"] += 1
+            return True
+        if frame.type == T_CALL_DIGEST or frame.aux >= self.epoch:
+            return False
+        if dst != self.shard_owner(frame.vtid, frame.seq) and (
+            self.monitor.host_of(frame.vtid, frame.seq) != dst
+        ):
+            self.monitor.handoff_stats["stale_epoch_rejects"] += 1
+            return True
+        return False
+
     def _dispatch(self, dst: int, frame: Frame) -> None:
         if frame.type == T_CALL_DIGEST:
             digest, name = parse_digest_payload(frame.payload)
@@ -583,6 +786,16 @@ class DistMvee:
         elif frame.type == T_RENDEZVOUS_REQ:
             digest, name = parse_digest_payload(frame.payload)
             self.monitor.submit(frame.sender, frame.vtid, frame.seq, name, digest)
+        elif frame.type == T_ROUND_RESUBMIT:
+            digest, name = parse_digest_payload(frame.payload)
+            self.monitor.submit(
+                frame.sender, frame.vtid, frame.seq, name, digest, resubmit=True
+            )
+        elif frame.type == T_SHARD_HANDOFF:
+            # Epoch announcements and state transfers are applied by the
+            # scheduled handoff (DistMonitor.begin_handoff); the frames
+            # are the physical bytes of that transfer.
+            pass
         elif frame.type in (T_RENDEZVOUS_OK, T_SYSCALL_RESULT):
             # Releases and mirror records are applied by *scheduled*
             # delivery (DistMonitor._release, the leader's scheduled
@@ -657,6 +870,16 @@ class DistMvee:
             "dist_rounds_owner_max",
             max(self.monitor.rounds_by_owner.values(), default=0),
         )
+        if self.epoch:
+            # Recovery accounting exists only once a membership change
+            # happened: a fault-free run's stats stay byte-identical to
+            # the pre-shard monitor (the PR-4 adapter contract).
+            registry.expose("dist_epoch", self.epoch)
+            for key in sorted(self.monitor.handoff_stats):
+                registry.expose("dist_" + key, self.monitor.handoff_stats[key])
+            registry.expose(
+                "dist_stale_drops", self.transport.stats["stale_drops"]
+            )
         for cls, nbytes in sorted(self.transport.bytes_by_class.items()):
             registry.expose("dist_bytes_" + cls, nbytes)
         for cls, count in sorted(self.transport.frames_by_class.items()):
@@ -688,11 +911,14 @@ class DistMvee:
                 "leader_index": self.leader_index,
                 "quarantined": list(self.result.quarantined_replicas),
                 "shard_owners": sorted(self.monitor.rounds_by_owner),
+                "epoch": self.epoch,
+                "lost_rounds": sorted(self.monitor.lost_keys),
             },
             backoff={
                 "backoff_retries": self.stats["backoff_retries"],
                 "stall_reports": self.stats["stall_reports"],
                 "rounds_by_owner": dict(self.monitor.rounds_by_owner),
+                "handoff": dict(self.monitor.handoff_stats),
             },
         )
         if postmortem is not None:
@@ -841,11 +1067,16 @@ class DistMvee:
             report.replica = index
         self._record_postmortem("quarantine", report)
         self.degradation_stats["replicas_quarantined"] += 1
+        # Every quarantine opens a new ownership epoch: in-flight frames
+        # from the old epoch become rejectable, waiting participants
+        # observe the bump and re-collect rounds the dead shard lost.
+        self.epoch += 1
+        self.last_epoch_bump_ns = self.sim.now
         if was_leader:
             self._promote_leader(index)
         if not process.exited:
             self.nodes[index].kernel.terminate_process(process, 137, signo=9)
-        self.monitor.on_membership_change()
+        self.monitor.begin_handoff(index)
         self._wake_everyone()
 
     def _promote_leader(self, dead_index: int) -> None:
@@ -867,7 +1098,9 @@ class DistMvee:
                 aux=record.result, payload=record.payload,
             )
             for peer in self.live_peers(new_index):
-                self.send_frame(new_index, peer, frame, cls="control", urgent=True)
+                self.send_frame(
+                    new_index, peer, frame, cls=CLS_CONTROL, urgent=True
+                )
             self.stats["failover_rebroadcasts"] += 1
         if rebroadcast:
             # Scheduled delivery, like the leader's normal mirror push:

@@ -38,6 +38,7 @@ from repro.dist.wire import (
     Frame,
     T_CALL_DIGEST,
     T_RENDEZVOUS_REQ,
+    T_ROUND_RESUBMIT,
     T_SYSCALL_RESULT,
     call_digest,
     digest_payload,
@@ -94,6 +95,9 @@ class Node:
         self.process = process
         self.layout = layout
         self.mirror = RBMirror(index)
+        #: This node's MonitorShard, once it owns rendezvous rounds
+        #: (attached by DistMonitor.shard on first service).
+        self.shard = None
         self.view: Optional[ReplicaView] = None
         self.runtime = None
         self.interceptor: Optional["DistInterceptor"] = None
@@ -215,7 +219,9 @@ class DistInterceptor:
             yield Sleep(
                 node.kernel.config.costs.dist_frame_cost_ns(frame.size()), cpu=True
             )
-            mvee.send_frame(node.index, mvee.leader_index, frame, cls="digest")
+            mvee.send_frame(
+                node.index, mvee.leader_index, frame, cls=sel.CLS_DIGEST
+            )
         result = yield from node.kernel.invoke(thread, req)
         return result
 
@@ -246,7 +252,9 @@ class DistInterceptor:
         record = RemoteRecord(result, payload, req.name)
         node.mirror.put(thread.vtid, seq, record, sim)
         for peer in mvee.live_peers(node.index):
-            mvee.send_frame(node.index, peer, frame, cls="result_" + cls)
+            mvee.send_frame(
+                node.index, peer, frame, cls=sel.CLS_RESULT_PREFIX + cls
+            )
         # Scheduled delivery (same discipline as rendezvous releases):
         # the record becomes visible on every follower at ONE instant,
         # one release lag out, regardless of how batching staggered the
@@ -275,7 +283,9 @@ class DistInterceptor:
             payload=digest_payload(digest, req.name),
         )
         yield Sleep(costs.dist_frame_cost_ns(digest_frame.size()), cpu=True)
-        mvee.send_frame(node.index, mvee.leader_index, digest_frame, cls="digest")
+        mvee.send_frame(
+            node.index, mvee.leader_index, digest_frame, cls=sel.CLS_DIGEST
+        )
         deadline = sim.now + dcfg.stall_timeout_ns
         backoff = dcfg.backoff_initial_ns
         while True:
@@ -350,13 +360,16 @@ class DistInterceptor:
                 yield Sleep(route_ns, cpu=True)
             mvee.monitor.submit(node.index, vtid, seq, req.name, digest)
         else:
+            # The frame carries the ownership epoch it was sent under
+            # (aux stays 0 until a quarantine bumps it, so fault-free
+            # frames are byte-identical to the pre-epoch wire format).
             frame = Frame(
-                T_RENDEZVOUS_REQ, node.index, vtid, seq,
+                T_RENDEZVOUS_REQ, node.index, vtid, seq, aux=mvee.epoch,
                 payload=digest_payload(digest, req.name),
             )
             yield Sleep(costs.dist_frame_cost_ns(frame.size()) + route_ns, cpu=True)
             mvee.send_frame(
-                node.index, owner, frame, cls="rendezvous", urgent=True
+                node.index, owner, frame, cls=sel.CLS_RENDEZVOUS, urgent=True
             )
             mvee.stats["round_trips"] += 1
         verdict = yield from self._await_verdict(thread, req, vtid, seq, digest)
@@ -376,16 +389,46 @@ class DistInterceptor:
     def _await_verdict(self, thread, req, vtid, seq, digest):
         mvee, node = self.mvee, self.node
         sim = node.kernel.sim
+        costs = node.kernel.config.costs
         dcfg = mvee.dconfig
         deadline = sim.now + dcfg.stall_timeout_ns
         backoff = dcfg.backoff_initial_ns
         was_owner = node.index == mvee.shard_owner(vtid, seq)
+        sent_epoch = mvee.epoch
         while True:
             # Ownership can move under us (quarantine reshuffles the
             # shard map; a promotion moves the default owner), so it is
             # recomputed each pass.
             owner = mvee.shard_owner(vtid, seq)
             state = mvee.monitor.state_for(vtid, seq)
+            if mvee.epoch != sent_epoch:
+                # The epoch moved while we waited. If our vote died with
+                # the old owner's shard, re-collect it: the round's
+                # state is rebuilt on the new owner from resubmissions.
+                sent_epoch = mvee.epoch
+                if state is None or node.index not in state.digests:
+                    if node.index == owner:
+                        mvee.monitor.submit(
+                            node.index, vtid, seq, req.name, digest,
+                            resubmit=True,
+                        )
+                        was_owner = True
+                        state = mvee.monitor.state_for(vtid, seq)
+                    else:
+                        frame = Frame(
+                            T_ROUND_RESUBMIT, node.index, vtid, seq,
+                            aux=mvee.epoch,
+                            payload=digest_payload(digest, req.name),
+                        )
+                        yield Sleep(
+                            costs.dist_frame_cost_ns(frame.size()), cpu=True
+                        )
+                        mvee.send_frame(
+                            node.index, owner, frame,
+                            cls=sel.CLS_RENDEZVOUS, urgent=True,
+                        )
+                        mvee.stats["round_trips"] += 1
+                        continue
             if node.index == owner:
                 if not was_owner:
                     # Became the owner mid-rendezvous: re-submit so the

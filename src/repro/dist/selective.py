@@ -29,6 +29,32 @@ from typing import Optional
 LOCAL = "local"
 REPLICATED = "replicated"
 
+#: Wire traffic classes (per-class byte/frame accounting on the
+#: transport). Replicated results additionally suffix their coarse
+#: syscall class: ``result_<syscall_class()>``.
+CLS_DIGEST = "digest"
+CLS_RENDEZVOUS = "rendezvous"
+CLS_CONTROL = "control"
+CLS_HANDOFF = "handoff"
+CLS_RESULT_PREFIX = "result_"
+
+FRAME_CLASSES = (CLS_DIGEST, CLS_RENDEZVOUS, CLS_CONTROL, CLS_HANDOFF)
+
+
+def frame_class(frame_type: int) -> str:
+    """Default traffic class for a wire frame type (replicated results
+    are classified per-syscall by the sender instead)."""
+    from repro.dist import wire
+
+    if frame_type in (wire.T_CALL_DIGEST,):
+        return CLS_DIGEST
+    if frame_type in (wire.T_RENDEZVOUS_REQ, wire.T_RENDEZVOUS_OK,
+                      wire.T_ROUND_RESUBMIT):
+        return CLS_RENDEZVOUS
+    if frame_type == wire.T_SHARD_HANDOFF:
+        return CLS_HANDOFF
+    return CLS_CONTROL
+
 #: Calls whose effect is inherently per-process/per-node: replicating a
 #: result would be meaningless (a futex wake on node A does not wake a
 #: thread on node B). Always LOCAL, even under full replication.

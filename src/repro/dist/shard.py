@@ -1,0 +1,137 @@
+"""Per-owner rendezvous shards and the rendezvous-hash owner map.
+
+PR-3 sharded rendezvous *ownership* (which node's serial monitor
+services a round) but kept one shared ``DistMonitor`` map, so on
+membership change "re-hosting" was free. This module makes the state
+real: each owner node hosts a :class:`MonitorShard` holding only its
+own rounds — the :class:`RendezvousState` map, the shard's serial
+service timeline (``busy_until``) and its round counter. Losing the
+owner loses the shard: its open rounds must be re-collected from the
+surviving participants (``T_ROUND_RESUBMIT``), and rounds that merely
+*remap* to a different surviving owner are shipped across the wire
+(``T_SHARD_HANDOFF``) — both charged through the cost model, so shard
+failure has a measurable recovery cost (DESIGN.md §8).
+
+Routing uses highest-random-weight (rendezvous) hashing instead of
+``hash % len(owners)``: every node computes ``argmax`` over owners of a
+mixed (key, owner) score, which is minimally disruptive — removing an
+owner remaps *only* the keys that owner held, so a crash hands off the
+dead shard and nothing else (the property the hypothesis suite pins).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import MonitorError
+from repro.kernel.waitq import WaitQueue
+
+_M64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a cheap, stable 64-bit avalanche."""
+    x &= _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+#: Memoized per-owner salts for the HRW score (the owner side of the
+#: score never changes, only the key side does).
+_OWNER_SALTS: Dict[int, int] = {}
+
+
+def _owner_salt(owner: int) -> int:
+    salt = _OWNER_SALTS.get(owner)
+    if salt is None:
+        salt = _OWNER_SALTS[owner] = _mix64((owner + 1) * 0x9E3779B97F4A7C15)
+    return salt
+
+
+def round_key(vtid: int, seq: int) -> int:
+    """The mixed 64-bit routing key for one rendezvous round."""
+    return _mix64(((vtid & 0xFFFFFFFF) << 32) ^ (seq & _M64))
+
+
+def shard_owner(vtid: int, seq: int, owners: Tuple[int, ...]) -> int:
+    """The node owning the rendezvous round ``(vtid, seq)``.
+
+    A pure function of its inputs — every node computes the same owner
+    from the same membership without coordination (consistent routing is
+    what lets followers send digests straight to the owning shard).
+    Highest-random-weight hashing: the owner with the largest mixed
+    (key, owner) score wins, so shrinking the owner set remaps only the
+    removed owner's keys, and the avalanche keeps consecutive sequence
+    numbers of one thread spread across shards.
+    """
+    if not owners:
+        raise MonitorError("shard routing needs at least one owner")
+    key = round_key(vtid, seq)
+    best = owners[0]
+    best_score = -1
+    for owner in owners:
+        score = _mix64(key ^ _owner_salt(owner))
+        if score > best_score:
+            best = owner
+            best_score = score
+    return best
+
+
+class RendezvousState:
+    """One lockstep round's collected digests and verdict."""
+
+    __slots__ = ("digests", "verdict", "completing", "owner", "waitq")
+
+    def __init__(self):
+        self.digests: Dict[int, Tuple[str, int]] = {}
+        self.verdict: Optional[int] = None
+        #: All digests arrived; the owner's monitor is servicing the
+        #: round (verdict lands when its serial queue drains).
+        self.completing = False
+        #: The node that owned the round when its verdict landed.
+        self.owner: Optional[int] = None
+        self.waitq = WaitQueue("rendezvous")
+
+
+class MonitorShard:
+    """One owner node's slice of the rendezvous monitor.
+
+    The shard is a serial resource living on its owner: rounds it
+    services queue on ``busy_until`` one ``dist_monitor_round_ns`` at a
+    time. When the owner is quarantined the shard dies with it — its
+    open rounds are *lost* (re-collected via resubmission), not
+    teleported; only rounds hosted by surviving shards can be handed
+    off as state transfers.
+    """
+
+    __slots__ = ("owner", "rendezvous", "busy_until", "rounds", "dead")
+
+    def __init__(self, owner: int):
+        self.owner = owner
+        self.rendezvous: Dict[Tuple[int, int], RendezvousState] = {}
+        #: Sim-time this shard's serial monitor becomes free.
+        self.busy_until = 0
+        #: Rounds this shard has serviced (queued on its timeline).
+        self.rounds = 0
+        #: Set when the owner is quarantined: the shard's state is gone.
+        self.dead = False
+
+    def state_for(self, vtid: int, seq: int) -> Optional[RendezvousState]:
+        return self.rendezvous.get((vtid, seq))
+
+    def open_rounds(self):
+        """Snapshot of (key, state) pairs with no verdict yet."""
+        return [
+            (key, state)
+            for key, state in self.rendezvous.items()
+            if state.verdict is None
+        ]
+
+    def __repr__(self):
+        return "MonitorShard(owner=%d, rounds=%d, open=%d%s)" % (
+            self.owner,
+            self.rounds,
+            len(self.open_rounds()),
+            ", dead" if self.dead else "",
+        )

@@ -91,6 +91,11 @@ class Transport:
         self.codec = codec
         #: Installed by the cluster: ``dispatch(dst_index, frame)``.
         self.dispatch: Optional[Callable[[int, Frame], None]] = None
+        #: Optional epoch gate, consulted per frame at delivery before
+        #: dispatch: True means the frame is stale (sent under an older
+        #: ownership epoch to a shard that no longer hosts its round)
+        #: and is dropped — the sender re-submits under the new epoch.
+        self.stale_filter: Optional[Callable[[int, Frame], bool]] = None
         self._channels: Dict[Tuple[int, int], Channel] = {}
         #: Receiver-side payload dictionaries, keyed by directed pair.
         self._dec_dicts: Dict[Tuple[int, int], PayloadDict] = {}
@@ -108,6 +113,7 @@ class Transport:
             "codec_raw": 0,
             "codec_rle": 0,
             "codec_dict": 0,
+            "stale_drops": 0,
         }
         self.bytes_by_class: Dict[str, int] = {}
         self.frames_by_class: Dict[str, int] = {}
@@ -273,5 +279,9 @@ class Transport:
             return
         for frame in frames:
             frame = self._decode_frame(dst, frame)
-            if frame is not None:
-                self.dispatch(dst, frame)
+            if frame is None:
+                continue
+            if self.stale_filter is not None and self.stale_filter(dst, frame):
+                self.stats["stale_drops"] += 1
+                continue
+            self.dispatch(dst, frame)

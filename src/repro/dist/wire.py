@@ -61,6 +61,13 @@ T_RENDEZVOUS_OK = 3
 T_SYSCALL_RESULT = 4
 #: Membership / failover control traffic.
 T_CONTROL = 5
+#: Shard-ownership handoff after a membership change (aux: new epoch).
+#: With vtid=seq=0 it announces the epoch + owner set; otherwise it
+#: transfers one surviving round's collected state to its new owner.
+T_SHARD_HANDOFF = 6
+#: A participant re-submitting its digest for a round whose hosting
+#: shard died with its owner (aux: the epoch it was sent under).
+T_ROUND_RESUBMIT = 7
 
 FRAME_TYPES = (
     T_CALL_DIGEST,
@@ -68,6 +75,8 @@ FRAME_TYPES = (
     T_RENDEZVOUS_OK,
     T_SYSCALL_RESULT,
     T_CONTROL,
+    T_SHARD_HANDOFF,
+    T_ROUND_RESUBMIT,
 )
 
 _HEADER = struct.Struct("<HBBHHIQqII")
@@ -177,6 +186,66 @@ def parse_digest_payload(payload: bytes) -> Tuple[int, str]:
         raise WireError("digest payload too short: %d bytes" % len(payload))
     (digest,) = _DIGEST.unpack_from(payload)
     return digest, payload[_DIGEST.size:].decode(errors="replace")
+
+
+_U16 = struct.Struct("<H")
+_HANDOFF_VOTE = struct.Struct("<HQH")  # sender, digest, name length
+
+
+def owners_payload(owners: Tuple[int, ...]) -> bytes:
+    """Payload of a T_SHARD_HANDOFF epoch announcement: the owner set."""
+    return _U16.pack(len(owners)) + b"".join(_U16.pack(o) for o in owners)
+
+
+def parse_owners_payload(payload: bytes) -> Tuple[int, ...]:
+    if len(payload) < _U16.size:
+        raise WireError("owners payload too short: %d bytes" % len(payload))
+    (count,) = _U16.unpack_from(payload)
+    need = _U16.size * (1 + count)
+    if len(payload) < need:
+        raise WireError(
+            "owners payload truncated: want %d bytes, have %d"
+            % (need, len(payload))
+        )
+    return tuple(
+        _U16.unpack_from(payload, _U16.size * (1 + i))[0] for i in range(count)
+    )
+
+
+def handoff_payload(digests: Dict[int, Tuple[str, int]]) -> bytes:
+    """Payload of a T_SHARD_HANDOFF state transfer: one open round's
+    collected votes, so the state-transfer bytes the transport bills
+    scale with how much the dying/remapped shard actually held."""
+    parts = [_U16.pack(len(digests))]
+    for sender in sorted(digests):
+        name, digest = digests[sender]
+        encoded = name.encode()
+        parts.append(_HANDOFF_VOTE.pack(sender, digest, len(encoded)))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+def parse_handoff_payload(payload: bytes) -> Dict[int, Tuple[str, int]]:
+    if len(payload) < _U16.size:
+        raise WireError("handoff payload too short: %d bytes" % len(payload))
+    (count,) = _U16.unpack_from(payload)
+    offset = _U16.size
+    digests: Dict[int, Tuple[str, int]] = {}
+    for _ in range(count):
+        if len(payload) - offset < _HANDOFF_VOTE.size:
+            raise WireError("handoff payload truncated at vote header")
+        sender, digest, name_len = _HANDOFF_VOTE.unpack_from(payload, offset)
+        offset += _HANDOFF_VOTE.size
+        if len(payload) - offset < name_len:
+            raise WireError("handoff payload truncated at vote name")
+        name = payload[offset:offset + name_len].decode(errors="replace")
+        offset += name_len
+        digests[sender] = (name, digest)
+    if offset != len(payload):
+        raise WireError(
+            "handoff payload has %d trailing bytes" % (len(payload) - offset)
+        )
+    return digests
 
 
 def encode_frame(frame: Frame) -> bytes:

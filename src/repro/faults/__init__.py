@@ -14,6 +14,7 @@ from repro.faults.injector import (
     FaultInjector,
     FaultPlan,
     RBCorruptionFault,
+    ShardOwnerCrashFault,
     StallFault,
     SyscallErrorFault,
     TokenLossFault,
@@ -24,6 +25,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "RBCorruptionFault",
+    "ShardOwnerCrashFault",
     "StallFault",
     "SyscallErrorFault",
     "TokenLossFault",

@@ -56,6 +56,25 @@ class CrashFault:
 
 
 @dataclass
+class ShardOwnerCrashFault:
+    """Terminate whichever replica owns a rendezvous shard *at fire
+    time* (distributed clusters only).
+
+    Unlike :class:`CrashFault` the victim is not fixed in the plan: it
+    is resolved against ``mvee.shard_owners()`` when the deadline
+    arrives, so the fault always lands on a node that actually hosts
+    per-shard monitor state — the scenario the epoch/handoff protocol
+    exists for. With ``prefer_non_leader`` the first non-leader owner
+    is chosen (isolating shard handoff from leader promotion); if the
+    leader is the only owner it is crashed anyway.
+    """
+
+    at_ns: int
+    signo: int = C.SIGKILL
+    prefer_non_leader: bool = True
+
+
+@dataclass
 class StallFault:
     """Freeze one replica for ``duration_ns`` inside syscall dispatch."""
 
@@ -186,6 +205,8 @@ class FaultInjector:
                     self._timed.append(fault)
                 else:
                     self._count_faults.setdefault(fault.replica, []).append(fault)
+            elif isinstance(fault, ShardOwnerCrashFault):
+                self._timed.append(fault)
             elif isinstance(fault, SyscallErrorFault):
                 self._error_state.append([fault, fault.skip_first, fault.count])
             elif isinstance(fault, TokenLossFault):
@@ -216,6 +237,8 @@ class FaultInjector:
             at = max(now + 1, fault.at_ns)
             if isinstance(fault, RBCorruptionFault):
                 kernel.sim.call_at(at, self._fire_rb_corruption, fault, 0)
+            elif isinstance(fault, ShardOwnerCrashFault):
+                kernel.sim.call_at(at, self._fire_shard_owner_crash, fault)
             elif isinstance(fault, CrashFault):
                 kernel.sim.call_at(at, self._fire_crash, fault)
             else:
@@ -261,6 +284,28 @@ class FaultInjector:
             return
         self.stats["crashes"] += 1
         self._obs_fault("crash", fault.replica)
+        self.kernel.terminate_process(process, 128 + fault.signo, signo=fault.signo)
+
+    def _fire_shard_owner_crash(self, fault: ShardOwnerCrashFault) -> None:
+        mvee = self.mvee
+        owners = getattr(mvee, "shard_owners", None)
+        if owners is None:  # non-distributed MVEE: no shards to target
+            self.stats["skipped"] += 1
+            return
+        owners = owners()
+        victim = owners[0]
+        if fault.prefer_non_leader:
+            leader = mvee.leader_index
+            for owner in owners:
+                if owner != leader:
+                    victim = owner
+                    break
+        process = self._replica_process(victim)
+        if process is None or process.exited:
+            self.stats["skipped"] += 1
+            return
+        self.stats["crashes"] += 1
+        self._obs_fault("crash", victim)
         self.kernel.terminate_process(process, 128 + fault.signo, signo=fault.signo)
 
     def _fire_stall(self, fault: StallFault) -> None:

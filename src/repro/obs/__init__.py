@@ -11,6 +11,10 @@ Three instruments behind one hub:
 * :class:`FlightRecorder` — bounded per-replica rings of recent
   syscall/rendezvous events, dumped as a :class:`Postmortem` on
   divergence or quarantine.
+
+Prometheus exports round-trip: ``python -m repro.obs.diff`` parses two
+``write_prometheus`` files back into mergeable snapshots and reports
+which choke-point histogram moved between the runs.
 """
 
 from repro.obs.config import ObsConfig
@@ -30,18 +34,36 @@ from repro.obs.metrics import (
 from repro.obs.recorder import FlightRecorder, Postmortem
 from repro.obs.tracing import Span, Tracer
 
+#: repro.obs.diff exports, resolved lazily so ``python -m repro.obs.diff``
+#: does not import the module twice (once via the package, once as
+#: ``__main__``) and trip runpy's double-import warning.
+_DIFF_EXPORTS = ("MetricsDiffError", "ParsedHistogram", "Snapshot", "diff_report")
+
+
+def __getattr__(name):
+    if name in _DIFF_EXPORTS:
+        from repro.obs import diff
+
+        return getattr(diff, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
 __all__ = [
     "Counter",
     "DEFAULT_BOUNDS",
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "MetricsDiffError",
     "MetricsRegistry",
     "Obs",
     "ObsConfig",
+    "ParsedHistogram",
     "Postmortem",
+    "Snapshot",
     "Span",
     "Tracer",
+    "diff_report",
     "write_postmortem",
     "write_prometheus",
     "write_trace_jsonl",

@@ -1,0 +1,101 @@
+"""Property tests for HRW shard ownership (:mod:`repro.dist.shard`).
+
+The handoff protocol's blast radius bound rests entirely on two
+rendezvous-hashing properties:
+
+* **determinism** — every node, given the same live owner set, computes
+  the identical assignment for every round key (there is no coordinator
+  to ask, so agreement must be structural);
+* **minimal disruption** — removing owners from the set remaps *only*
+  rounds those owners held; every other round keeps its owner, so a
+  crash never forces surviving shards to exchange unrelated state.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.shard import round_key, shard_owner
+from repro.errors import MonitorError
+
+vtids = st.integers(0, 0xFFFFFFFF)
+seqs = st.integers(0, (1 << 64) - 1)
+owner_sets = st.lists(
+    st.integers(0, 64), min_size=1, max_size=12, unique=True
+)
+
+
+@given(vtids, seqs, owner_sets)
+@settings(max_examples=300)
+def test_assignment_is_deterministic_and_order_blind(vtid, seq, owners):
+    """Every node agrees: the owner depends only on the key and the
+    *set* of owners, never on the order a node learned them in."""
+    chosen = shard_owner(vtid, seq, tuple(owners))
+    assert chosen in owners
+    assert chosen == shard_owner(vtid, seq, tuple(owners))
+    assert chosen == shard_owner(vtid, seq, tuple(sorted(owners)))
+    assert chosen == shard_owner(vtid, seq, tuple(reversed(owners)))
+
+
+@given(
+    st.lists(st.tuples(vtids, seqs), min_size=1, max_size=80),
+    owner_sets,
+    st.data(),
+)
+@settings(max_examples=200)
+def test_shrinking_remaps_only_removed_owners_rounds(rounds, owners, data):
+    """Kill any subset of owners (leaving at least one): rounds hosted
+    by survivors keep their owner; only the dead owners' rounds move,
+    and they land on survivors."""
+    owners = tuple(owners)
+    dead = data.draw(
+        st.lists(st.sampled_from(owners), max_size=len(owners) - 1,
+                 unique=True),
+        label="dead",
+    )
+    survivors = tuple(o for o in owners if o not in dead)
+    before = {key: shard_owner(key[0], key[1], owners) for key in rounds}
+    after = {key: shard_owner(key[0], key[1], survivors) for key in rounds}
+    for key in rounds:
+        assert after[key] in survivors
+        if before[key] not in dead:
+            assert after[key] == before[key], key
+
+
+@given(vtids, seqs, owner_sets, st.integers(65, 128))
+@settings(max_examples=200)
+def test_growing_steals_only_for_the_new_owner(vtid, seq, owners, new):
+    """The dual bound: adding an owner either leaves a round alone or
+    hands it to the newcomer — it never shuffles two old owners."""
+    owners = tuple(owners)
+    before = shard_owner(vtid, seq, owners)
+    after = shard_owner(vtid, seq, owners + (new,))
+    assert after == before or after == new
+
+
+@given(vtids, seqs)
+@settings(max_examples=200)
+def test_round_key_is_stable_and_64_bit(vtid, seq):
+    key = round_key(vtid, seq)
+    assert key == round_key(vtid, seq)
+    assert 0 <= key < (1 << 64)
+
+
+def test_empty_owner_set_is_rejected():
+    with pytest.raises(MonitorError):
+        shard_owner(1, 2, ())
+
+
+def test_spread_is_roughly_even_across_four_owners():
+    """Sanity anchor for the property suite: 4 owners x 4000 keys, no
+    owner hoards more than half nor starves below 10%."""
+    owners = (0, 1, 2, 3)
+    counts = {owner: 0 for owner in owners}
+    for vtid in range(8):
+        for seq in range(500):
+            counts[shard_owner(vtid, seq, owners)] += 1
+    total = sum(counts.values())
+    for owner, count in counts.items():
+        assert 0.10 * total < count < 0.50 * total, counts
