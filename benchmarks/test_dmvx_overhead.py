@@ -326,3 +326,89 @@ def test_fast_path_dominates_baseline(benchmark, report):
     from repro.bench.harness import timed_exhibit_run
 
     benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_wan_overhead_vs_loss(benchmark, report):
+    rows = dist.wan_sweep()
+    _record("wan", rows)
+    table = Table(
+        "WAN loss sweep (3 nodes, SOCKET_RW, 200 us links)",
+        ["loss", "policy", "retransmits", "retx KiB", "acks", "wire KiB",
+         "exits", "overhead"],
+    )
+    for row in rows:
+        table.add("%.0f%%" % (row["loss_prob"] * 100), row["policy"],
+                  row["retransmits"],
+                  "%.1f" % (row["retransmit_bytes"] / 1024),
+                  row["acks_sent"], "%.1f" % (row["wire_bytes"] / 1024),
+                  ",".join(str(c) for c in row["exit_codes"]),
+                  "%.2fx" % row["overhead"])
+    report(table.render())
+
+    by_key = {(r["loss_prob"], r["policy"]): r for r in rows}
+    losses = sorted({r["loss_prob"] for r in rows})
+    for policy in ("selective", "full"):
+        # Exactly-once delivery hides every loss rate from the guests:
+        # each run completes cleanly with every exit code 0.
+        for loss in losses:
+            assert by_key[(loss, policy)]["exit_codes"] == [0, 0, 0], (
+                loss, policy)
+        zero = by_key[(0.0, policy)]
+        # The loss-free run keeps the legacy unsequenced path: no
+        # retransmit, ack, or breaker traffic whatsoever.
+        assert zero["retransmits"] == 0 == zero["acks_sent"], policy
+        assert zero["segments_lost"] == 0, policy
+        for loss in losses[1:]:
+            lossy = by_key[(loss, policy)]
+            # Lossy links actually drop segments, the retransmit layer
+            # pays them back, and the recovery shows up in wall time.
+            assert lossy["segments_lost"] > 0, (loss, policy)
+            assert lossy["retransmits"] > 0, (loss, policy)
+            assert lossy["retransmit_bytes"] > 0, (loss, policy)
+            assert lossy["acks_sent"] > 0, (loss, policy)
+            assert lossy["overhead"] > zero["overhead"], (loss, policy)
+        # More loss, more repair traffic (monotone in the loss rate).
+        retx = [by_key[(loss, policy)]["retransmits"] for loss in losses]
+        assert retx == sorted(retx), policy
+    # The dMVX claim survives the WAN: even at the worst tested loss
+    # rate, selective replication still moves fewer bytes and costs
+    # less wall time than full replication.
+    worst = losses[-1]
+    assert (by_key[(worst, "selective")]["wire_bytes"]
+            < by_key[(worst, "full")]["wire_bytes"])
+    assert (by_key[(worst, "selective")]["overhead"]
+            < by_key[(worst, "full")]["overhead"])
+
+    breaker_rows = dist.wan_breaker_rows()
+    _record("wan_breaker", breaker_rows)
+    table = Table(
+        "Link-breaker recovery (leader link blackholed 20 ms)",
+        ["scenario", "opens", "closes", "probes", "degrades", "restores",
+         "quarantined", "overhead"],
+    )
+    for row in breaker_rows:
+        table.add(row["scenario"], row["breaker_opens"],
+                  row["breaker_closes"], row["probes"], row["degrades"],
+                  row["restores"], row["quarantined"],
+                  "%.2fx" % row["overhead"])
+    report(table.render())
+
+    by_name = {r["scenario"]: r for r in breaker_rows}
+    free = by_name["fault-free"]
+    hole = by_name["leader link blackhole"]
+    assert free["breaker_opens"] == 0 == free["degrades"]
+    # The blackhole trips the breaker, soft-degrades the far follower,
+    # and the half-open probe rejoins it — nobody is quarantined and
+    # every guest still exits 0.
+    assert hole["outcome"] == "completed"
+    assert hole["exit_codes"] == [0, 0, 0]
+    assert hole["breaker_opens"] >= 1
+    assert hole["breaker_closes"] >= 1
+    assert hole["probes"] >= 1
+    assert hole["degrades"] >= 1 and hole["restores"] >= 1
+    assert hole["quarantined"] == 0
+    assert hole["retransmits"] > free["retransmits"]
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)

@@ -24,7 +24,13 @@ from repro.dist import (
     full_replication,
     selective_replication,
 )
-from repro.faults import CrashFault, FaultInjector, FaultPlan, ShardOwnerCrashFault
+from repro.faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    LinkDegradeFault,
+    ShardOwnerCrashFault,
+)
 from repro.workloads.synthetic import CategoryMix, SyntheticWorkload, build_program
 
 MAX_STEPS = 400_000_000
@@ -442,6 +448,125 @@ def recovery_sweep(latencies_ns: Optional[Tuple[int, ...]] = None,
 
 
 # ---------------------------------------------------------------------------
+# 9. WAN links: what packet loss costs, and what a breaker trip costs
+# ---------------------------------------------------------------------------
+WAN_LOSS_RATES: Tuple[float, ...] = (0.0, 0.01, 0.02, 0.05)
+
+
+def wan_loss_rates() -> Tuple[float, ...]:
+    return (0.0, 0.02) if smoke() else WAN_LOSS_RATES
+
+
+def _wan_workload(name: str = "wan") -> SyntheticWorkload:
+    rate = 260_000.0
+    return SyntheticWorkload(
+        name=name,
+        native_ms=_ms(4.0),
+        mix=CategoryMix(
+            {
+                "base": rate * 0.25,
+                "file_ro": rate * 0.45,
+                "sock_ro": rate * 0.1,
+                "sock_rw": rate * 0.1,
+                "mgmt": rate * 0.1,
+            }
+        ),
+        threads=2,
+    )
+
+
+def _run_wan(workload: SyntheticWorkload, *, loss_prob: float = 0.0,
+             replication: Optional[SelectiveReplication] = None,
+             latency_ns: int = 200_000,
+             plan: Optional[FaultPlan] = None,
+             degradation: Optional[DegradationPolicy] = None):
+    dist = DistConfig(
+        link_latency_ns=latency_ns,
+        replication=replication or selective_replication(),
+        link_loss_prob=loss_prob,
+    )
+    config = ReMonConfig(replicas=3, level=Level.SOCKET_RW,
+                         degradation=degradation or DegradationPolicy(min_quorum=2),
+                         dist=dist)
+    mvee = DistMvee(build_program(workload), config)
+    if plan is not None:
+        mvee.attach_faults(FaultInjector(plan))
+    return mvee.run(max_steps=MAX_STEPS)
+
+
+def wan_sweep(loss_rates: Optional[Tuple[float, ...]] = None) -> List[Dict]:
+    """Reliable-transport overhead across link loss rates, for both
+    replication policies. A lossy link forces every batch through the
+    seq/ack window: the run completes with exit codes intact (the
+    retransmit layer hides the loss from the protocol), and pays for it
+    in retransmitted bytes, ack traffic, and stretched wall time. The
+    zero-loss rows keep the legacy unsequenced path — no retransmit or
+    ack stat may appear there at all."""
+    workload = _wan_workload()
+    native_ns = _native_ns(workload)
+    rows = []
+    for loss in loss_rates or wan_loss_rates():
+        for policy in (selective_replication(), full_replication()):
+            result = _run_wan(workload, loss_prob=loss, replication=policy)
+            assert not result.diverged, result.divergence
+            stats = result.stats
+            rows.append(
+                {
+                    "loss_prob": loss,
+                    "policy": policy.name,
+                    "overhead": result.wall_time_ns / max(1, native_ns),
+                    "wall_time_ns": result.wall_time_ns,
+                    "exit_codes": list(result.exit_codes),
+                    "wire_bytes": stats["dist_wire_bytes"],
+                    "retransmits": stats.get("dist_retransmits", 0),
+                    "retransmit_bytes": stats.get("dist_retransmit_bytes", 0),
+                    "acks_sent": stats.get("dist_acks_sent", 0),
+                    "segments_lost": stats.get("net_segments_lost", 0),
+                    "breaker_opens": stats.get("dist_breaker_opens", 0),
+                    "rounds": stats["dist_rendezvous_completed"],
+                }
+            )
+    return rows
+
+
+def wan_breaker_rows(latency_ns: int = 200_000) -> List[Dict]:
+    """Recovery latency for a blackholed leader link: the circuit
+    breaker trips, the far follower drops to leader-replicated-only
+    membership, and the half-open probe rejoins it once the fault
+    window ends — against a fault-free run of the same workload."""
+    workload = _wan_workload("wan-breaker")
+    native_ns = _native_ns(workload)
+    scenarios = [
+        ("fault-free", None),
+        ("leader link blackhole",
+         FaultPlan([LinkDegradeFault(at_ns=2_000_000, src=0, dst=2,
+                                     duration_ns=20_000_000, loss_prob=1.0)])),
+    ]
+    rows = []
+    for name, plan in scenarios:
+        result = _run_wan(workload, latency_ns=latency_ns, plan=plan)
+        assert not result.diverged, result.divergence
+        stats = result.stats
+        rows.append(
+            {
+                "scenario": name,
+                "outcome": "diverged" if result.diverged else "completed",
+                "exit_codes": list(result.exit_codes),
+                "breaker_opens": stats.get("dist_breaker_opens", 0),
+                "breaker_closes": stats.get("dist_breaker_closes", 0),
+                "probes": stats.get("dist_probes_sent", 0),
+                "degrades": stats.get("dist_link_degrades", 0),
+                "restores": stats.get("dist_link_restores", 0),
+                "retransmits": stats.get("dist_retransmits", 0),
+                "quarantined": len(result.quarantined_replicas),
+                "wall_time_ns": result.wall_time_ns,
+                "overhead": result.wall_time_ns / max(1, native_ns),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 def render_all() -> str:
     out = []
 
@@ -539,6 +664,28 @@ def render_all() -> str:
                   row["lost_rounds"], row["resubmits"], row["handoff_rounds"],
                   "%.1f" % (row["handoff_cost_ns"] / 1000),
                   "%.2fx" % row["overhead"])
+    out.append(table.render())
+
+    table = Table(
+        "WAN loss sweep (3 nodes, SOCKET_RW, 200 us links)",
+        ["loss", "policy", "retransmits", "retx KiB", "acks", "overhead"],
+    )
+    for row in wan_sweep():
+        table.add("%.0f%%" % (row["loss_prob"] * 100), row["policy"],
+                  row["retransmits"],
+                  "%.1f" % (row["retransmit_bytes"] / 1024),
+                  row["acks_sent"], "%.2fx" % row["overhead"])
+    out.append(table.render())
+
+    table = Table(
+        "Link-breaker recovery (leader link blackholed 20 ms)",
+        ["scenario", "opens", "closes", "degrades", "restores",
+         "quarantined", "overhead"],
+    )
+    for row in wan_breaker_rows():
+        table.add(row["scenario"], row["breaker_opens"],
+                  row["breaker_closes"], row["degrades"], row["restores"],
+                  row["quarantined"], "%.2fx" % row["overhead"])
     out.append(table.render())
 
     return "\n\n".join(out)

@@ -270,6 +270,10 @@ class DegradationPolicy:
             return "benign"
         if kind == "stall":
             return "benign" if self.stall_is_benign else "security"
+        if kind == "link":
+            # A broken monitor link says nothing about the replica's
+            # integrity: route around it, don't fail-stop.
+            return "benign"
         return "security"
 
     def classify(self, report) -> str:

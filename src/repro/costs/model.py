@@ -85,6 +85,12 @@ class CostModel:
     dist_compress_frame_ns: int = 140  # per-frame codec dispatch + dict probe
     dist_compress_ns_per_byte: float = 0.12  # RLE scan/emit over raw bytes
     dist_decompress_ns_per_byte: float = 0.05  # expand on adoption
+    #: Reliable-link overheads (only billed when a transport runs in
+    #: reliable mode): CPU to re-push a stored batch from the unacked
+    #: window, and to emit a pure-ack batch. Both also pay the normal
+    #: per-byte message cost for the bytes they put on the wire.
+    dist_retransmit_ns: int = 900
+    dist_ack_ns: int = 400
 
     # -- observability (repro.obs) ------------------------------------------
     # Charged only while the corresponding instrument is enabled; with

@@ -42,6 +42,15 @@ from repro.dist.codec import (
     rle_encode,
 )
 from repro.dist.node import DistInterceptor, Node, NodeFdView, ReplicaView
+from repro.dist.reliable import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    ReceiverWindow,
+    RetransmitPolicy,
+    SenderWindow,
+)
 from repro.dist.shard import MonitorShard, RendezvousState, round_key
 from repro.dist.remote_rb import RBMirror, RemoteRecord
 from repro.dist.selective import (
@@ -100,6 +109,13 @@ __all__ = [
     "ReplicaView",
     "RBMirror",
     "RemoteRecord",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "ReceiverWindow",
+    "RetransmitPolicy",
+    "SenderWindow",
     "CLS_CONTROL",
     "CLS_DIGEST",
     "CLS_HANDOFF",

@@ -36,6 +36,7 @@ from repro.core.handlers import build_handler_table
 from repro.core.remon import ReMonConfig, ReplicaGroup
 from repro.obs import Obs
 from repro.dist.node import DistInterceptor, Node, ReplicaView
+from repro.dist.reliable import CircuitBreaker, RetransmitPolicy
 from repro.dist.selective import (
     CLS_CONTROL,
     CLS_HANDOFF,
@@ -126,6 +127,28 @@ class DistConfig:
     #: RB mirror payload codec: None (raw), "rle", or "dict" (RLE plus a
     #: per-channel dictionary over repeated reads). See repro.dist.codec.
     compress: Optional[str] = None
+    #: WAN fault knobs applied to every inter-node link (per-link values
+    #: go through ``Network.set_link`` / ``LinkDegradeFault``). Any
+    #: nonzero probability auto-enables the reliable transport.
+    link_loss_prob: float = 0.0
+    link_dup_prob: float = 0.0
+    link_reorder_prob: float = 0.0
+    #: Force the reliable (seq/ack/retransmit) transport on or off;
+    #: None = enable exactly when some link can lose/dup/reorder.
+    reliable_links: Optional[bool] = None
+    #: Retransmission backoff (see repro.dist.reliable.RetransmitPolicy)
+    #: and per-channel send window.
+    retransmit_initial_ns: int = 800_000
+    retransmit_cap_ns: int = 12_800_000
+    retransmit_window: int = 32
+    #: Per-link circuit breaker thresholds (repro.dist.reliable.
+    #: CircuitBreaker): consecutive retransmissions / slow RTT samples
+    #: that open a link, and the half-open probe cooldown schedule.
+    breaker_failure_threshold: int = 8
+    breaker_rtt_factor: float = 4.0
+    breaker_slow_threshold: int = 16
+    breaker_cooldown_ns: int = 50_000_000
+    breaker_cooldown_cap_ns: int = 400_000_000
     #: Observability (repro.obs.ObsConfig). None falls back to
     #: ``ReMonConfig.obs``, then to metrics-only defaults.
     obs: Optional[object] = None
@@ -569,6 +592,12 @@ class DistMvee:
             "replicas_quarantined": 0,
             "master_promotions": 0,
         }
+        #: Soft link degradation (circuit breaker) accounting; folded
+        #: into the stats view only when the transport runs reliable.
+        self.wan_stats = {"link_degrades": 0, "link_restores": 0}
+        #: victim index -> set of (src, dst) links currently open against
+        #: it; the victim is restored only when the set drains.
+        self._down_links: Dict[int, set] = {}
         self.sim = Simulator(cores=dconfig.node_cores * self.n)
         self.obs = Obs.create(
             dconfig.obs if dconfig.obs is not None
@@ -582,6 +611,10 @@ class DistMvee:
             bandwidth_bps=dconfig.link_bandwidth_bps,
             jitter_ns=dconfig.link_jitter_ns,
             jitter_seed=self.config.seed or 0x5EED,
+            loss_prob=dconfig.link_loss_prob,
+            dup_prob=dconfig.link_dup_prob,
+            reorder_prob=dconfig.link_reorder_prob,
+            fault_seed=(self.config.seed or 0) ^ 0xFA17,
         )
         self.nodes: List[Node] = []
         self.monitor = DistMonitor(self)
@@ -651,6 +684,35 @@ class DistMvee:
         self.transport.obs = self.obs
         self.transport.dispatch = self._dispatch
         self.transport.stale_filter = self._stale_frame
+        reliable = dconfig.reliable_links
+        if reliable is None:
+            reliable = self.network.lossy()
+        if reliable:
+            self._enable_reliable_transport()
+
+    def _enable_reliable_transport(self) -> None:
+        """Switch the monitor transport to sequenced/acked/retransmitted
+        batches, with per-link circuit breakers wired into the soft
+        degradation path. Idempotent; must run before any traffic."""
+        if self.transport.reliable:
+            return
+        dconfig = self.dconfig
+        self.transport.enable_reliable(
+            policy=RetransmitPolicy(
+                initial_ns=dconfig.retransmit_initial_ns,
+                cap_ns=dconfig.retransmit_cap_ns,
+            ),
+            window=dconfig.retransmit_window,
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=dconfig.breaker_failure_threshold,
+                rtt_factor=dconfig.breaker_rtt_factor,
+                slow_threshold=dconfig.breaker_slow_threshold,
+                cooldown_ns=dconfig.breaker_cooldown_ns,
+                cooldown_cap_ns=dconfig.breaker_cooldown_cap_ns,
+            ),
+        )
+        self.transport.on_link_down = self._on_link_down
+        self.transport.on_link_up = self._on_link_up
 
     def attach_faults(self, injector) -> object:
         """Install a :class:`repro.faults.FaultInjector` cluster-wide:
@@ -660,6 +722,13 @@ class DistMvee:
         for node in self.nodes:
             node.kernel.fault_injector = injector
         injector.bind_mvee(self)
+        # A plan that will degrade a link mid-run needs the reliable
+        # transport armed from the start (it cannot switch header
+        # formats once traffic has flowed).
+        from repro.faults import LinkDegradeFault
+
+        if any(isinstance(f, LinkDegradeFault) for f in injector.plan):
+            self._enable_reliable_transport()
         return injector
 
     #: Fault-injector compatibility: there is no in-process monitor, so
@@ -680,6 +749,13 @@ class DistMvee:
             if process.quarantined:
                 continue
             if process.exited and (process.exit_code or 0) < 128:
+                continue
+            if node.link_degraded:
+                # Soft degradation: the node still runs and adopts the
+                # leader's replicated results/verdicts (those land via
+                # scheduled delivery, not per-frame dispatch), but its
+                # vote no longer gates rendezvous — leader-replicated-
+                # only mode until the breaker's probe restores the link.
                 continue
             out.append(node.index)
         return out
@@ -884,6 +960,30 @@ class DistMvee:
             registry.expose("dist_bytes_" + cls, nbytes)
         for cls, count in sorted(self.transport.frames_by_class.items()):
             registry.expose("dist_frames_" + cls, count)
+        tstats = self.transport.stats
+        if self.transport.reliable:
+            # Reliability accounting exists only when the transport runs
+            # in reliable mode: loss-free legacy runs keep a stats view
+            # byte-identical to the pre-reliability design.
+            for key in ("retransmits", "retransmit_bytes", "acks_sent",
+                        "dup_batches_dropped", "ooo_batches",
+                        "window_stalls", "probes_sent", "breaker_opens",
+                        "breaker_closes"):
+                registry.expose("dist_" + key, tstats.get(key, 0))
+            registry.expose("net_segments_lost", self.network.segments_lost)
+            registry.expose(
+                "net_segments_duplicated", self.network.segments_duplicated
+            )
+            registry.expose(
+                "net_segments_reordered", self.network.segments_reordered
+            )
+            registry.expose("dist_link_degrades", self.wan_stats["link_degrades"])
+            registry.expose("dist_link_restores", self.wan_stats["link_restores"])
+        for key in ("codec_downgrades", "codec_upgrades", "frames_dropped"):
+            if tstats.get(key, 0):
+                registry.expose("dist_" + key, tstats[key])
+        for cls, count in sorted(self.transport.frames_dropped_by_class.items()):
+            registry.expose("dist_frames_dropped_" + cls, count)
         registry.expose(
             "replicas_quarantined",
             self.degradation_stats["replicas_quarantined"],
@@ -1029,6 +1129,76 @@ class DistMvee:
             ),
         )
 
+    # -- soft link degradation (circuit breaker callbacks) ---------------
+    def _link_victim(self, src: int, dst: int) -> int:
+        """Which node a bad directed link indicts: the non-leader end
+        (the leader stays authoritative; routing around it would mean a
+        promotion, which a *link* fault does not justify)."""
+        return dst if dst != self.leader_index else src
+
+    def _on_link_down(self, src: int, dst: int) -> None:
+        if self.shutting_down or self.diverged:
+            return
+        victim = self._link_victim(src, dst)
+        self._down_links.setdefault(victim, set()).add((src, dst))
+        node = self.nodes[victim]
+        process = node.process
+        if node.link_degraded or process.quarantined or process.exited:
+            return
+        report = DivergenceReport(
+            self.sim.now,
+            0,
+            "",
+            "circuit breaker opened link %d->%d: node %d degraded to "
+            "leader-replicated-only" % (src, dst, victim),
+            detected_by="dist-breaker",
+            kind="link",
+        )
+        report.replica = victim
+        policy = self.config.degradation
+        if policy is None or policy.classify(report) != "benign":
+            # No degradation policy: a broken monitor link is a fault
+            # the cluster cannot paper over.
+            self.replica_fault(process, report)
+            return
+        voting_others = [
+            p for p in self.participants() if p != victim
+        ]
+        if len(voting_others) < policy.min_quorum:
+            report.detail += " [quorum lost: %d voters < min_quorum %d]" % (
+                len(voting_others), policy.min_quorum,
+            )
+            self.replica_fault(process, report)
+            return
+        node.link_degraded = True
+        self.wan_stats["link_degrades"] += 1
+        self.result.fault_events.append(report)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.instant(
+                "dist", "link_degrade", src=src, dst=dst, victim=victim,
+            )
+        # Open rounds may now be completable without the degraded vote.
+        self.monitor.on_membership_change()
+
+    def _on_link_up(self, src: int, dst: int) -> None:
+        victim = self._link_victim(src, dst)
+        down = self._down_links.get(victim)
+        if down is not None:
+            down.discard((src, dst))
+            if down:
+                return  # another link against this node is still open
+        node = self.nodes[victim]
+        if not node.link_degraded:
+            return
+        node.link_degraded = False
+        self.wan_stats["link_restores"] += 1
+        if self.obs.tracer.enabled:
+            self.obs.tracer.instant(
+                "dist", "link_restore", src=src, dst=dst, victim=victim,
+            )
+        # The restored node's vote is required again from here on.
+        self.monitor.on_membership_change()
+
     def _survivors_excluding(self, process) -> List:
         return [
             p
@@ -1083,7 +1253,15 @@ class DistMvee:
         survivors = self.group.survivors()
         if not survivors:
             return
-        new_leader = survivors[0]  # kept in index order
+        # Prefer a survivor with healthy links: promoting a node the
+        # breakers have already routed around would put the whole
+        # cluster behind a degraded leader.
+        for candidate in survivors:
+            if not self.nodes[self.group.index_of(candidate)].link_degraded:
+                new_leader = candidate
+                break
+        else:
+            new_leader = survivors[0]  # kept in index order
         new_index = self.group.index_of(new_leader)
         self.group.master_index = new_index
         self.degradation_stats["master_promotions"] += 1

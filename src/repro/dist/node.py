@@ -101,6 +101,11 @@ class Node:
         self.view: Optional[ReplicaView] = None
         self.runtime = None
         self.interceptor: Optional["DistInterceptor"] = None
+        #: True while this node's monitor link is routed around by an
+        #: open circuit breaker: it keeps executing and adopting the
+        #: leader's replicated results (those arrive via scheduled
+        #: delivery), but its vote is excluded from rendezvous quorums.
+        self.link_degraded = False
 
     @property
     def host_ip(self) -> str:

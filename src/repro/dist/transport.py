@@ -32,13 +32,25 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dist.codec import TAG_NAMES, PayloadDict, decode_payload, encode_payload
+from repro.dist.reliable import (
+    CircuitBreaker,
+    ReceiverWindow,
+    RetransmitPolicy,
+    SenderWindow,
+)
+from repro.dist.selective import frame_class
 from repro.dist.wire import (
     BATCH_HEADER_SIZE,
     F_CODED,
+    RBATCH_HEADER_SIZE,
     Frame,
+    T_CONTROL,
     T_SYSCALL_RESULT,
+    batch_frame_count,
     decode_batch,
     encode_batch,
+    encode_reliable_batch,
+    parse_batch,
 )
 from repro.errors import WireError
 from repro.kernel.sockets import Address
@@ -50,12 +62,25 @@ CODECS = ("rle", "dict")
 #: and the tag byte costs 1): ship them unwrapped.
 MIN_CODEC_LEN = 8
 
+#: Adaptive codec fallback: per-channel sliding window of outcomes, the
+#: win rate below which a channel downgrades to raw, and how many result
+#: frames pass between re-upgrade probes while downgraded.
+ADAPT_WINDOW = 32
+ADAPT_MIN_WIN_RATE = 0.25
+ADAPT_PROBE_EVERY = 16
+
+#: Payload of a circuit-breaker half-open probe. Probes are ordinary
+#: sequenced control frames — they exist to be acked — but terminate at
+#: the transport and are never dispatched to the cluster.
+_PROBE_PAYLOAD = b"breaker-probe"
+
 
 class Channel:
     """The outgoing frame queue for one directed node pair."""
 
     __slots__ = ("src", "dst", "pending", "pending_bytes", "timer_armed",
-                 "enc_dict", "next_depart")
+                 "enc_dict", "next_depart", "codec_score", "codec_down",
+                 "codec_probe_in")
 
     def __init__(self, src: int, dst: int):
         self.src = src
@@ -71,6 +96,12 @@ class Channel:
         #: small batch overtake it (overtaking would break the FIFO
         #: delivery the payload dictionaries are synchronized by).
         self.next_depart = 0
+        #: Adaptive codec fallback: recent win/loss outcomes, whether
+        #: the channel is currently downgraded to raw, and the frame
+        #: countdown to the next re-upgrade probe.
+        self.codec_score: List[bool] = []
+        self.codec_down = False
+        self.codec_probe_in = 0
 
 
 class Transport:
@@ -117,9 +148,56 @@ class Transport:
         }
         self.bytes_by_class: Dict[str, int] = {}
         self.frames_by_class: Dict[str, int] = {}
+        #: Frames lost in transit and never dispatched (CRC-damaged
+        #: batches, undecodable codec payloads), by traffic class — so
+        #: loss experiments can reconcile frames_sent against dispatch.
+        self.frames_dropped_by_class: Dict[str, int] = {}
         #: Optional repro.obs.Obs hub, installed by the cluster; used
         #: only for span-tracing flush/codec decisions when enabled.
         self.obs = None
+        # -- reliable delivery (off until enable_reliable) -------------
+        self.reliable = False
+        self.retransmit_policy: Optional[RetransmitPolicy] = None
+        self.window_size = 32
+        self._breaker_factory: Callable[[], CircuitBreaker] = CircuitBreaker
+        self._send_windows: Dict[Tuple[int, int], SenderWindow] = {}
+        self._recv_windows: Dict[Tuple[int, int], ReceiverWindow] = {}
+        self._breakers: Dict[Tuple[int, int], CircuitBreaker] = {}
+        self._links_down: set = set()
+        self._breaker_spans: Dict[Tuple[int, int], object] = {}
+        #: Installed by the cluster: called with (src, dst) when a
+        #: link's breaker opens / re-closes.
+        self.on_link_down: Optional[Callable[[int, int], None]] = None
+        self.on_link_up: Optional[Callable[[int, int], None]] = None
+
+    def enable_reliable(self, policy: Optional[RetransmitPolicy] = None,
+                        window: int = 32,
+                        breaker_factory: Optional[Callable[[], CircuitBreaker]]
+                        = None) -> None:
+        """Switch every channel to sequenced, acked, retransmitted
+        batches (the 16-byte reliable header). Must run before any
+        traffic: mixing header formats mid-run would desynchronize the
+        per-channel sequence spaces."""
+        if self.stats["frames_sent"] or self.stats["messages_sent"]:
+            raise WireError("reliable mode must be enabled before traffic")
+        self.reliable = True
+        self.retransmit_policy = policy or RetransmitPolicy()
+        self.window_size = window
+        self._breaker_factory = breaker_factory or CircuitBreaker
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        # Stats that exist only in reliable/lossy runs are created on
+        # first use, so loss-free runs keep the pre-change stats view
+        # byte-identical (the PR-5 equivalence discipline).
+        self.stats[key] = self.stats.get(key, 0) + n
+
+    def _drop_frames(self, cls: str, n: int = 1) -> None:
+        if n <= 0:
+            return
+        self._bump("frames_dropped", n)
+        self.frames_dropped_by_class[cls] = (
+            self.frames_dropped_by_class.get(cls, 0) + n
+        )
 
     def _channel(self, src: int, dst: int) -> Channel:
         channel = self._channels.get((src, dst))
@@ -147,6 +225,14 @@ class Transport:
             or len(frame.payload) < MIN_CODEC_LEN
         ):
             return frame
+        if channel.codec_down:
+            channel.codec_probe_in -= 1
+            if channel.codec_probe_in > 0:
+                # Downgraded stream: ship raw with no tag byte. The
+                # encode is skipped entirely, so neither end's payload
+                # dictionary advances and the rings stay in sync for
+                # the next re-upgrade probe.
+                return frame
         dictionary = None
         if self.codec == "dict":
             if channel.enc_dict is None:
@@ -154,6 +240,7 @@ class Transport:
             dictionary = channel.enc_dict
         raw_len = len(frame.payload)
         coded = encode_payload(frame.payload, dictionary)
+        self._track_codec(channel, len(coded) < raw_len)
         self.stats["payload_raw_bytes"] += raw_len
         self.stats["payload_coded_bytes"] += len(coded)
         self.stats["codec_" + TAG_NAMES[coded[0]]] += 1
@@ -166,6 +253,41 @@ class Transport:
             frame.type, frame.sender, frame.vtid, frame.seq,
             aux=frame.aux, flags=frame.flags | F_CODED, payload=coded,
         )
+
+    def _track_codec(self, channel: Channel, win: bool) -> None:
+        """Adaptive fallback: downgrade a channel whose codec stopped
+        winning (win rate below ADAPT_MIN_WIN_RATE over a full sliding
+        window), probe every ADAPT_PROBE_EVERY frames while down, and
+        re-upgrade on the first probe that compresses again."""
+        if channel.codec_down:
+            # This frame was a probe.
+            if win:
+                channel.codec_down = False
+                channel.codec_score = []
+                self._bump("codec_upgrades")
+                if self.obs is not None and self.obs.tracer.enabled:
+                    self.obs.tracer.instant(
+                        "transport", "codec_upgrade",
+                        src=channel.src, dst=channel.dst,
+                    )
+            else:
+                channel.codec_probe_in = ADAPT_PROBE_EVERY
+            return
+        score = channel.codec_score
+        score.append(win)
+        if len(score) > ADAPT_WINDOW:
+            score.pop(0)
+        if (len(score) >= ADAPT_WINDOW
+                and sum(score) < ADAPT_MIN_WIN_RATE * len(score)):
+            channel.codec_down = True
+            channel.codec_probe_in = ADAPT_PROBE_EVERY
+            channel.codec_score = []
+            self._bump("codec_downgrades")
+            if self.obs is not None and self.obs.tracer.enabled:
+                self.obs.tracer.instant(
+                    "transport", "codec_downgrade",
+                    src=channel.src, dst=channel.dst,
+                )
 
     def _decode_frame(self, dst: int, frame: Frame) -> Optional[Frame]:
         """Unwrap a codec-coded payload on delivery; None = drop."""
@@ -238,6 +360,9 @@ class Transport:
         # One source of truth for sizing: the bytes counted at send()
         # are exactly the bytes encode_batch produces (header aside).
         pending_bytes, channel.pending_bytes = channel.pending_bytes, 0
+        if self.reliable:
+            self._flush_reliable(channel, frames, pending_bytes)
+            return
         data = encode_batch(frames)
         assert len(data) == BATCH_HEADER_SIZE + pending_bytes, (
             "frame byte accounting diverged from encoded batch size"
@@ -272,16 +397,236 @@ class Transport:
             frames = decode_batch(data)
         except WireError:
             # A damaged transfer unit is a transmission fault: count and
-            # drop it rather than act on its contents.
+            # drop it rather than act on its contents — but account the
+            # frames it carried so loss experiments can reconcile
+            # frames_sent against dispatch.
             self.stats["wire_errors"] += 1
+            count = batch_frame_count(data)
+            self._drop_frames("undecodable", count if count is not None else 1)
             return
+        self._dispatch_frames(dst, frames)
+
+    def _dispatch_frames(self, dst: int, frames: List[Frame]) -> None:
         if self.dispatch is None:
             return
         for frame in frames:
-            frame = self._decode_frame(dst, frame)
-            if frame is None:
+            if frame.type == T_CONTROL and frame.payload == _PROBE_PAYLOAD:
+                # A breaker half-open probe: it exists only to be acked
+                # by the sequence layer, never shown to the cluster.
                 continue
-            if self.stale_filter is not None and self.stale_filter(dst, frame):
+            decoded = self._decode_frame(dst, frame)
+            if decoded is None:
+                self._drop_frames(frame_class(frame.type))
+                continue
+            if self.stale_filter is not None and self.stale_filter(dst, decoded):
                 self.stats["stale_drops"] += 1
                 continue
-            self.dispatch(dst, frame)
+            self.dispatch(dst, decoded)
+
+    # ------------------------------------------------------------------
+    # Reliable path: seq/ack window, retransmit timers, circuit breaker
+    # ------------------------------------------------------------------
+    def _send_window(self, key: Tuple[int, int]) -> SenderWindow:
+        window = self._send_windows.get(key)
+        if window is None:
+            window = self._send_windows[key] = SenderWindow(self.window_size)
+        return window
+
+    def _recv_window(self, key: Tuple[int, int]) -> ReceiverWindow:
+        window = self._recv_windows.get(key)
+        if window is None:
+            window = self._recv_windows[key] = ReceiverWindow()
+        return window
+
+    def _breaker(self, key: Tuple[int, int]) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = self._breakers[key] = self._breaker_factory()
+        return breaker
+
+    def _flush_reliable(self, channel: Channel, frames: List[Frame],
+                        pending_bytes: int) -> None:
+        key = (channel.src, channel.dst)
+        window = self._send_window(key)
+        if not window.can_send():
+            # Window full (or a backlog already waits): FIFO-defer the
+            # whole batch; it ships as acks advance the window.
+            window.defer(frames, pending_bytes)
+            self._bump("window_stalls")
+            return
+        self._send_sequenced(key, channel, frames, pending_bytes)
+
+    def _send_sequenced(self, key: Tuple[int, int], channel: Channel,
+                        frames: List[Frame], pending_bytes: int) -> None:
+        window = self._send_window(key)
+        reverse = self._recv_windows.get((channel.dst, channel.src))
+        ack = reverse.cumulative_ack if reverse is not None else 0
+        seq = window.next_seq
+        data = encode_reliable_batch(frames, seq, ack)
+        assert len(data) == RBATCH_HEADER_SIZE + pending_bytes, (
+            "frame byte accounting diverged from encoded batch size"
+        )
+        self.stats["messages_sent"] += 1
+        self.stats["wire_bytes"] += len(data)
+        if self.obs is not None and self.obs.tracer.enabled:
+            self.obs.tracer.instant(
+                "transport", "flush", src=channel.src, dst=channel.dst,
+                nbytes=len(data), frames=len(frames), seq=seq,
+            )
+        send_cost = self.costs.dist_message_cost_ns(len(data))
+        depart = max(self.sim.now + send_cost, channel.next_depart)
+        channel.next_depart = depart
+        window.register(data, len(data), depart)
+        self.sim.call_at(depart, self._transmit_reliable, key, data)
+        self.sim.call_at(
+            depart + self.retransmit_policy.timeout_for(0),
+            self._retransmit_check, key, seq,
+        )
+
+    def _transmit_reliable(self, key: Tuple[int, int], data: bytes) -> None:
+        src, dst = key
+        self.network.transmit(
+            self.sim, self.addresses[src], self.addresses[dst], len(data),
+            self._deliver_reliable, src, dst, data,
+        )
+
+    def _retransmit_check(self, key: Tuple[int, int], seq: int) -> None:
+        window = self._send_windows.get(key)
+        if window is None:
+            return
+        entry = window.mark_retransmit(seq)
+        if entry is None:
+            return  # acked in time
+        src, dst = key
+        self._bump("retransmits")
+        self._bump("retransmit_bytes", entry.size)
+        self.stats["wire_bytes"] += entry.size
+        # Re-pushing a stored batch costs CPU plus the normal per-byte
+        # message cost; retransmits are not serialized behind the
+        # channel's fresh batches (they re-enter the wire directly).
+        cost = (self.costs.dist_retransmit_ns
+                + self.costs.dist_message_cost_ns(entry.size))
+        if self.obs is not None:
+            self.obs.registry.histogram("dist_retransmit_ns").observe(cost)
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant(
+                    "transport", "retransmit", src=src, dst=dst, seq=seq,
+                    attempt=entry.attempts,
+                )
+        if self._breaker(key).record_failure(self.sim.now):
+            self._breaker_opened(key)
+        depart = self.sim.now + cost
+        self.sim.call_at(depart, self._transmit_reliable, key, entry.data)
+        self.sim.call_at(
+            depart + self.retransmit_policy.timeout_for(entry.attempts),
+            self._retransmit_check, key, seq,
+        )
+
+    def _deliver_reliable(self, src: int, dst: int, data: bytes) -> None:
+        try:
+            frames, seq, ack = parse_batch(data)
+        except WireError:
+            self.stats["wire_errors"] += 1
+            count = batch_frame_count(data)
+            self._drop_frames("undecodable", count if count is not None else 1)
+            return
+        if ack:
+            # The ack acknowledges the reverse channel: traffic this
+            # node (dst) sent towards the batch's sender (src).
+            self._apply_ack((dst, src), ack)
+        if not seq:
+            # Pure-ack (seq 0) batch: nothing to sequence or re-ack.
+            self._dispatch_frames(dst, frames)
+            return
+        key = (src, dst)
+        window = self._recv_window(key)
+        dups, ooo = window.dups, window.ooo
+        ready = window.accept(seq, frames)
+        if window.dups > dups:
+            self._bump("dup_batches_dropped")
+        if window.ooo > ooo:
+            self._bump("ooo_batches")
+        for batch_frames in ready:
+            self._dispatch_frames(dst, batch_frames)
+        # Ack every sequenced arrival, duplicates included — a dup means
+        # the sender retransmitted, likely because our last ack was lost.
+        self._send_ack(dst, src)
+
+    def _apply_ack(self, key: Tuple[int, int], ack: int) -> None:
+        window = self._send_windows.get(key)
+        if window is None:
+            return
+        now = self.sim.now
+        acked, samples = window.ack(ack, now)
+        breaker = self._breaker(key)
+        for sample in samples:
+            if self.obs is not None:
+                self.obs.registry.histogram("dist_link_rtt_ns").observe(sample)
+            if breaker.record_rtt(sample, window.min_rtt_ns, now):
+                self._breaker_opened(key)
+        if not acked:
+            return
+        if breaker.record_success():
+            self._breaker_closed(key)
+        deferred = window.pop_deferred()
+        while deferred is not None:
+            frames, size = deferred
+            self._send_sequenced(key, self._channel(*key), frames, size)
+            deferred = window.pop_deferred()
+
+    def _send_ack(self, from_node: int, to_node: int) -> None:
+        window = self._recv_windows.get((to_node, from_node))
+        ack = window.cumulative_ack if window is not None else 0
+        if ack == 0:
+            return
+        data = encode_reliable_batch([], 0, ack)
+        self._bump("acks_sent")
+        self.stats["wire_bytes"] += len(data)
+        cost = self.costs.dist_ack_ns + self.costs.dist_message_cost_ns(len(data))
+        self.sim.call_at(
+            self.sim.now + cost, self._transmit_reliable,
+            (from_node, to_node), data,
+        )
+
+    # -- circuit breaker ----------------------------------------------
+    def _breaker_opened(self, key: Tuple[int, int]) -> None:
+        src, dst = key
+        breaker = self._breakers[key]
+        self._bump("breaker_opens")
+        if self.obs is not None and self.obs.tracer.enabled:
+            if key not in self._breaker_spans:
+                self._breaker_spans[key] = self.obs.tracer.begin(
+                    "transport", "breaker_open", src=src, dst=dst,
+                )
+        if key not in self._links_down:
+            self._links_down.add(key)
+            if self.on_link_down is not None:
+                self.on_link_down(src, dst)
+        self.sim.call_at(
+            self.sim.now + breaker.current_cooldown_ns, self._maybe_probe, key
+        )
+
+    def _maybe_probe(self, key: Tuple[int, int]) -> None:
+        breaker = self._breakers.get(key)
+        if breaker is None or not breaker.probe_due(self.sim.now):
+            return
+        breaker.begin_probe()
+        self._bump("probes_sent")
+        src, dst = key
+        if self.obs is not None and self.obs.tracer.enabled:
+            self.obs.tracer.instant(
+                "transport", "breaker_probe", src=src, dst=dst,
+            )
+        probe = Frame(T_CONTROL, src, 0, 0, payload=_PROBE_PAYLOAD)
+        self.send(src, dst, probe, cls="control", urgent=True)
+
+    def _breaker_closed(self, key: Tuple[int, int]) -> None:
+        src, dst = key
+        self._bump("breaker_closes")
+        span = self._breaker_spans.pop(key, None)
+        if span is not None:
+            span.finish(probes=self._breakers[key].probes)
+        if key in self._links_down:
+            self._links_down.discard(key)
+            if self.on_link_up is not None:
+                self.on_link_up(src, dst)

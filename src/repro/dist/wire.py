@@ -32,6 +32,17 @@ Layout (little-endian)::
       u16 magic      0xBA7C
       u16 count      number of frames
       u32 body_len   total frame bytes following
+
+    reliable batch header (16 bytes)
+      u16 magic      0xBA7D
+      u16 count      number of frames
+      u32 body_len   total frame bytes following
+      u32 seq        batch sequence number (0 = unsequenced / ack-only)
+      u32 ack        cumulative ack for the reverse channel
+
+The reliable header only appears when the transport runs in reliable
+mode (lossy links); loss-free runs keep the legacy 8-byte header so
+their wire bytes stay bit-identical to the pre-reliability design.
 """
 
 from __future__ import annotations
@@ -46,6 +57,7 @@ from repro.errors import WireError
 MAGIC = 0xD15C
 VERSION = 1
 BATCH_MAGIC = 0xBA7C
+RBATCH_MAGIC = 0xBA7D
 
 #: Frame flag: the payload is codec-wrapped (see :mod:`repro.dist.codec`);
 #: the transport decodes it back to raw bytes before dispatch.
@@ -81,11 +93,13 @@ FRAME_TYPES = (
 
 _HEADER = struct.Struct("<HBBHHIQqII")
 _BATCH_HEADER = struct.Struct("<HHI")
+_RBATCH_HEADER = struct.Struct("<HHIII")
 _DIGEST = struct.Struct("<Q")
 _CRC = struct.Struct("<I")
 
 HEADER_SIZE = _HEADER.size  # 36
 BATCH_HEADER_SIZE = _BATCH_HEADER.size  # 8
+RBATCH_HEADER_SIZE = _RBATCH_HEADER.size  # 16
 
 _I64_MIN = -(1 << 63)
 _I64_MAX = (1 << 63) - 1
@@ -311,19 +325,49 @@ def encode_batch(frames: List[Frame]) -> bytes:
     return _BATCH_HEADER.pack(BATCH_MAGIC, len(frames), len(body)) + body
 
 
-def decode_batch(data: bytes) -> List[Frame]:
+def encode_reliable_batch(frames: List[Frame], seq: int, ack: int) -> bytes:
+    """Encode a batch under the 16-byte reliable header.
+
+    ``seq`` numbers the batch on its directed channel (0 = unsequenced,
+    used for pure-ack batches); ``ack`` is the cumulative ack for the
+    reverse channel. Data sequence numbers start at 1.
+    """
+    if len(frames) > 0xFFFF:
+        raise WireError("batch too large: %d frames" % len(frames))
+    body = b"".join(encode_frame(f) for f in frames)
+    return _RBATCH_HEADER.pack(
+        RBATCH_MAGIC, len(frames), len(body),
+        seq & 0xFFFFFFFF, ack & 0xFFFFFFFF,
+    ) + body
+
+
+def parse_batch(data: bytes):
+    """Decode a batch under either header.
+
+    Returns ``(frames, seq, ack)``; a legacy 8-byte batch yields
+    ``(frames, None, None)``.
+    """
     if len(data) < BATCH_HEADER_SIZE:
         raise WireError("truncated batch header: %d bytes" % len(data))
     magic, count, body_len = _BATCH_HEADER.unpack_from(data)
-    if magic != BATCH_MAGIC:
+    seq = ack = None
+    if magic == BATCH_MAGIC:
+        offset = BATCH_HEADER_SIZE
+    elif magic == RBATCH_MAGIC:
+        if len(data) < RBATCH_HEADER_SIZE:
+            raise WireError(
+                "truncated reliable batch header: %d bytes" % len(data)
+            )
+        magic, count, body_len, seq, ack = _RBATCH_HEADER.unpack_from(data)
+        offset = RBATCH_HEADER_SIZE
+    else:
         raise WireError("bad batch magic 0x%04X" % magic)
-    if BATCH_HEADER_SIZE + body_len != len(data):
+    if offset + body_len != len(data):
         raise WireError(
             "batch length mismatch: header says %d body bytes, have %d"
-            % (body_len, len(data) - BATCH_HEADER_SIZE)
+            % (body_len, len(data) - offset)
         )
     frames: List[Frame] = []
-    offset = BATCH_HEADER_SIZE
     for _ in range(count):
         frame, used = decode_frame(data, offset)
         frames.append(frame)
@@ -333,4 +377,25 @@ def decode_batch(data: bytes) -> List[Frame]:
             "batch has %d trailing bytes after %d frames"
             % (len(data) - offset, count)
         )
+    return frames, seq, ack
+
+
+def decode_batch(data: bytes) -> List[Frame]:
+    if len(data) >= BATCH_HEADER_SIZE:
+        magic = _U16.unpack_from(data)[0]
+        if magic == RBATCH_MAGIC:
+            raise WireError("reliable batch on an unreliable decode path")
+    frames, _seq, _ack = parse_batch(data)
     return frames
+
+
+def batch_frame_count(data: bytes):
+    """Frame count claimed by a batch header, or None if even the
+    header is unreadable. Used to account frames lost inside a
+    CRC-damaged batch without trusting anything past the count field."""
+    if len(data) < BATCH_HEADER_SIZE:
+        return None
+    magic, count, _body_len = _BATCH_HEADER.unpack_from(data)
+    if magic in (BATCH_MAGIC, RBATCH_MAGIC):
+        return count
+    return None

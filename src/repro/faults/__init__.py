@@ -13,6 +13,7 @@ from repro.faults.injector import (
     CrashFault,
     FaultInjector,
     FaultPlan,
+    LinkDegradeFault,
     RBCorruptionFault,
     ShardOwnerCrashFault,
     StallFault,
@@ -24,6 +25,7 @@ __all__ = [
     "CrashFault",
     "FaultInjector",
     "FaultPlan",
+    "LinkDegradeFault",
     "RBCorruptionFault",
     "ShardOwnerCrashFault",
     "StallFault",

@@ -120,6 +120,43 @@ class RBCorruptionFault:
 
 
 @dataclass
+class LinkDegradeFault:
+    """Degrade one *directed* inter-node link for a window of virtual
+    time (distributed clusters only): raise its loss/dup/reorder
+    probabilities — and optionally its latency — at ``at_ns``, then
+    restore the link's previous parameters ``duration_ns`` later.
+
+    ``src``/``dst`` are node indices. The degradation is directed
+    (src -> dst traffic only), matching the granularity the per-link
+    circuit breakers monitor at; degrade both directions with two
+    faults. Attaching a plan containing one of these arms the reliable
+    transport from the start of the run.
+    """
+
+    at_ns: int
+    src: int
+    dst: int
+    duration_ns: int
+    loss_prob: float = 0.0
+    dup_prob: float = 0.0
+    reorder_prob: float = 0.0
+    latency_ns: Optional[int] = None
+
+    def __post_init__(self):
+        if self.duration_ns <= 0:
+            raise FaultConfigError("LinkDegradeFault needs duration_ns > 0")
+        if self.src == self.dst:
+            raise FaultConfigError("LinkDegradeFault needs src != dst")
+        for name in ("loss_prob", "dup_prob", "reorder_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultConfigError(
+                    "LinkDegradeFault %s must be in [0, 1], got %r"
+                    % (name, value)
+                )
+
+
+@dataclass
 class FaultPlan:
     """An ordered collection of faults, optionally generated from a seed."""
 
@@ -187,6 +224,7 @@ class FaultInjector:
             "errors": 0,
             "tokens_lost": 0,
             "rb_corruptions": 0,
+            "link_degrades": 0,
             "skipped": 0,  # faults whose target was already gone
         }
         # Per-replica dispatch counts (drives after_syscalls triggers).
@@ -213,6 +251,8 @@ class FaultInjector:
                 self._token_state.append([fault, fault.skip_first, fault.count])
             elif isinstance(fault, RBCorruptionFault):
                 self._timed.append(fault)
+            elif isinstance(fault, LinkDegradeFault):
+                self._timed.append(fault)
             else:
                 raise FaultConfigError("unknown fault type: %r" % (fault,))
 
@@ -224,6 +264,7 @@ class FaultInjector:
             + self.stats["errors"]
             + self.stats["tokens_lost"]
             + self.stats["rb_corruptions"]
+            + self.stats["link_degrades"]
         )
 
     # ------------------------------------------------------------------
@@ -237,6 +278,8 @@ class FaultInjector:
             at = max(now + 1, fault.at_ns)
             if isinstance(fault, RBCorruptionFault):
                 kernel.sim.call_at(at, self._fire_rb_corruption, fault, 0)
+            elif isinstance(fault, LinkDegradeFault):
+                kernel.sim.call_at(at, self._fire_link_degrade, fault)
             elif isinstance(fault, ShardOwnerCrashFault):
                 kernel.sim.call_at(at, self._fire_shard_owner_crash, fault)
             elif isinstance(fault, CrashFault):
@@ -307,6 +350,32 @@ class FaultInjector:
         self.stats["crashes"] += 1
         self._obs_fault("crash", victim)
         self.kernel.terminate_process(process, 128 + fault.signo, signo=fault.signo)
+
+    def _fire_link_degrade(self, fault: LinkDegradeFault) -> None:
+        mvee = self.mvee
+        nodes = getattr(mvee, "nodes", None)
+        network = getattr(mvee, "network", None)
+        if nodes is None or network is None:
+            self.stats["skipped"] += 1  # non-distributed MVEE: no links
+            return
+        if not (0 <= fault.src < len(nodes) and 0 <= fault.dst < len(nodes)):
+            self.stats["skipped"] += 1
+            return
+        src_ip = nodes[fault.src].host_ip
+        dst_ip = nodes[fault.dst].host_ip
+        snapshot = network.set_link_directed(
+            src_ip, dst_ip,
+            latency_ns=fault.latency_ns,
+            loss_prob=fault.loss_prob or None,
+            dup_prob=fault.dup_prob or None,
+            reorder_prob=fault.reorder_prob or None,
+        )
+        self.kernel.sim.call_at(
+            self.kernel.sim.now + fault.duration_ns,
+            network.replace_link_directed, src_ip, dst_ip, snapshot,
+        )
+        self.stats["link_degrades"] += 1
+        self._obs_fault("link_degrade", fault.src)
 
     def _fire_stall(self, fault: StallFault) -> None:
         process = self._replica_process(fault.replica)

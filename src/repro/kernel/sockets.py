@@ -31,23 +31,46 @@ class Network:
     exempt from bandwidth and jitter. Jitter is drawn from a seeded LCG so
     runs stay deterministic, and :meth:`transmit` clamps delivery times so
     jitter never reorders segments within a directed host pair.
+
+    WAN fault knobs — ``loss_prob``, ``dup_prob``, ``reorder_prob`` — make
+    the wire imperfect: a lost segment is billed but never delivered, a
+    duplicated one arrives twice, a reordered one is held back past the
+    FIFO clamp so later segments can overtake it. Fault draws come from
+    their *own* seeded LCG (``fault_seed``), never the jitter stream, so a
+    run with every probability at zero consumes the exact jitter sequence
+    — and therefore the exact timing — of a run predating the fault model.
+    Probabilities may also be set per unordered pair via :meth:`set_link`
+    or per *directed* pair via :meth:`set_link_directed` (the granularity
+    :class:`~repro.faults.LinkDegradeFault` degrades at). Callers that
+    model an already-reliable protocol (guest TCP streams) pass
+    ``faults=False`` to :meth:`transmit` and keep a perfect wire.
     """
 
     def __init__(self, latency_ns: int = 100_000, loopback_latency_ns: int = 5_000,
                  bandwidth_bps: Optional[float] = None, jitter_ns: int = 0,
-                 jitter_seed: int = 0x5EED):
+                 jitter_seed: int = 0x5EED, loss_prob: float = 0.0,
+                 dup_prob: float = 0.0, reorder_prob: float = 0.0,
+                 fault_seed: int = 0xFA17):
         self.latency_ns = latency_ns
         self.loopback_latency_ns = loopback_latency_ns
         self.bandwidth_bps = bandwidth_bps
         self.jitter_ns = jitter_ns
+        self.loss_prob = loss_prob
+        self.dup_prob = dup_prob
+        self.reorder_prob = reorder_prob
         self.listeners: Dict[Address, "ListeningSocket"] = {}
         self._ephemeral = 32768
         self._links: Dict[frozenset, Dict[str, object]] = {}
+        self._directed: Dict[Tuple[str, str], Dict[str, object]] = {}
         self._fifo_clock: Dict[Tuple[str, str], int] = {}
         self._jitter_state = (jitter_seed & 0xFFFFFFFFFFFFFFFF) or 1
+        self._fault_state = (fault_seed & 0xFFFFFFFFFFFFFFFF) or 1
         # Counters used by benchmarks to report on-the-wire volume.
         self.bytes_sent = 0
         self.segments_sent = 0
+        self.segments_lost = 0
+        self.segments_duplicated = 0
+        self.segments_reordered = 0
 
     def ephemeral_port(self) -> int:
         self._ephemeral += 1
@@ -56,30 +79,111 @@ class Network:
     # -- link model -------------------------------------------------------
     def set_link(self, a_ip: str, b_ip: str, latency_ns: Optional[int] = None,
                  bandwidth_bps: Optional[float] = None,
-                 jitter_ns: Optional[int] = None) -> None:
+                 jitter_ns: Optional[int] = None,
+                 loss_prob: Optional[float] = None,
+                 dup_prob: Optional[float] = None,
+                 reorder_prob: Optional[float] = None) -> None:
         """Override link parameters for the (unordered) host pair."""
         override = self._links.setdefault(frozenset((a_ip, b_ip)), {})
-        if latency_ns is not None:
-            override["latency_ns"] = latency_ns
-        if bandwidth_bps is not None:
-            override["bandwidth_bps"] = bandwidth_bps
-        if jitter_ns is not None:
-            override["jitter_ns"] = jitter_ns
+        for key, value in (
+            ("latency_ns", latency_ns),
+            ("bandwidth_bps", bandwidth_bps),
+            ("jitter_ns", jitter_ns),
+            ("loss_prob", loss_prob),
+            ("dup_prob", dup_prob),
+            ("reorder_prob", reorder_prob),
+        ):
+            if value is not None:
+                override[key] = value
+
+    def set_link_directed(self, src_ip: str, dst_ip: str,
+                          latency_ns: Optional[int] = None,
+                          bandwidth_bps: Optional[float] = None,
+                          jitter_ns: Optional[int] = None,
+                          loss_prob: Optional[float] = None,
+                          dup_prob: Optional[float] = None,
+                          reorder_prob: Optional[float] = None) -> Dict:
+        """Override parameters for one *directed* link (src -> dst only);
+        directed overrides win over pair overrides and globals. Returns a
+        snapshot of the previous directed override so a caller degrading
+        the link for a window can restore it exactly afterwards (see
+        :meth:`replace_link_directed`)."""
+        key = (src_ip, dst_ip)
+        snapshot = dict(self._directed.get(key, {}))
+        override = self._directed.setdefault(key, {})
+        for name, value in (
+            ("latency_ns", latency_ns),
+            ("bandwidth_bps", bandwidth_bps),
+            ("jitter_ns", jitter_ns),
+            ("loss_prob", loss_prob),
+            ("dup_prob", dup_prob),
+            ("reorder_prob", reorder_prob),
+        ):
+            if value is not None:
+                override[name] = value
+        return snapshot
+
+    def replace_link_directed(self, src_ip: str, dst_ip: str,
+                              override: Dict) -> None:
+        """Restore a directed override to a snapshot taken earlier."""
+        if override:
+            self._directed[(src_ip, dst_ip)] = dict(override)
+        else:
+            self._directed.pop((src_ip, dst_ip), None)
+
+    def _link_value(self, src_ip: str, dst_ip: str, key: str):
+        directed = self._directed.get((src_ip, dst_ip))
+        if directed is not None and key in directed:
+            return directed[key]
+        override = self._links.get(frozenset((src_ip, dst_ip)))
+        if override is not None and key in override:
+            return override[key]
+        return getattr(self, key)
 
     def link_params(self, a_ip: str, b_ip: str):
         """Effective (latency_ns, bandwidth_bps, jitter_ns) for a host pair."""
-        override = self._links.get(frozenset((a_ip, b_ip)), {})
         return (
-            override.get("latency_ns", self.latency_ns),
-            override.get("bandwidth_bps", self.bandwidth_bps),
-            override.get("jitter_ns", self.jitter_ns),
+            self._link_value(a_ip, b_ip, "latency_ns"),
+            self._link_value(a_ip, b_ip, "bandwidth_bps"),
+            self._link_value(a_ip, b_ip, "jitter_ns"),
         )
+
+    def link_faults(self, src_ip: str, dst_ip: str):
+        """Effective (loss_prob, dup_prob, reorder_prob) for a directed
+        link — the directed override wins, then the pair, then globals."""
+        return (
+            self._link_value(src_ip, dst_ip, "loss_prob"),
+            self._link_value(src_ip, dst_ip, "dup_prob"),
+            self._link_value(src_ip, dst_ip, "reorder_prob"),
+        )
+
+    def lossy(self) -> bool:
+        """True if any global or per-link fault probability is nonzero
+        (the auto-enable signal for the reliable transport layer)."""
+        if self.loss_prob or self.dup_prob or self.reorder_prob:
+            return True
+        knobs = ("loss_prob", "dup_prob", "reorder_prob")
+        for override in self._links.values():
+            if any(override.get(k) for k in knobs):
+                return True
+        for override in self._directed.values():
+            if any(override.get(k) for k in knobs):
+                return True
+        return False
 
     def _next_jitter(self) -> int:
         self._jitter_state = (
             self._jitter_state * 6364136223846793005 + 1442695040888963407
         ) & 0xFFFFFFFFFFFFFFFF
         return self._jitter_state >> 33
+
+    def _next_fault(self) -> float:
+        """A fault-lane draw in [0, 1); a separate LCG from jitter so
+        zero-probability runs never perturb the jitter sequence."""
+        self._fault_state = (
+            self._fault_state * 6364136223846793005 + 1442695040888963407
+        ) & 0xFFFFFFFFFFFFFFFF
+        return (self._fault_state >> 11) / float(1 << 53)
 
     def delay_between(self, a: Address, b: Address) -> int:
         if a[0] == b[0]:
@@ -100,12 +204,16 @@ class Network:
         return delay
 
     def transmit(self, sim, src: Address, dst: Address, nbytes: int,
-                 deliver, *args, count: bool = True) -> int:
+                 deliver, *args, count: bool = True,
+                 faults: bool = True) -> int:
         """Schedule ``deliver(*args)`` after the link delay for a segment.
 
         Delivery order within a directed host pair is preserved: a jittered
         segment is never delivered before an earlier one (FIFO clamp).
-        Returns the absolute delivery time.
+        Returns the absolute delivery time (for a lost segment, the time
+        it *would* have arrived). With ``faults=False`` the segment is
+        exempt from loss/dup/reorder — the caller models a protocol that
+        already recovered them (guest TCP folds retransmits into latency).
         """
         if count:
             self.bytes_sent += nbytes
@@ -115,6 +223,29 @@ class Network:
         floor = self._fifo_clock.get(key, 0)
         if when < floor:
             when = floor
+        if faults and src[0] != dst[0]:
+            loss_p, dup_p, reorder_p = self.link_faults(src[0], dst[0])
+            if loss_p and self._next_fault() < loss_p:
+                # The bytes hit the wire (billed above) but never arrive;
+                # the FIFO floor is untouched — nothing was delivered.
+                self.segments_lost += 1
+                return when
+            latency = self._link_value(src[0], dst[0], "latency_ns")
+            if reorder_p and self._next_fault() < reorder_p:
+                # Hold this segment back without raising the FIFO floor,
+                # so segments sent after it may arrive first.
+                self.segments_reordered += 1
+                extra = 1 + int(self._next_fault() * max(1, latency))
+                sim.call_at(when + extra, deliver, *args)
+                return when + extra
+            if dup_p and self._next_fault() < dup_p:
+                # A second copy trails the first; it crosses the wire
+                # for real, so its bytes are billed too.
+                self.segments_duplicated += 1
+                if count:
+                    self.bytes_sent += nbytes
+                lag = 1 + int(self._next_fault() * max(1, latency))
+                sim.call_at(when + lag, deliver, *args)
         self._fifo_clock[key] = when
         sim.call_at(when, deliver, *args)
         return when
@@ -206,9 +337,12 @@ class StreamSocket(FileObject):
         net = self.kernel.network
         peer = self.peer
         payload = bytes(data)
+        # Guest streams model TCP: loss/dup/reorder recovery is already
+        # folded into the link latency, so stream segments are exempt
+        # from the raw fault knobs (faults=False keeps them reliable).
         net.transmit(
             self.kernel.sim, self.local_addr, self.peer_addr, len(payload),
-            peer._arrive, payload,
+            peer._arrive, payload, faults=False,
         )
         return len(data)
 
@@ -248,7 +382,7 @@ class StreamSocket(FileObject):
                 peer = self.peer
                 self.kernel.network.transmit(
                     self.kernel.sim, self.local_addr, self.peer_addr, 0,
-                    peer._arrive_fin, count=False,
+                    peer._arrive_fin, count=False, faults=False,
                 )
         if how in (C.SHUT_RD, C.SHUT_RDWR):
             self.rcv_closed = True

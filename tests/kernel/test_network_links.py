@@ -97,6 +97,127 @@ def test_fifo_clamp_is_per_directed_pair():
     assert net._fifo_clock[(A[0], B[0])] == t_ab
 
 
+def test_loss_is_seeded_and_deterministic():
+    def outcomes(seed):
+        sim = Simulator()
+        net = Network(latency_ns=100_000, loss_prob=0.3, fault_seed=seed)
+        got = []
+        for i in range(100):
+            net.transmit(sim, A, B, 64, got.append, i)
+        sim.run()
+        return got, net.segments_lost
+
+    got1, lost1 = outcomes(17)
+    got2, lost2 = outcomes(17)
+    assert (got1, lost1) == (got2, lost2)  # same seed, same drops
+    assert 0 < lost1 < 100
+    assert len(got1) == 100 - lost1
+
+    got3, lost3 = outcomes(18)
+    assert got3 != got1  # a different seed drops different segments
+
+
+def test_lost_segments_are_billed_but_never_delivered():
+    sim = Simulator()
+    net = Network(latency_ns=100_000, loss_prob=1.0)
+    got = []
+    net.transmit(sim, A, B, 500, got.append, "x")
+    sim.run()
+    assert got == []
+    assert (net.bytes_sent, net.segments_sent) == (500, 1)
+    assert net.segments_lost == 1
+
+
+def test_duplicate_delivers_twice_and_bills_the_copy():
+    sim = Simulator()
+    net = Network(latency_ns=100_000, dup_prob=1.0)
+    got = []
+    net.transmit(sim, A, B, 500, got.append, "x")
+    sim.run()
+    assert got == ["x", "x"]
+    assert net.bytes_sent == 1000  # the trailing copy crossed the wire
+    assert net.segments_duplicated == 1
+
+
+def test_reorder_can_invert_delivery_order():
+    # With reorder_prob=1 every segment is held back past the FIFO floor
+    # by an independent draw, so some pair must arrive out of order.
+    sim = Simulator()
+    net = Network(latency_ns=100_000, reorder_prob=1.0, fault_seed=5)
+    got = []
+    for i in range(50):
+        net.transmit(sim, A, B, 64, got.append, i)
+    sim.run()
+    assert sorted(got) == list(range(50))  # nothing lost
+    assert got != list(range(50))
+    assert net.segments_reordered == 50
+
+
+def test_faults_false_exempts_a_segment():
+    sim = Simulator()
+    net = Network(latency_ns=100_000, loss_prob=1.0)
+    got = []
+    net.transmit(sim, A, B, 64, got.append, "tcp", faults=False)
+    sim.run()
+    assert got == ["tcp"]  # guest TCP already recovered its losses
+    assert net.segments_lost == 0
+
+
+def test_zero_probability_leaves_jitter_stream_untouched():
+    # The fault lane draws from its own LCG: a run with every fault knob
+    # at zero must see the exact jitter sequence of a pre-fault-model run.
+    net_plain = Network(latency_ns=100_000, jitter_ns=30_000, jitter_seed=42)
+    net_zero = Network(latency_ns=100_000, jitter_ns=30_000, jitter_seed=42,
+                       loss_prob=0.0, dup_prob=0.0, reorder_prob=0.0)
+    d1 = [net_plain.delay_for(A, B) for _ in range(200)]
+    d2 = [net_zero.delay_for(A, B) for _ in range(200)]
+    assert d1 == d2
+
+
+def test_directed_fault_override_wins_then_pair_then_global():
+    net = Network(loss_prob=0.01)
+    net.set_link(A[0], B[0], loss_prob=0.1)
+    net.set_link_directed(A[0], B[0], loss_prob=0.5)
+    assert net.link_faults(A[0], B[0]) == (0.5, 0.0, 0.0)  # directed wins
+    assert net.link_faults(B[0], A[0]) == (0.1, 0.0, 0.0)  # pair next
+    assert net.link_faults(A[0], C[0]) == (0.01, 0.0, 0.0)  # global floor
+
+
+def test_set_link_directed_snapshot_restores_exactly():
+    net = Network(latency_ns=100_000)
+    net.set_link_directed(A[0], B[0], latency_ns=900_000)
+    snapshot = net.set_link_directed(A[0], B[0], latency_ns=5_000_000,
+                                     loss_prob=0.25)
+    assert net.link_faults(A[0], B[0])[0] == 0.25
+    net.replace_link_directed(A[0], B[0], snapshot)
+    assert net.link_faults(A[0], B[0]) == (0.0, 0.0, 0.0)
+    assert net._directed[(A[0], B[0])] == {"latency_ns": 900_000}
+
+    # An empty snapshot removes the directed entry entirely.
+    empty = net.set_link_directed(A[0], C[0], loss_prob=1.0)
+    net.replace_link_directed(A[0], C[0], empty)
+    assert (A[0], C[0]) not in net._directed
+
+
+def test_lossy_detects_global_pair_and_directed_knobs():
+    assert not Network().lossy()
+    assert Network(loss_prob=0.1).lossy()
+    assert Network(dup_prob=0.1).lossy()
+    assert Network(reorder_prob=0.1).lossy()
+
+    net = Network()
+    net.set_link(A[0], B[0], loss_prob=0.1)
+    assert net.lossy()
+
+    net = Network()
+    net.set_link_directed(A[0], B[0], reorder_prob=0.1)
+    assert net.lossy()
+
+    net = Network()
+    net.set_link(A[0], B[0], latency_ns=5)  # latency-only override
+    assert not net.lossy()
+
+
 def test_wildcard_binds_are_host_scoped():
     class _FakeListener:
         def __init__(self, host_ip):
