@@ -1,0 +1,161 @@
+"""Fleet latency-vs-offered-load benches (repro.fleet, DESIGN.md §10).
+
+The queue-based-load-leveling claim, measured: past the saturation knee
+an unthrottled fleet's p99 is accept-backlog wait and keeps growing with
+offered load, while the admission controller (token bucket + bounded
+backlog) holds p99 pinned near the knee at the same goodput, paying in
+shed connections instead of latency. Plus: reject vs drop shed
+policies, selective vs full replication wire volume for an
+externally-driven fleet, and a >= 10,000-connection run through one
+multiplexed client process.
+
+Every sweep's rows are written to ``BENCH_fleet.json`` at the repo root
+(merged section by section, so partial runs keep earlier data).
+"""
+
+import json
+import os
+
+from repro.bench import fleet
+from repro.bench.reporting import Table
+
+_BENCH_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_fleet.json")
+
+
+def _record(section, rows):
+    """Merge one sweep's rows into BENCH_fleet.json."""
+    data = {}
+    try:
+        with open(_BENCH_JSON) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        pass
+    data[section] = rows
+    data["smoke"] = fleet.smoke()
+    with open(_BENCH_JSON, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_admission_bounds_tail_latency(benchmark, report):
+    rows = fleet.offered_load_sweep()
+    _record("offered_load", rows)
+    table = Table(
+        "redis fleet (2 nodes): p99 vs offered load, baseline vs admission",
+        ["offered rps", "mode", "admitted", "shed", "p50 ms", "p99 ms",
+         "goodput rps", "max queue wait ms"],
+    )
+    for row in rows:
+        table.add(
+            "%.0f" % row["offered_rps"], row["mode"], row["admitted"],
+            row["shed"], "%.2f" % (row["p50_ns"] / 1e6),
+            "%.2f" % (row["p99_ns"] / 1e6), "%.0f" % row["goodput_rps"],
+            "%.2f" % (row["max_accept_wait_ns"] / 1e6),
+        )
+    report(table.render())
+
+    for row in rows:
+        # Conservation: every offered SYN was either admitted or shed.
+        assert row["admitted"] + row["shed"] == row["offered"], row
+        assert row["errors"] == 0, row
+    baseline = [r for r in rows if r["mode"] == "baseline"]
+    admission = [r for r in rows if r["mode"] == "admission"]
+    # Below the knee the controller is transparent: nothing shed, same
+    # tail as the baseline.
+    assert admission[0]["shed"] == 0
+    assert admission[0]["p99_ns"] == baseline[0]["p99_ns"]
+    # Past the knee the baseline tail is queue wait and keeps growing
+    # with offered load...
+    knee_p99 = baseline[0]["p99_ns"]
+    overloaded = baseline[1:]
+    assert all(r["p99_ns"] > 5 * knee_p99 for r in overloaded)
+    assert overloaded[-1]["p99_ns"] > overloaded[0]["p99_ns"]
+    # ...while admission holds p99 bounded (well under the baseline's)
+    # at equal-or-better goodput, by shedding the excess.
+    for base_row, adm_row in zip(baseline[1:], admission[1:]):
+        assert adm_row["shed"] > 0
+        assert adm_row["p99_ns"] * 3 < base_row["p99_ns"], (adm_row, base_row)
+        assert adm_row["goodput_rps"] > 0.85 * base_row["goodput_rps"]
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_shed_policy_semantics(benchmark, report):
+    rows = fleet.shed_policy_rows()
+    _record("shed_policy", rows)
+    table = Table(
+        "Shed policy at ~30x overload (redis fleet)",
+        ["policy", "shed", "client refused", "client timed out",
+         "completed", "p99 ms"],
+    )
+    for row in rows:
+        table.add(row["policy"], row["shed"], row["refused"], row["dropped"],
+                  row["completed"], "%.2f" % (row["p99_ns"] / 1e6))
+    report(table.render())
+
+    reject, drop = rows
+    # reject surfaces backpressure immediately (ECONNREFUSED); drop
+    # burns the client's connect timeout instead (ETIMEDOUT).
+    assert reject["policy"] == "reject"
+    assert reject["refused"] > 0 and reject["dropped"] == 0
+    assert drop["policy"] == "drop"
+    assert drop["dropped"] > 0 and drop["refused"] == 0
+    # Both shed comparably and keep the admitted tail bounded.
+    assert abs(reject["shed"] - drop["shed"]) <= 3
+    for row in rows:
+        assert row["admitted"] + row["shed"] == row["offered"], row
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_selective_replication_saves_wire(benchmark, report):
+    rows = fleet.replication_rows()
+    _record("replication", rows)
+    table = Table(
+        "Selective vs full replication (lighttpd-wrk fleet, keepalive x4)",
+        ["policy", "completed", "wire KiB", "p99 ms"],
+    )
+    for row in rows:
+        table.add(row["replication"], row["completed"],
+                  "%.1f" % (row["wire_bytes"] / 1024),
+                  "%.2f" % (row["p99_ns"] / 1e6))
+    report(table.render())
+
+    selective, full = rows
+    assert selective["completed"] == full["completed"]
+    # The dMVX claim holds for the external fleet too: full replication
+    # ships reproducible results and pays for it on the wire.
+    assert full["wire_bytes"] > 2 * selective["wire_bytes"], rows
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
+def test_ten_thousand_clients_one_process(benchmark, report):
+    row = fleet.scale_row()
+    _record("scale", [row])
+    report(
+        "fleet scale row: %d connections via one mux client -> "
+        "admitted=%d shed=%d completed=%d refused=%d p99=%.2f ms"
+        % (row["connections"], row["admitted"], row["shed"],
+           row["completed"], row["refused"], row["p99_ns"] / 1e6)
+    )
+
+    assert row["connections"] >= 10_000
+    assert row["offered"] >= row["connections"]
+    assert row["admitted"] + row["shed"] == row["offered"]
+    # Client-side conservation: every connection resolved one way.
+    resolved = (row["completed"] + row["refused"] + row["dropped"]
+                + row["errors"])
+    assert resolved >= row["connections"], row
+    # The admitted tail stays bounded even under a 10k-SYN stampede.
+    assert row["p99_ns"] < 50_000_000, row
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)

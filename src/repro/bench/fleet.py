@@ -1,0 +1,130 @@
+"""Fleet offered-load sweeps (repro.fleet; DESIGN.md §10).
+
+The experiment the admission controller exists for: drive a replicated
+§5.2 server with rising offered load and watch the tail. Without
+admission control the accept backlog absorbs everything past the
+saturation knee, so p99 latency is queue wait and grows with offered
+load. With a token bucket and a bounded backlog the excess is shed at
+SYN time and the tail stays pinned near the knee — goodput costs shed
+connections instead of latency. The sweeps below quantify that, compare
+the two shed policies, price selective vs full replication for an
+externally-driven fleet, and prove the multiplexed client scales to a
+five-digit connection count in one process.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.fleet import AdmissionConfig, FleetConfig, run_fleet
+
+#: Inter-SYN gap per sweep step (ns): offered rate is ``1e9 / pace``.
+#: The fleet's capacity is set by the accept path — every accept is a
+#: globally-ordered rendezvous round trip across the cluster, ~4 krps
+#: at 20 us links — so the sweep starts below that knee and crosses it
+#: by ~30x.
+PACES_NS = (500_000, 120_000, 30_000, 7_500)
+SMOKE_PACES_NS = (500_000, 30_000, 7_500)
+
+
+def smoke() -> bool:
+    """CI smoke mode (REPRO_BENCH_SMOKE=1): fewer sweep points and a
+    smaller (but still >= 10k) scale row — same assertions."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def sweep_paces() -> tuple:
+    return SMOKE_PACES_NS if smoke() else PACES_NS
+
+
+def sweep_connections() -> int:
+    return 64 if smoke() else 96
+
+
+def throttled_config() -> AdmissionConfig:
+    """The admission setting every sweep uses: a bucket set below the
+    knee plus a short backlog, so overload sheds instead of queueing."""
+    return AdmissionConfig(queue_capacity=8, rate_per_s=4_000, burst=8)
+
+
+def _fleet(pace_ns: int, admission: Optional[AdmissionConfig],
+           **overrides) -> FleetConfig:
+    base = dict(
+        server="redis",
+        nodes=2,
+        connections=sweep_connections(),
+        connect_pace_ns=pace_ns,
+        admission=admission,
+    )
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+def _row(config: FleetConfig, **extra) -> Dict:
+    result = run_fleet(config)
+    row = result.row()
+    row["offered_rps"] = round(1e9 / config.connect_pace_ns, 1)
+    row.update(extra)
+    assert row["exit_codes"] == [0] * config.nodes, row
+    assert not row["diverged"], row
+    return row
+
+
+def offered_load_sweep() -> List[Dict]:
+    """Baseline (pass-through) vs throttled rows at each offered rate."""
+    rows = []
+    for pace in sweep_paces():
+        rows.append(_row(_fleet(pace, None), mode="baseline"))
+        rows.append(_row(_fleet(pace, throttled_config()), mode="admission"))
+    return rows
+
+
+def shed_policy_rows() -> List[Dict]:
+    """reject vs drop at one clearly-overloaded offered rate."""
+    pace = sweep_paces()[-1]
+    rows = []
+    for policy in ("reject", "drop"):
+        admission = AdmissionConfig(
+            queue_capacity=8, rate_per_s=3_000, burst=8, policy=policy,
+            drop_timeout_ns=5_000_000,
+        )
+        rows.append(_row(_fleet(pace, admission), mode="policy"))
+    return rows
+
+
+def replication_rows() -> List[Dict]:
+    """Selective vs full replication, below the knee on a file-serving
+    profile: full replication ships every reproducible result (preads,
+    log writes, clock reads) the followers could have computed locally,
+    so the wire gap is visible even though both serve the same load."""
+    pace = sweep_paces()[0]
+    return [
+        _row(
+            _fleet(
+                pace, None,
+                server="lighttpd-wrk",
+                connections=32,
+                requests_per_conn=4,
+                replication=which,
+            ),
+            mode="replication",
+        )
+        for which in ("selective", "full")
+    ]
+
+
+def scale_row(connections: Optional[int] = None) -> Dict:
+    """One >= 10k-connection run through a single multiplexed client
+    process: the admission controller sheds most of the stampede, so the
+    row finishes in CI-smoke time while still exercising every SYN."""
+    if connections is None:
+        connections = 10_000 if smoke() else 12_000
+    admission = AdmissionConfig(queue_capacity=32, rate_per_s=4_000, burst=16)
+    config = _fleet(
+        2_000, admission,
+        connections=connections,
+        shard_size=256,
+        max_steps=1_200_000_000,
+    )
+    return _row(config, mode="scale")

@@ -92,6 +92,12 @@ class CostModel:
     dist_retransmit_ns: int = 900
     dist_ack_ns: int = 400
 
+    # -- fleet admission control (repro.fleet) ------------------------------
+    #: Leader-side accept-path bookkeeping per admitted connection:
+    #: token-bucket refill/consume plus queue-wait stamping. Billed on
+    #: the accepting thread only when a controller is attached.
+    fleet_admission_ns: int = 180
+
     # -- observability (repro.obs) ------------------------------------------
     # Charged only while the corresponding instrument is enabled; with
     # obs at defaults both are folded in as zero, so metrics-only runs

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.epoll_map import EpollShadowMap
 from repro.core.events import DivergenceReport, MveeResult
 from repro.core.handlers import build_handler_table
+from repro.core.policies import Level
 from repro.core.remon import ReMonConfig, ReplicaGroup
 from repro.obs import Obs
 from repro.dist.node import DistInterceptor, Node, ReplicaView
@@ -152,6 +153,16 @@ class DistConfig:
     #: Observability (repro.obs.ObsConfig). None falls back to
     #: ``ReMonConfig.obs``, then to metrics-only defaults.
     obs: Optional[object] = None
+    #: External-service mode (repro.fleet): the replicated program
+    #: serves clients that live *outside* the cluster and reach the
+    #: leader's node only. accept() executes leader-only with followers
+    #: adopting the fd, and readiness calls (epoll/poll/select) are
+    #: replicated instead of process-local — see
+    #: :data:`repro.dist.selective.EXTERNAL_LEADER_CALLS`. Requires a
+    #: relaxation level that leaves socket data calls unmonitored
+    #: (Level.SOCKET_RW): at stricter levels recv/send would rendezvous
+    #: and execute on follower phantom fds.
+    external_service: bool = False
 
 
 class DistMonitor:
@@ -570,6 +581,20 @@ class DistMvee:
         self.solo = self.n == 1
         self.policy = self.config.policy()
         self.replication = dconfig.replication
+        self.external = dconfig.external_service
+        if self.external:
+            if self.policy.level < Level.SOCKET_RW:
+                raise MonitorError(
+                    "external_service needs Level.SOCKET_RW or looser: "
+                    "monitored socket data calls would rendezvous and "
+                    "execute on follower phantom descriptors"
+                )
+            if not self.replication.external:
+                # The policy must route readiness calls through the
+                # replicated lane; flip a fresh default policy rather
+                # than make every caller pass fleet_replication().
+                self.replication.external = True
+                self.replication._memo.clear()
         self.handlers = build_handler_table(self.policy.unmonitored_set())
         self.group = ReplicaGroup()
         self.epoll_map = EpollShadowMap(self.n)

@@ -43,6 +43,10 @@ from repro.dist.wire import (
     call_digest,
     digest_payload,
 )
+from repro.kernel import constants as C
+from repro.kernel.sockets import AdoptedSocket
+from repro.kernel.structs import SOCKADDR_SIZE
+from repro.kernel.vfs import OpenFileDescription
 from repro.kernel.waitq import wait_interruptible
 from repro.sim import Sleep
 
@@ -192,6 +196,9 @@ class DistInterceptor:
         digest = call_digest(req.name, blob)
         handler = mvee.handlers.get(req.name)
         view = node.view
+        if mvee.external and req.name in sel.EXTERNAL_LEADER_CALLS:
+            result = yield from self._external_accept(thread, req, seq, digest)
+            return result
         if handler is None or handler.maybe_checked(view, req):
             result = yield from self._rendezvous(thread, req, seq, digest)
             return result
@@ -236,6 +243,13 @@ class DistInterceptor:
         costs = node.kernel.config.costs
         mvee.stats["replicated_calls"] += 1
         mvee.monitor.record_reference(thread.vtid, seq, req.name, digest)
+        # Replica-local bookkeeping before execution (EpollCtlHandler
+        # records each replica's own data tags so adopted epoll events
+        # can be localized). Only external-service policies route calls
+        # with an observe() hook through this lane.
+        observe = getattr(handler, "observe", None)
+        if observe is not None:
+            observe(view, req)
         result = yield from node.kernel.invoke(thread, req)
         if not isinstance(result, int):
             return result
@@ -291,6 +305,12 @@ class DistInterceptor:
         mvee.send_frame(
             node.index, mvee.leader_index, digest_frame, cls=sel.CLS_DIGEST
         )
+        # Same replica-local bookkeeping the leader does before
+        # executing; a follower never executes this call, so the hook is
+        # its only chance to record e.g. its own epoll data tags.
+        observe = getattr(handler, "observe", None)
+        if observe is not None:
+            observe(view, req)
         deadline = sim.now + dcfg.stall_timeout_ns
         backoff = dcfg.backoff_initial_ns
         while True:
@@ -341,6 +361,22 @@ class DistInterceptor:
     def _rendezvous(self, thread, req, seq, digest):
         mvee, node = self.mvee, self.node
         costs = node.kernel.config.costs
+        verdict = yield from self._rendezvous_sync(thread, req, seq, digest)
+        if verdict != 1:
+            result = yield from mvee.park(thread)
+            return result
+        yield Sleep(costs.dist_rendezvous_service_ns + mvee.obs.dispatch_cost_ns,
+                    cpu=True)
+        result = yield from node.kernel.invoke(thread, req)
+        return result
+
+    def _rendezvous_sync(self, thread, req, seq, digest):
+        """The lockstep half of a rendezvous: submit the argument digest
+        to the round's owner and wait for the verdict. Callers decide
+        what execution follows agreement (all-nodes for the normal lane,
+        leader-only for external accepts)."""
+        mvee, node = self.mvee, self.node
+        costs = node.kernel.config.costs
         vtid = thread.vtid
         mvee.stats["rendezvous_calls"] += 1
         # Digests go straight to the round's owning shard (the leader,
@@ -383,13 +419,7 @@ class DistInterceptor:
         )
         if span is not None:
             span.finish(verdict=verdict)
-        if verdict != 1:
-            result = yield from mvee.park(thread)
-            return result
-        yield Sleep(costs.dist_rendezvous_service_ns + obs.dispatch_cost_ns,
-                    cpu=True)
-        result = yield from node.kernel.invoke(thread, req)
-        return result
+        return verdict
 
     def _await_verdict(self, thread, req, vtid, seq, digest):
         mvee, node = self.mvee, self.node
@@ -489,3 +519,145 @@ class DistInterceptor:
                 waitq.unregister(event)
             mvee.stats["backoff_retries"] += 1
             backoff = min(backoff * 2, dcfg.backoff_max_ns)
+
+    # -- external-service accept lane --------------------------------------
+    def _external_accept(self, thread, req, seq, digest):
+        """accept(2) on an externally-reachable listener (repro.fleet).
+
+        The call keeps the lockstep half of the rendezvous lane — every
+        node submits its argument digest and waits for agreement, so a
+        compromised replica cannot smuggle divergent accept arguments —
+        but execution is leader-only: the client's SYN exists only in
+        the leader node's kernel. The leader ships the resulting fd (and
+        sockaddr out-buffer, if requested) through the RB mirror exactly
+        like a replicated result; followers adopt it by materialising an
+        :class:`~repro.kernel.sockets.AdoptedSocket` at the same
+        descriptor index, keeping fd numbering aligned for every later
+        call on the connection.
+        """
+        mvee, node = self.mvee, self.node
+        costs = node.kernel.config.costs
+        sim = node.kernel.sim
+        vtid = thread.vtid
+        verdict = yield from self._rendezvous_sync(thread, req, seq, digest)
+        if verdict != 1:
+            result = yield from mvee.park(thread)
+            return result
+        yield Sleep(costs.dist_rendezvous_service_ns + mvee.obs.dispatch_cost_ns,
+                    cpu=True)
+        if node.index == mvee.leader_index:
+            result = yield from node.kernel.invoke(thread, req)
+            if not isinstance(result, int):
+                return result
+            payload = b""
+            if result >= 0 and req.arg(1):
+                payload = bytes(
+                    node.process.space.read(req.arg(1), SOCKADDR_SIZE)
+                )
+            frame = Frame(
+                T_SYSCALL_RESULT, node.index, vtid, seq,
+                aux=result, payload=payload,
+            )
+            encode_ns = (
+                costs.rb_write_base_ns + costs.dist_frame_cost_ns(frame.size())
+            )
+            yield Sleep(encode_ns, cpu=True)
+            record = RemoteRecord(result, payload, req.name)
+            node.mirror.put(vtid, seq, record, sim)
+            for peer in mvee.live_peers(node.index):
+                mvee.send_frame(
+                    node.index, peer, frame, cls=sel.CLS_RESULT_PREFIX + "sock"
+                )
+            mvee.sim.call_at(
+                sim.now + mvee.release_lag_ns(), self._mirror_peers,
+                vtid, seq, record,
+            )
+            return result
+        # Follower: wait for the leader's record, then adopt the fd.
+        dcfg = mvee.dconfig
+        deadline = sim.now + dcfg.stall_timeout_ns
+        backoff = dcfg.backoff_initial_ns
+        while True:
+            record = node.mirror.get(vtid, seq)
+            if record is not None:
+                yield Sleep(
+                    costs.rb_read_base_ns + costs.rb_copy_ns(len(record.payload)),
+                    cpu=True,
+                )
+                if record.result >= 0:
+                    self._materialize_accept(thread, req, record)
+                node.mirror.consume(vtid, seq)
+                mvee.stats["adopted_results"] += 1
+                return record.result
+            if mvee.shutting_down or node.process.exited or node.process.quarantined:
+                result = yield from mvee.park(thread)
+                return result
+            if node.index == mvee.leader_index:
+                # Promoted mid-wait: nobody will ship the record. The
+                # new leader's own listener is idle (external clients
+                # still target the old address), so executing locally
+                # yields a harmless EAGAIN and the guest retries.
+                mvee.stats["promoted_executions"] += 1
+                result = yield from node.kernel.invoke(thread, req)
+                return result
+            if sim.now >= deadline:
+                mvee.report_stall(
+                    node, thread, req,
+                    blame=mvee.leader_index,
+                    detail="no adopted accept result for %s after %d ns"
+                    % (req.name, dcfg.stall_timeout_ns),
+                )
+                deadline = sim.now + dcfg.stall_timeout_ns
+                continue
+            event = node.mirror.waitq.register()
+            status, _ = yield from wait_interruptible(
+                thread, event,
+                timeout_ns=min(backoff, max(1, deadline - sim.now)),
+            )
+            if status != "fired":
+                node.mirror.waitq.unregister(event)
+            mvee.stats["backoff_retries"] += 1
+            backoff = min(backoff * 2, dcfg.backoff_max_ns)
+
+    def _materialize_accept(self, thread, req, record):
+        """Install a phantom connection fd mirroring the leader's."""
+        from repro.core.events import DivergenceReport
+
+        mvee, node = self.mvee, self.node
+        process = node.process
+        sock = AdoptedSocket(
+            node.kernel, process.host_ip, name="adopted:%d" % record.result
+        )
+        ofd_flags = C.O_RDWR
+        flags = req.arg(3) if req.name == "accept4" else 0
+        if flags & C.SOCK_NONBLOCK:
+            ofd_flags |= C.O_NONBLOCK
+        # Install at the *leader's* fd number (dup2-style), keeping the
+        # descriptor tables aligned by construction: concurrent worker
+        # threads may consume adopted records in a different order than
+        # the leader's accepts ran, so lowest-free allocation would
+        # skew. A still-occupied slot is the real desync signal.
+        fd = record.result
+        if process.fdtable.get(fd) is not None:
+            mvee.divergence(
+                DivergenceReport(
+                    mvee.sim.now,
+                    thread.vtid,
+                    req.name,
+                    "leader's accept fd %d already open here (descriptor "
+                    "tables desynced)" % fd,
+                    detected_by="dist-external",
+                    replica=node.index,
+                )
+            )
+            return
+        process.fdtable.install(
+            fd,
+            OpenFileDescription(sock, ofd_flags),
+            cloexec=bool(flags & C.SOCK_CLOEXEC),
+        )
+        if record.payload and req.arg(1):
+            process.space.write(req.arg(1), record.payload)
+            if req.arg(2):
+                process.space.write_u32(req.arg(2), SOCKADDR_SIZE)
+        node.kernel.on_fd_opened(process, fd)

@@ -98,6 +98,18 @@ _FD_DATA = frozenset(
     {"read", "readv", "pread64", "preadv", "write", "writev", "pwrite64", "pwritev"}
 )
 
+#: External-service mode (repro.fleet): calls whose results only the
+#: leader can produce, because the clients generating the events live
+#: outside the cluster and their SYNs/segments reach the leader's node
+#: only. ``accept``/``accept4`` stay on the rendezvous lane for lockstep
+#: argument agreement but execute leader-only (followers adopt the fd);
+#: readiness calls switch from process-local to replicated so followers
+#: observe the leader's event stream instead of their forever-idle
+#: listening sockets.
+EXTERNAL_LEADER_CALLS = frozenset({"accept", "accept4"})
+
+_EXTERNAL_READINESS = frozenset({"epoll_wait", "epoll_ctl", "poll", "select"})
+
 _PROC_INFO = frozenset(
     {
         "getpid",
@@ -149,13 +161,17 @@ class SelectiveReplication:
             (keeps time-dependent control flow identical across nodes).
         full: replicate *every* reproducible call too — the naive
             baseline dMVX measures against.
+        external: the service's clients live outside the cluster (only
+            the leader's node receives their traffic), so readiness
+            calls become replicated — see :data:`EXTERNAL_LEADER_CALLS`.
     """
 
     def __init__(self, name: str = "selective", replicate_time: bool = True,
-                 full: bool = False):
+                 full: bool = False, external: bool = False):
         self.name = name
         self.replicate_time = replicate_time
         self.full = full
+        self.external = external
         # classify() runs once per unmonitored syscall on every node;
         # the (name, fd_kind) domain is tiny, so memoize it.
         self._memo = {}
@@ -168,6 +184,8 @@ class SelectiveReplication:
         return lane
 
     def _classify(self, name: str, fd_kind: Optional[str]) -> str:
+        if self.external and name in _EXTERNAL_READINESS:
+            return REPLICATED
         if name in _PROCESS_LOCAL:
             return LOCAL
         if self.full:
@@ -192,3 +210,10 @@ def selective_replication() -> SelectiveReplication:
 def full_replication() -> SelectiveReplication:
     """Naive baseline: replicate every non-process-local result."""
     return SelectiveReplication("full", full=True)
+
+
+def fleet_replication(full: bool = False) -> SelectiveReplication:
+    """External-service policies for `repro.fleet` server fleets."""
+    if full:
+        return SelectiveReplication("full-fleet", full=True, external=True)
+    return SelectiveReplication("selective-fleet", external=True)

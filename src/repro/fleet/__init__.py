@@ -1,0 +1,31 @@
+"""repro.fleet — §5.2 server workloads as a distributed fleet.
+
+Replicas of a server spread across :class:`~repro.dist.cluster.DistMvee`
+nodes, with external simulated clients hitting the leader only. The
+leader survives tens of thousands of clients per run through admission
+control at the accept path: a bounded accept queue (queue-based load
+leveling), a token-bucket rate limiter, and a configurable shed policy
+(reject-with-backpressure vs. silent drop).
+"""
+
+from repro.fleet.admission import (
+    ADMIT,
+    POLICY_DROP,
+    POLICY_REJECT,
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.fleet.runner import FleetConfig, FleetResult, run_fleet
+
+__all__ = [
+    "ADMIT",
+    "POLICY_DROP",
+    "POLICY_REJECT",
+    "AdmissionConfig",
+    "AdmissionController",
+    "TokenBucket",
+    "FleetConfig",
+    "FleetResult",
+    "run_fleet",
+]

@@ -241,6 +241,16 @@ class Libc:
         ret = yield self.ctx.sys.shutdown(fd, how)
         return ret
 
+    def getsockopt(self, fd: int, level: int = C.SOL_SOCKET,
+                   optname: int = C.SO_ERROR) -> int:
+        """Read one int-valued socket option (default: consume SO_ERROR,
+        the nonblocking-connect idiom)."""
+        buf = yield from self.scratch(4)
+        ret = yield self.ctx.sys.getsockopt(fd, level, optname, buf, 0)
+        if ret < 0:
+            return ret
+        return self.ctx.mem.read_u32(buf)
+
     def set_nonblocking(self, fd: int, enable: bool = True) -> int:
         flags = yield self.ctx.sys.fcntl(fd, C.F_GETFL, 0)
         if flags < 0:

@@ -79,6 +79,9 @@ def sys_listen(kernel, thread, fd, backlog=128):
     old = entry.ofd.file
     entry.ofd.file = listener
     old.release()
+    ctl = getattr(kernel, "admission_control", None)
+    if ctl is not None:
+        ctl.attach(listener)
     return 0
 
 

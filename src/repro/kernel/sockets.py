@@ -16,6 +16,7 @@ from repro.kernel import constants as C
 from repro.kernel import errno_codes as E
 from repro.kernel.vfs import FileObject
 from repro.kernel.waitq import WaitQueue, wait_interruptible
+from repro.sim import Sleep
 
 Address = Tuple[str, int]
 
@@ -291,6 +292,11 @@ class StreamSocket(FileObject):
         self.connected = False
         self.connecting = False
         self.error = 0
+        # Set by the listener when the SYN is refused (RST) or silently
+        # shed; _complete() must not mark such a socket connected even
+        # if the error code was consumed via SO_ERROR in between.
+        self.syn_refused = False
+        self.syn_dropped = False
         self.dataq = WaitQueue("sock-data")
         self.connq = WaitQueue("sock-conn")
         self.sockopts: Dict[Tuple[int, int], int] = {}
@@ -410,6 +416,11 @@ class ListeningSocket(FileObject):
         self.backlog_limit = 128
         self.acceptq = WaitQueue("accept")
         self.sockopts: Dict[Tuple[int, int], int] = {}
+        # Optional admission controller (repro.fleet). The kernel stays
+        # fleet-agnostic: the controller is duck-typed — on_syn() returns
+        # "admit" / "reject" / "drop", on_enqueue()/on_dequeue() stamp
+        # queue waits. Attached via Kernel.admission_control at listen().
+        self.admission = None
 
     def st_mode(self) -> int:
         return C.S_IFSOCK | 0o777
@@ -418,16 +429,56 @@ class ListeningSocket(FileObject):
         return C.POLLIN if self.backlog else 0
 
     def _incoming(self, server_side: StreamSocket) -> None:
-        if len(self.backlog) >= self.backlog_limit:
-            # Drop the connection: the client sees a reset.
-            client = server_side.peer
-            if client is not None:
-                client.error = E.ECONNREFUSED
-                client.connq.notify_all(self.kernel.sim)
+        ctl = self.admission
+        if ctl is not None:
+            action = ctl.on_syn(self.kernel.sim.now, len(self.backlog))
+            if action == "reject":
+                self._refuse(server_side)
+                return
+            if action == "drop":
+                self._shed_silently(server_side, ctl.drop_timeout_ns)
+                return
+        elif len(self.backlog) >= self.backlog_limit:
+            # Backlog overflow without a controller: the client sees a
+            # reset (the pre-admission-control behaviour).
+            self._refuse(server_side)
             return
+        if ctl is not None:
+            ctl.on_enqueue(self.kernel.sim.now)
         self.backlog.append(server_side)
         self.acceptq.notify_all(self.kernel.sim)
         self.notify_pollers(self.kernel)
+
+    def _refuse(self, server_side: StreamSocket) -> None:
+        """Reject-with-backpressure: the client side sees an immediate
+        reset (modeled at SYN-processing time)."""
+        client = server_side.peer
+        if client is None:
+            return
+        client.syn_refused = True
+        client.error = E.ECONNREFUSED
+        client.connq.notify_all(self.kernel.sim)
+        client.notify_pollers(client.kernel)
+
+    def _shed_silently(self, server_side: StreamSocket,
+                       timeout_ns: int) -> None:
+        """Silent drop: the SYN vanishes; the client learns nothing until
+        its own connect timeout fires (retransmits folded into it)."""
+        client = server_side.peer
+        if client is None:
+            return
+        client.syn_dropped = True
+        sim = self.kernel.sim
+
+        def _timeout():
+            if client.connected or client.error:
+                return
+            client.error = E.ETIMEDOUT
+            client.connecting = False
+            client.connq.notify_all(sim)
+            client.notify_pollers(client.kernel)
+
+        sim.call_at(sim.now + timeout_ns, _timeout)
 
     def accept_one(self, kernel, thread, nonblocking: bool):
         """Coroutine: pop one pending connection (or block)."""
@@ -439,7 +490,47 @@ class ListeningSocket(FileObject):
             if status == "interrupted":
                 self.acceptq.unregister(event)
                 return -E.EINTR
-        return self.backlog.popleft()
+        conn = self.backlog.popleft()
+        ctl = self.admission
+        if ctl is not None:
+            yield Sleep(kernel.config.costs.fleet_admission_ns, cpu=True)
+            ctl.on_dequeue(kernel.sim.now)
+        return conn
+
+
+class AdoptedSocket(FileObject):
+    """Follower-side stand-in for a connection accepted on the leader.
+
+    In external-service mode (repro.fleet) the client's SYN exists only
+    on the leader's node, so followers cannot accept it themselves; they
+    materialise an AdoptedSocket at the same descriptor index to keep fd
+    numbering aligned. It carries no data path: recv/send on the
+    connection are replicated calls the follower never executes, and its
+    readiness is never consulted because epoll/poll results are adopted
+    from the leader too. Direct I/O (a bug) fails loudly with ENOTCONN.
+    """
+
+    kind = "sock"
+
+    def __init__(self, kernel, host_ip: str, name: str = "adopted-sock"):
+        super().__init__(name)
+        self.kernel = kernel
+        self.host_ip = host_ip
+        self.sockopts: Dict[Tuple[int, int], int] = {}
+
+    def st_mode(self) -> int:
+        return C.S_IFSOCK | 0o777
+
+    def poll_mask(self, kernel) -> int:
+        return 0
+
+    def read(self, kernel, thread, ofd, count: int):
+        return -E.ENOTCONN
+        yield  # pragma: no cover
+
+    def write(self, kernel, thread, ofd, data: bytes):
+        return -E.ENOTCONN
+        yield  # pragma: no cover
 
 
 def connect_sockets(kernel, client: StreamSocket, addr: Address):
@@ -472,7 +563,11 @@ def connect_sockets(kernel, client: StreamSocket, addr: Address):
     kernel.sim.call_at(kernel.sim.now + delay, _deliver_syn)
 
     def _complete():
-        if client.error == 0:
+        if client.syn_dropped:
+            # Silently shed: stay "connecting" until the drop timeout
+            # scheduled by the listener flips the socket to ETIMEDOUT.
+            return
+        if client.error == 0 and not client.syn_refused:
             client.connected = True
         client.connecting = False
         client.connq.notify_all(kernel.sim)

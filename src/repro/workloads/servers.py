@@ -19,6 +19,18 @@ All servers speak the same tiny line-oriented protocol the clients in
 :mod:`repro.workloads.clients` generate: a fixed-size request line; the
 response is a header plus a payload. A request beginning with ``QUIT``
 asks the server to shut down.
+
+Shutdown is deliberately data-race-free: no worker ever polls a flag
+another thread wrote to memory. The worker that services QUIT closes
+the shared listener (accept model) or pokes a never-drained shutdown
+pipe registered in every sibling's readiness set (poll/epoll models),
+and the main thread joins workers by reading one byte per sibling from
+a join pipe. Every loop exit is therefore driven by a system-call
+result. That is the discipline the paper demands of MVEE-able
+programs — racy flag polls make per-thread syscall counts depend on
+scheduling, which desynchronises lockstep replicas (and, in the
+distributed fleet, the leader and its followers resume replicated
+calls at different offsets, so such races *will* fire).
 """
 
 from __future__ import annotations
@@ -106,18 +118,28 @@ def build_server_program(spec: ServerSpec) -> Program:
         assert ret == 0, ret
         yield from libc.set_nonblocking(listener)
 
-        stop_word = yield from libc.malloc(4)
-        ctx.mem.write_u32(stop_word, 0)
-        done_word = yield from libc.malloc(4)
-        ctx.mem.write_u32(done_word, 0)
-        shared = {"listener": listener, "stop": stop_word, "done": done_word}
+        # Shutdown pipe: the QUIT worker writes one byte and nobody ever
+        # reads it, so the read end stays level-triggered-readable in
+        # every sibling's poll/epoll interest set. Join pipe: each
+        # sibling writes one byte on exit and main reads exactly
+        # ``workers - 1`` of them — both signals travel through syscall
+        # results, never through racy cross-thread memory reads.
+        sd_r, sd_w = yield from libc.pipe()
+        assert sd_r >= 0, sd_r
+        join_r, join_w = yield from libc.pipe()
+        assert join_r >= 0, join_r
+        shared = {
+            "listener": listener,
+            "sd_r": sd_r,
+            "sd_w": sd_w,
+            "join_w": join_w,
+        }
 
         def spawn_worker(cctx, payload):
             def body():
                 yield from _worker(cctx, spec, payload)
-                value = cctx.mem.read_u32(payload["done"]) + 1
-                cctx.mem.write_u32(payload["done"], value)
-                yield from cctx.libc.futex_wake(payload["done"], 1)
+                ret = yield from cctx.libc.write(payload["join_w"], b".")
+                assert ret == 1, ret
 
             return body()
 
@@ -126,9 +148,9 @@ def build_server_program(spec: ServerSpec) -> Program:
             assert tid > 0, tid
 
         yield from _worker(ctx, spec, shared)
-        while ctx.mem.read_u32(done_word) < spec.workers - 1:
-            current = ctx.mem.read_u32(done_word)
-            yield from libc.futex_wait(done_word, current)
+        for _ in range(spec.workers - 1):
+            ret, _ = yield from libc.read(join_r, 1)
+            assert ret == 1, ret
         return 0
 
     files = {}
@@ -148,7 +170,9 @@ def _worker(ctx, spec: ServerSpec, shared):
 
 def _open_resources(ctx, spec):
     libc = ctx.libc
-    resources = {}
+    # "stop" is this worker's private QUIT latch (each worker owns its
+    # resources dict), so reading it back is race-free by construction.
+    resources = {"stop": False}
     if spec.file_io:
         fd = yield from libc.open("/var/www/%s.payload" % spec.name)
         assert fd >= 0, fd
@@ -166,7 +190,7 @@ def _handle_request(ctx, spec, resources, conn, request: bytes):
     """Service one request; returns False when it was QUIT."""
     libc = ctx.libc
     if request.startswith(b"QUIT"):
-        ctx.mem.write_u32(resources["stop"], 1)
+        resources["stop"] = True
         return False
     yield Compute(spec.service_ns)
     if spec.file_io:
@@ -182,17 +206,21 @@ def _handle_request(ctx, spec, resources, conn, request: bytes):
 
 
 def _accept_worker(ctx, spec, shared):
-    """Blocking thread-per-connection model (apache prefork style)."""
+    """Blocking thread-per-connection model (apache prefork style).
+
+    The QUIT worker closes the shared listener — a monitored, globally
+    ordered call — and every sibling exits when its next accept()
+    reports EBADF, so shutdown never reads another thread's memory.
+    """
     libc = ctx.libc
     resources = yield from _open_resources(ctx, spec)
-    resources["stop"] = shared["stop"]
     listener = shared["listener"]
-    while not ctx.mem.read_u32(shared["stop"]):
+    while True:
         conn = yield from libc.accept(listener)
         if conn == -11:  # EAGAIN: racing with other workers
             yield from libc.nanosleep(200_000)
             continue
-        if conn < 0:
+        if conn < 0:  # EBADF: a sibling saw QUIT and closed the listener
             break
         keep_going = True
         while keep_going:
@@ -203,6 +231,9 @@ def _accept_worker(ctx, spec, shared):
                 ctx, spec, resources, conn, request
             )
         yield from libc.close(conn)
+        if resources["stop"]:
+            yield from libc.close(listener)
+            break
 
 
 def _poll_worker(ctx, spec, shared):
@@ -213,13 +244,14 @@ def _poll_worker(ctx, spec, shared):
 
     libc = ctx.libc
     resources = yield from _open_resources(ctx, spec)
-    resources["stop"] = shared["stop"]
     listener = shared["listener"]
+    shutdown_fd = shared["sd_r"]
     conns = []
     MAXFDS = 64
     fds_buf = yield from libc.malloc(MAXFDS * POLLFD_SIZE)
-    while not ctx.mem.read_u32(shared["stop"]):
-        watch = [listener] + conns
+    running = True
+    while running:
+        watch = [listener, shutdown_fd] + conns
         for index, fd in enumerate(watch):
             ctx.mem.write(
                 fds_buf + index * POLLFD_SIZE, pack_pollfd(fd, C.POLLIN, 0)
@@ -231,6 +263,12 @@ def _poll_worker(ctx, spec, shared):
             raw = ctx.mem.read(fds_buf + index * POLLFD_SIZE, POLLFD_SIZE)
             _fd, _ev, revents = unpack_pollfd(raw)
             if not revents:
+                continue
+            if fd == shutdown_fd:
+                # A sibling saw QUIT and poked the shutdown pipe; the
+                # byte is never drained, so the event is level-triggered
+                # and every worker's poll set reports it.
+                running = False
                 continue
             if fd == listener:
                 conn = yield from libc.accept(listener)
@@ -246,13 +284,15 @@ def _poll_worker(ctx, spec, shared):
             if not alive:
                 yield from libc.close(fd)
                 conns.remove(fd)
+                if resources["stop"]:
+                    yield from libc.write(shared["sd_w"], b"x")
+                    running = False
 
 
 def _epoll_worker(ctx, spec, shared):
     """epoll-based loop (lighttpd/nginx/redis/memcached/beanstalkd)."""
     libc = ctx.libc
     resources = yield from _open_resources(ctx, spec)
-    resources["stop"] = shared["stop"]
     listener = shared["listener"]
     epfd = yield from libc.epoll_create()
     assert epfd >= 0, epfd
@@ -264,14 +304,26 @@ def _epoll_worker(ctx, spec, shared):
         epfd, C.EPOLL_CTL_ADD, listener, C.EPOLLIN, data=listener_tag
     )
     assert ret == 0, ret
+    shutdown_tag = ctx.process.space.brk_base + 0x2000 + shared["sd_r"]
+    ret = yield from libc.epoll_ctl(
+        epfd, C.EPOLL_CTL_ADD, shared["sd_r"], C.EPOLLIN, data=shutdown_tag
+    )
+    assert ret == 0, ret
     tag_to_fd = {listener_tag: listener}
-    while not ctx.mem.read_u32(shared["stop"]):
+    running = True
+    while running:
         count, events = yield from libc.epoll_wait(
             epfd, maxevents=16, timeout_ms=EPOLL_IDLE_TIMEOUT_MS
         )
         if count < 0:
             break
         for _revents, tag in events:
+            if tag == shutdown_tag:
+                # A sibling saw QUIT and poked the shutdown pipe; the
+                # byte is never drained, so the event is level-triggered
+                # and every worker's epoll reports it.
+                running = False
+                continue
             fd = tag_to_fd.get(tag)
             if fd is None:
                 continue
@@ -304,3 +356,6 @@ def _epoll_worker(ctx, spec, shared):
                 tag_to_fd.pop(
                     next((t for t, f in tag_to_fd.items() if f == fd), None), None
                 )
+                if resources["stop"]:
+                    yield from libc.write(shared["sd_w"], b"x")
+                    running = False

@@ -1,0 +1,150 @@
+"""Property-based tests for the admission-control invariants
+(repro.fleet.admission).
+
+What the controller promises, over arbitrary SYN-arrival timelines:
+
+* the token bucket never holds more than ``burst`` tokens and never
+  admits a burst longer than ``burst`` instantaneously;
+* every offered SYN is either admitted or shed — nothing is lost or
+  double-counted;
+* the modelled backlog never exceeds ``queue_capacity``;
+* admission is FIFO — accept order equals SYN-arrival order, and the
+  queue-wait stamps are consistent with it;
+* all accounting is integer math, so identical timelines give
+  bit-identical counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.admission import (
+    ADMIT,
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+)
+
+#: (gap_ns, ...) arrival timelines: bursts (gap 0) through idle stretches.
+timelines = st.lists(
+    st.integers(min_value=0, max_value=2_000_000), min_size=1, max_size=300
+)
+rates = st.integers(min_value=1, max_value=200_000)
+bursts = st.integers(min_value=1, max_value=64)
+
+
+@given(timelines, rates, bursts)
+@settings(max_examples=200)
+def test_bucket_never_exceeds_burst_and_admits_at_most_burst_at_once(
+    gaps, rate, burst
+):
+    bucket = TokenBucket(rate, burst)
+    now = 0
+    instantaneous = 0
+    prev_now = None
+    for gap in gaps:
+        now += gap
+        assert bucket.tokens(now) <= burst
+        took = bucket.try_take(now)
+        assert bucket.tokens(now) <= burst
+        if took:
+            instantaneous = instantaneous + 1 if now == prev_now else 1
+            # With no time passing, at most ``burst`` admissions.
+            assert instantaneous <= burst
+            prev_now = now
+
+
+@given(timelines, st.integers(min_value=1, max_value=32))
+@settings(max_examples=200)
+def test_every_syn_admitted_or_shed_and_queue_bounded(gaps, capacity):
+    config = AdmissionConfig(queue_capacity=capacity, rate_per_s=50_000,
+                             burst=4)
+    ctl = AdmissionController(config)
+    now = 0
+    backlog = 0
+    for index, gap in enumerate(gaps):
+        now += gap
+        action = ctl.on_syn(now, backlog)
+        if action == ADMIT:
+            ctl.on_enqueue(now)
+            backlog += 1
+        assert backlog <= capacity
+        # Conservation after every single decision.
+        assert ctl.admitted + ctl.shed == ctl.offered == index + 1
+        # Drain one occasionally so admission can make progress.
+        if backlog and index % 3 == 0:
+            ctl.on_dequeue(now)
+            backlog -= 1
+    assert ctl.shed == ctl.shed_rate + ctl.shed_queue
+    assert 0.0 <= ctl.shed_fraction() <= 1.0
+
+
+@given(timelines)
+@settings(max_examples=100)
+def test_fifo_admission_waits_match_arrival_order(gaps):
+    """Dequeue stamps pop in arrival order; each wait is exact."""
+    config = AdmissionConfig(queue_capacity=len(gaps) + 1)
+    ctl = AdmissionController(config)
+    now = 0
+    arrivals = []
+    for gap in gaps:
+        now += gap
+        assert ctl.on_syn(now, len(arrivals)) == ADMIT
+        ctl.on_enqueue(now)
+        arrivals.append(now)
+    drain = now
+    for arrived in arrivals:  # FIFO: oldest stamp pops first
+        drain += 1_000
+        assert ctl.on_dequeue(drain) == drain - arrived
+    assert ctl.accepted == len(arrivals)
+    assert ctl.max_wait_ns == max(
+        (d - a) for d, a in zip(
+            range(now + 1_000, now + 1_000 * (len(arrivals) + 1), 1_000),
+            arrivals,
+        )
+    )
+
+
+@given(timelines, rates, bursts)
+@settings(max_examples=100)
+def test_identical_timelines_are_bit_identical(gaps, rate, burst):
+    def run():
+        config = AdmissionConfig(queue_capacity=8, rate_per_s=rate,
+                                 burst=burst)
+        ctl = AdmissionController(config)
+        now = 0
+        backlog = 0
+        for gap in gaps:
+            now += gap
+            if ctl.on_syn(now, backlog) == ADMIT:
+                ctl.on_enqueue(now)
+                backlog += 1
+            if backlog > 4:
+                ctl.on_dequeue(now)
+                backlog -= 1
+        return ctl.stats()
+
+    assert run() == run()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AdmissionConfig(policy="teleport")
+    with pytest.raises(ValueError):
+        AdmissionConfig(queue_capacity=0)
+    with pytest.raises(ValueError):
+        TokenBucket(0, 4)
+    with pytest.raises(ValueError):
+        TokenBucket(100, 0)
+
+
+def test_disarm_bypasses_shedding():
+    ctl = AdmissionController(AdmissionConfig(queue_capacity=1, rate_per_s=1,
+                                              burst=1))
+    assert ctl.on_syn(0, 0) == ADMIT
+    assert ctl.on_syn(0, 1) != ADMIT  # queue full and bucket empty
+    ctl.disarm()
+    assert ctl.on_syn(0, 1_000) == ADMIT  # pass-through after disarm
+    assert ctl.admitted + ctl.shed == ctl.offered == 3
