@@ -18,8 +18,10 @@ pointers are compared by *shape* (NULL vs non-NULL) and their pointees by
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import List, Optional, Tuple
 
+from repro.core.digests import intern_digest
 from repro.kernel.memory import MemoryFault
 from repro.kernel.specs import SyscallSpec, spec_for
 from repro.kernel.structs import read_iovecs
@@ -28,15 +30,23 @@ from repro.kernel.structs import read_iovecs
 class ArgBlob:
     """One replica's serialized argument record."""
 
-    __slots__ = ("name", "items", "nbytes")
+    __slots__ = ("name", "items", "nbytes", "_encoded")
 
     def __init__(self, name: str, items: List[Tuple[str, object]], nbytes: int):
         self.name = name
         self.items = items
         self.nbytes = nbytes
+        self._encoded: Optional[bytes] = None
 
     def encode(self) -> bytes:
-        """A deterministic byte encoding (what actually lands in the RB)."""
+        """A deterministic byte encoding (what actually lands in the RB).
+
+        Memoized per instance: IP-MON sizes the record with it and the
+        digest path hashes it, so the canonical bytes are built once.
+        """
+        cached = self._encoded
+        if cached is not None:
+            return cached
         out = bytearray()
         out += self.name.encode()[:16].ljust(16, b"\x00")
         for kind, value in self.items:
@@ -48,7 +58,16 @@ class ArgBlob:
             else:
                 payload = struct.pack("<q", int(value) & (1 << 63) - 1)
             out += tag + struct.pack("<I", len(payload)) + payload
-        return bytes(out)
+        cached = bytes(out)
+        self._encoded = cached
+        return cached
+
+    def digest(self) -> int:
+        """64-bit interned digest of the canonical encoding — shared
+        MVEE-wide with the dist wire path via
+        :func:`repro.core.digests.intern_digest`, so identical blobs
+        hash once per round, not once per replica per node."""
+        return intern_digest(self.name, self.encode())
 
     def __eq__(self, other):
         return (
@@ -144,7 +163,11 @@ def _raw(value) -> int:
     try:
         return int(value)
     except (TypeError, ValueError):
-        return hash(value) & 0xFFFFFFFF
+        # Builtin hash() is PYTHONHASHSEED-randomized for str/bytes, so
+        # two replica *processes* would serialize different digests for
+        # the same argument — a guaranteed false divergence. crc32 of
+        # the repr is stable across processes and interpreter runs.
+        return zlib.crc32(repr(value).encode("utf-8", "backslashreplace")) & 0xFFFFFFFF
 
 
 def _callable_shape(value) -> int:
@@ -175,6 +198,11 @@ def compare_blobs(blobs: List[ArgBlob]) -> Optional[Mismatch]:
     """Compare serialized argument records from all replicas."""
     reference = blobs[0]
     for replica_index, blob in enumerate(blobs[1:], start=1):
+        # Fast path: one C-level comparison settles the (overwhelmingly
+        # common) all-equal case; the detailed per-item walk below only
+        # runs to attribute an actual mismatch.
+        if blob.name == reference.name and blob.items == reference.items:
+            continue
         if blob.name != reference.name:
             return Mismatch(
                 reference.name,

@@ -114,6 +114,8 @@ class ShadowFile(FileObject):
 class AsyncLock:
     """A FIFO mutex for monitor coroutines."""
 
+    __slots__ = ("sim", "name", "locked", "_waiters")
+
     def __init__(self, sim, name: str = "lock"):
         self.sim = sim
         self.name = name

@@ -47,11 +47,11 @@ their wire bytes stay bit-identical to the pre-reliability design.
 
 from __future__ import annotations
 
-import hashlib
 import struct
 import zlib
 from typing import Dict, List, Tuple
 
+from repro.core.digests import DigestInterner, interner
 from repro.errors import WireError
 
 MAGIC = 0xD15C
@@ -139,55 +139,17 @@ class Frame:
                    self.flags, len(self.payload)))
 
 
-class DigestCache:
-    """Interning cache for :func:`call_digest`.
-
-    Server loops replay near-identical reads, so the same
-    ``(name, blob)`` pair is digested over and over; blake2b per call is
-    the hot spot. Bounded FIFO eviction keeps memory flat. The cache is
-    transparent (a digest is a pure function of its inputs), so hits and
-    misses never change simulated results — only host CPU time.
-    """
-
-    __slots__ = ("capacity", "hits", "misses", "_table")
-
-    def __init__(self, capacity: int = 4096):
-        self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
-        self._table: Dict[Tuple[str, bytes], int] = {}
-
-    def digest(self, name: str, blob_bytes: bytes) -> int:
-        key = (name, blob_bytes)
-        value = self._table.get(key)
-        if value is not None:
-            self.hits += 1
-            return value
-        self.misses += 1
-        h = hashlib.blake2b(digest_size=8)
-        h.update(name.encode())
-        h.update(blob_bytes)
-        value = int.from_bytes(h.digest(), "little")
-        if len(self._table) >= self.capacity:
-            # FIFO eviction: dict preserves insertion order.
-            self._table.pop(next(iter(self._table)))
-        self._table[key] = value
-        return value
-
-    def clear(self) -> None:
-        self._table.clear()
-        self.hits = 0
-        self.misses = 0
-
-
-#: Process-wide digest interning; deliberately not per-cluster (digests
-#: are pure, so sharing across runs is safe and maximises reuse).
-digest_cache = DigestCache()
+#: Backwards-compatible aliases: the wire-path digest cache is now the
+#: MVEE-wide interner in :mod:`repro.core.digests`, shared with the
+#: CP/IP-MON comparator so an identical blob hashes once per round, not
+#: once per replica per node per subsystem.
+DigestCache = DigestInterner
+digest_cache = interner
 
 
 def call_digest(name: str, blob_bytes: bytes) -> int:
     """64-bit digest of one syscall's name + serialised arguments."""
-    return digest_cache.digest(name, blob_bytes)
+    return interner.digest(name, blob_bytes)
 
 
 def digest_payload(digest: int, name: str) -> bytes:

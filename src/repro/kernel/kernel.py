@@ -16,7 +16,7 @@ from repro.kernel.memory import AddressSpace, MemoryFault
 from repro.kernel.process import PendingSignal, Process, Thread
 from repro.kernel.shm import ShmManager
 from repro.kernel.sockets import Network
-from repro.kernel.syscalls import SYSCALL_TABLE, SyscallRequest
+from repro.kernel.syscalls import SYSCALL_DISPATCH, SyscallRequest
 from repro.kernel.vfs import Filesystem, SyntheticFile
 from repro.sim import Event, Simulator, Sleep
 
@@ -232,20 +232,22 @@ class Kernel:
 
     def invoke(self, thread: Thread, req: SyscallRequest):
         """Run the raw handler (no tracing, no hooks). Coroutine."""
-        handler = SYSCALL_TABLE.get(req.name)
-        if handler is None:
+        entry = SYSCALL_DISPATCH.get(req.name)
+        if entry is None:
             return -E.ENOSYS
+        handler, is_coroutine = entry
         injector = self.fault_injector
         if injector is not None:
             forced = injector.on_invoke(thread, req)
             if forced is not None:
                 return -forced
-        gen = None
         try:
-            result = handler(self, thread, *req.args)
-            if isinstance(result, types.GeneratorType):
-                gen = result
-                result = yield from gen
+            if is_coroutine:
+                result = yield from handler(self, thread, *req.args)
+            else:
+                result = handler(self, thread, *req.args)
+                if isinstance(result, types.GeneratorType):
+                    result = yield from result
             return result
         except MemoryFault:
             return -E.EFAULT

@@ -9,6 +9,7 @@ with buffers written into guest memory) or ``-errno``.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, Optional, Tuple
 
 
@@ -66,6 +67,14 @@ class SyscallRequest:
 #: name -> handler coroutine ``handler(kernel, thread, *args)``
 SYSCALL_TABLE: Dict[str, Callable] = {}
 
+#: Precompiled dispatch: name -> ``(handler, is_coroutine)``. The flag
+#: is resolved once at registration (``inspect.isgeneratorfunction``),
+#: so the kernel's per-call fast path needs one dict lookup and no
+#: ``isinstance`` probe for coroutine handlers. Plain handlers keep a
+#: runtime generator check because some delegate to coroutine helpers
+#: via ``return _helper(...)``.
+SYSCALL_DISPATCH: Dict[str, Tuple[Callable, bool]] = {}
+
 
 def syscall(name: str):
     """Decorator registering a syscall handler under ``name``."""
@@ -74,6 +83,7 @@ def syscall(name: str):
         if name in SYSCALL_TABLE:
             raise ValueError("duplicate syscall handler: %s" % name)
         SYSCALL_TABLE[name] = fn
+        SYSCALL_DISPATCH[name] = (fn, inspect.isgeneratorfunction(fn))
         return fn
 
     return register

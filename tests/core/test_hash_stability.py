@@ -1,0 +1,79 @@
+"""Cross-process digest stability (PR-8 satellite).
+
+``comparator._raw`` used to fall back to builtin ``hash()`` for
+non-integer argument values. ``hash(str)`` is randomized per process by
+PYTHONHASHSEED, so two replica *processes* (or a monitor restarted
+between runs) would serialize different blobs for identical arguments —
+a guaranteed false divergence the moment a non-coercible value reached
+the comparator. The fallback is now crc32-of-repr, which is a pure
+function of the value.
+
+The regression test runs the serialization in subprocesses pinned to
+different PYTHONHASHSEED values and asserts identical output.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import zlib
+
+from repro.core.comparator import _raw
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+# Exercises the int() failure path with strings, bytes-ish reprs, and a
+# non-hashable-unfriendly object repr; prints one line per value.
+_PROBE = """
+from repro.core.comparator import _raw, serialize_args
+
+class Req:
+    def __init__(self, name, args):
+        self.name = name
+        self.args = args
+
+values = ["sock:/tmp/x.sock", "caf\\u00e9", ("tuple", "arg"), 4.5]
+print([_raw(v) for v in values])
+req = Req("frobnicate", values)  # unknown syscall -> raw-value path
+blob = serialize_args(req, space=None, spec=None)
+print(blob.items)
+print(blob.digest())
+"""
+
+
+class TestRawHashStability:
+    def test_raw_matches_crc32_of_repr(self):
+        value = "not-an-int"
+        assert _raw(value) == zlib.crc32(repr(value).encode("utf-8")) & 0xFFFFFFFF
+
+    def test_raw_is_stable_across_hashseed_processes(self):
+        outputs = []
+        for seed in ("0", "1", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=_SRC)
+            proc = subprocess.run(
+                [sys.executable, "-c", _PROBE],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1] == outputs[2], (
+            "serialized blobs differ across PYTHONHASHSEED values:\n%s"
+            % "\n---\n".join(outputs)
+        )
+
+    def test_raw_handles_unrepr_unicode(self):
+        # backslashreplace keeps even hostile reprs encodable.
+        class Weird:
+            def __repr__(self):
+                return "\udc80weird"
+
+        assert isinstance(_raw(Weird()), int)
+
+    def test_int_coercible_values_bypass_fallback(self):
+        assert _raw(7) == 7
+        assert _raw(True) == 1
+        assert _raw(None) == 0
+        assert _raw("12") == 12  # int("12") succeeds; no hashing involved

@@ -1,0 +1,130 @@
+"""Stats-equivalence gate for the PR-8 engine refactor.
+
+``golden_engine_stats.json`` was captured by running two pinned-seed
+sweeps — a 3-replica single-node ReMon run and a 4-node sharded
+DistMvee run — on the **pre-refactor** engine (single heap, closure
+wakeups, isinstance dispatch, per-consumer digest caches). The same
+configurations must reproduce those results *bit-for-bit* on the
+current engine: identical virtual wall time, exit codes, every stats
+counter, and (for the dist run) every wire byte.
+
+Host-side counters (``sim.steps``) are deliberately excluded: batch
+event draining collapses N wakeup callbacks into one drain entry, which
+is exactly the point and changes nothing simulated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core import DegradationPolicy, Level, ReMon, ReMonConfig
+from repro.kernel import Kernel
+from repro.dist import DistConfig, DistMvee
+from repro.workloads.synthetic import CategoryMix, SyntheticWorkload, build_program
+
+_GOLDEN = os.path.join(os.path.dirname(__file__), "golden_engine_stats.json")
+
+MAX_STEPS = 400_000_000
+
+
+def _golden():
+    with open(_GOLDEN) as handle:
+        return json.load(handle)
+
+
+def _remon_snapshot():
+    workload = SyntheticWorkload(
+        name="engine-golden",
+        native_ms=1.5,
+        mix=CategoryMix(
+            {
+                "base": 90_000.0,
+                "file_ro": 120_000.0,
+                "sock_ro": 30_000.0,
+                "sock_rw": 30_000.0,
+                "mgmt": 15_000.0,
+            }
+        ),
+        threads=3,
+    )
+    mvee = ReMon(
+        Kernel(),
+        build_program(workload),
+        ReMonConfig(replicas=3, level=Level.SOCKET_RW),
+    )
+    result = mvee.run(max_steps=MAX_STEPS)
+    assert not result.diverged, result.divergence
+    return {
+        "wall_time_ns": result.wall_time_ns,
+        "exit_codes": list(result.exit_codes),
+        "stats": {k: result.stats[k] for k in sorted(result.stats)},
+    }
+
+
+def _dist_snapshot():
+    workload = SyntheticWorkload(
+        name="engine-golden-dist",
+        native_ms=1.0,
+        mix=CategoryMix(
+            {
+                "base": 160_000.0,
+                "file_ro": 120_000.0,
+                "sock_ro": 20_000.0,
+                "sock_rw": 20_000.0,
+                "mgmt": 40_000.0,
+            }
+        ),
+        threads=3,
+    )
+    config = ReMonConfig(
+        replicas=4,
+        level=Level.NO_IPMON,
+        degradation=DegradationPolicy(min_quorum=2),
+        dist=DistConfig(
+            link_latency_ns=100_000,
+            shard_rendezvous=True,
+            rendezvous_shards=2,
+        ),
+    )
+    mvee = DistMvee(build_program(workload), config)
+    result = mvee.run(max_steps=MAX_STEPS)
+    assert not result.diverged, result.divergence
+    return {
+        "wall_time_ns": result.wall_time_ns,
+        "exit_codes": list(result.exit_codes),
+        "stats": {k: result.stats[k] for k in sorted(result.stats)},
+        "network_bytes_sent": mvee.network.bytes_sent,
+        "network_segments_sent": mvee.network.segments_sent,
+    }
+
+
+class TestStatsEquivalence:
+    def test_remon_pinned_seed_stats_bit_identical(self):
+        golden = _golden()["remon"]
+        snapshot = _remon_snapshot()
+        assert snapshot == golden, _diff(snapshot, golden)
+
+    def test_dist_pinned_seed_stats_bit_identical(self):
+        golden = _golden()["dist"]
+        snapshot = _dist_snapshot()
+        assert snapshot == golden, _diff(snapshot, golden)
+
+
+def _diff(snapshot, golden):
+    lines = ["engine refactor changed simulated results:"]
+    keys = sorted(set(snapshot) | set(golden))
+    for key in keys:
+        new, old = snapshot.get(key), golden.get(key)
+        if new == old:
+            continue
+        if isinstance(new, dict) and isinstance(old, dict):
+            for stat in sorted(set(new) | set(old)):
+                if new.get(stat) != old.get(stat):
+                    lines.append(
+                        "  %s.%s: %r (golden %r)"
+                        % (key, stat, new.get(stat), old.get(stat))
+                    )
+        else:
+            lines.append("  %s: %r (golden %r)" % (key, new, old))
+    return "\n".join(lines)

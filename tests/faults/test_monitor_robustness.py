@@ -37,13 +37,13 @@ class TestLateDivergenceReport:
         a stale watchdog firing during teardown) must not try to schedule
         a shutdown on a stopped clock — call_at into the past raises."""
         kernel, mvee = finished_mvee()
-        depth_before = len(kernel.sim._queue)
+        depth_before = kernel.sim.pending
         report = DivergenceReport(
             kernel.sim.now, 0, "write", "stale watchdog", detected_by="ghumvee"
         )
         mvee.divergence(report)  # must not raise
         assert mvee.result.divergence is report
-        assert len(kernel.sim._queue) == depth_before
+        assert kernel.sim.pending == depth_before
         # The original shutdown reason is not rewritten by the late report.
         assert mvee.result.shutdown_reason == "all replicas exited"
 
@@ -63,9 +63,9 @@ class TestLateDivergenceReport:
         report = DivergenceReport(
             kernel.sim.now, 0, "getpid", "forced", detected_by="ghumvee"
         )
-        depth_before = len(kernel.sim._queue)
+        depth_before = kernel.sim.pending
         mvee.divergence(report)
-        assert len(kernel.sim._queue) == depth_before + 1
+        assert kernel.sim.pending == depth_before + 1
         kernel.sim.run(until=kernel.sim.now + 10_000_000)
         assert mvee.result.shutdown_reason == "divergence: forced"
 
