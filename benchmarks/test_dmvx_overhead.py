@@ -244,6 +244,51 @@ def test_shard_owner_recovery_cost(benchmark, report):
     benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
 
 
+def test_lifecycle_readmission_cost(benchmark, report):
+    from repro.bench import availability
+
+    rows = availability.lifecycle_sweep()
+    _record("lifecycle", rows)
+    table = Table(
+        "Lifecycle: replay-based re-admission cost (4 nodes, 2 shards)",
+        ["scenario", "rejoins", "rejoin ms", "replayed", "epoch",
+         "wall ms", "exits ok"],
+    )
+    for row in rows:
+        table.add(row["scenario"], row["rejoins"],
+                  "%.2f" % row["rejoin_ms"], row["replayed"], row["epoch"],
+                  "%.2f" % row["wall_ms"], row["exit_codes_ok"])
+    report(table.render())
+
+    by_name = {r["scenario"]: r for r in rows}
+    free = by_name["fault-free"]
+    # The fault-free run never touches the rejoin machinery: epoch 0,
+    # zero rejoins, zero priced recovery time.
+    assert free["rejoins"] == 0 and free["epoch"] == 0
+    assert free["rejoin_ms"] == 0
+    for scenario in ("follower crash", "shard-owner crash", "leader crash"):
+        row = by_name[scenario]
+        # Each crash position is absorbed the same way: one replayed
+        # re-admission under a bumped epoch (quarantine + rejoin), the
+        # recovery latency priced, and the full program still completes.
+        assert row["rejoins"] == 1, scenario
+        assert row["epoch"] == 2, scenario
+        assert row["rejoin_ms"] > 0, scenario
+        assert row["replayed"] > 0, scenario
+        assert row["exit_codes_ok"], scenario
+        # Recovery is cheap relative to the run, not free.
+        assert row["wall_ms"] > free["wall_ms"], scenario
+        assert row["rejoin_ms"] < row["wall_ms"], scenario
+
+    # The sweep is deterministic end to end: a second pass reproduces
+    # every recovery figure bit for bit.
+    assert availability.lifecycle_sweep() == rows
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
 def test_compression_cuts_wire_bytes(benchmark, report):
     rows = dist.compression_sweep()
     _record("compression", rows)

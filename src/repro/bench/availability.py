@@ -23,8 +23,10 @@ from typing import Dict, List, Optional
 from repro.baselines.native import run_native
 from repro.bench.reporting import Table
 from repro.core import DegradationPolicy, Level, ReMon, ReMonConfig
-from repro.faults import CrashFault, FaultInjector, FaultPlan
+from repro.dist import DistConfig, DistMvee
+from repro.faults import CrashFault, FaultInjector, FaultPlan, NodeRejoinFault
 from repro.kernel import Kernel
+from repro.lifecycle import LifecycleConfig
 from repro.workloads.synthetic import CategoryMix, SyntheticWorkload, build_program
 
 MAX_STEPS = 400_000_000
@@ -169,6 +171,87 @@ def degraded_tail_overhead(replicas: int = 3) -> List[Dict]:
     return rows
 
 
+def _lifecycle_workload(native_ms: float = 2.0,
+                        rate: float = 900_000.0) -> SyntheticWorkload:
+    # sock_ro keeps the replicated lane busy so the replay window holds
+    # RB mirror records, not just rendezvous verdicts.
+    return SyntheticWorkload(
+        name="lifecycle",
+        native_ms=native_ms,
+        mix=CategoryMix(
+            {"base": rate * 0.35, "file_ro": rate * 0.2,
+             "sock_ro": rate * 0.25, "mgmt": rate * 0.2}
+        ),
+        threads=4,
+    )
+
+
+def _lifecycle_run(plan: Optional[FaultPlan], nodes: int = 4,
+                   rejoin: bool = True):
+    config = ReMonConfig(
+        replicas=nodes,
+        level=Level.SOCKET_RO,
+        degradation=DegradationPolicy(min_quorum=2),
+        dist=DistConfig(
+            link_latency_ns=100_000,
+            shard_rendezvous=True,
+            rendezvous_shards=2,
+            lifecycle=LifecycleConfig(rejoin=rejoin, seed=11),
+        ),
+    )
+    mvee = DistMvee(build_program(_lifecycle_workload()), config)
+    if plan is not None:
+        mvee.attach_faults(FaultInjector(plan))
+    result = mvee.run(max_steps=MAX_STEPS)
+    return mvee, result
+
+
+def lifecycle_sweep(nodes: int = 4) -> List[Dict]:
+    """Price re-admission: quarantine -> re-image -> window replay ->
+    back in the lockstep quorum, for each crash position.
+
+    The fault-free row doubles as the zero-cost check (epoch stays 0, no
+    rejoins); the crash rows measure recovery latency (quarantine to
+    re-admission under a bumped epoch) and the replayed-artifact volume
+    that latency bought.
+    """
+    crash_at = 2_000_000
+    scenarios = [
+        ("fault-free", None),
+        ("follower crash", FaultPlan(
+            faults=[NodeRejoinFault(replica=nodes - 1, at_ns=crash_at)])),
+        ("shard-owner crash", FaultPlan(
+            faults=[NodeRejoinFault(replica=1, at_ns=crash_at)])),
+        ("leader crash", FaultPlan(
+            faults=[NodeRejoinFault(replica=0, at_ns=crash_at)])),
+    ]
+    rows = []
+    for label, plan in scenarios:
+        mvee, result = _lifecycle_run(plan, nodes=nodes)
+        assert not result.diverged, result.divergence
+        stats = result.stats
+        rejoins = stats.get("lifecycle_rejoins_completed", 0)
+        replayed = (
+            stats.get("lifecycle_replayed_records", 0)
+            + stats.get("lifecycle_replayed_verdicts", 0)
+            + stats.get("lifecycle_replayed_local", 0)
+        )
+        rows.append(
+            {
+                "scenario": label,
+                "rejoins": rejoins,
+                "rejoin_ms": stats.get("lifecycle_rejoin_ns_total", 0) / 1e6,
+                "replayed": replayed,
+                "epoch": mvee.epoch,
+                "wall_ms": result.wall_time_ns / 1e6,
+                "exit_codes_ok": all(
+                    node.process.exit_code == 0 for node in mvee.nodes
+                ),
+            }
+        )
+    return rows
+
+
 def render_all() -> str:
     out = []
 
@@ -199,5 +282,15 @@ def render_all() -> str:
     for row in degraded_tail_overhead():
         table.add(row["scenario"], row["overhead"], row["quarantined"],
                   row["promotions"])
+    out.append(table.render())
+
+    table = Table(
+        "Lifecycle: replay-based re-admission cost (4 nodes, 2 shards)",
+        ["scenario", "rejoins", "rejoin ms", "replayed", "epoch", "wall ms"],
+    )
+    for row in lifecycle_sweep():
+        table.add(row["scenario"], row["rejoins"],
+                  "%.2f" % row["rejoin_ms"], row["replayed"], row["epoch"],
+                  "%.2f" % row["wall_ms"])
     out.append(table.render())
     return "\n".join(out)

@@ -98,6 +98,23 @@ class CostModel:
     #: the accepting thread only when a controller is attached.
     fleet_admission_ns: int = 180
 
+    # -- elastic lifecycle (repro.lifecycle) --------------------------------
+    # Charged only when a LifecycleConfig is attached to the DistConfig;
+    # lifecycle-free runs never touch these fields.
+    #: Monitor-side CPU per SWIM heartbeat emitted (view serialization +
+    #: fanout pick). Accounted, not slept — heartbeats run off the
+    #: guest's critical path on the monitor's housekeeping core.
+    lifecycle_heartbeat_ns: int = 300
+    #: Per-artifact adoption cost while a replacement replica fast-
+    #: replays the recorded RB/verdict window (rr-style replay: no
+    #: digest, no round trip — just a mirror lookup and an apply).
+    lifecycle_replay_ns: int = 250
+    #: Spin-up delay for a replacement replica: image fetch + boot of a
+    #: fresh kernel before replay starts. Deliberately much larger than
+    #: a link latency so in-flight frames from the dead process drain
+    #: before its slot is re-imaged.
+    lifecycle_provision_ns: int = 3_000_000
+
     # -- observability (repro.obs) ------------------------------------------
     # Charged only while the corresponding instrument is enabled; with
     # obs at defaults both are folded in as zero, so metrics-only runs

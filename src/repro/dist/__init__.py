@@ -57,6 +57,7 @@ from repro.dist.selective import (
     CLS_CONTROL,
     CLS_DIGEST,
     CLS_HANDOFF,
+    CLS_LIFECYCLE,
     CLS_RENDEZVOUS,
     FRAME_CLASSES,
     LOCAL,
@@ -75,6 +76,8 @@ from repro.dist.wire import (
     digest_cache,
     T_CALL_DIGEST,
     T_CONTROL,
+    T_LIFECYCLE_GOSSIP,
+    T_LIFECYCLE_STATE,
     T_RENDEZVOUS_OK,
     T_RENDEZVOUS_REQ,
     T_ROUND_RESUBMIT,
@@ -84,6 +87,10 @@ from repro.dist.wire import (
     decode_frame,
     encode_batch,
     encode_frame,
+    gossip_payload,
+    parse_gossip_payload,
+    parse_state_payload,
+    state_payload,
 )
 
 __all__ = [
@@ -119,6 +126,7 @@ __all__ = [
     "CLS_CONTROL",
     "CLS_DIGEST",
     "CLS_HANDOFF",
+    "CLS_LIFECYCLE",
     "CLS_RENDEZVOUS",
     "FRAME_CLASSES",
     "frame_class",
@@ -137,6 +145,8 @@ __all__ = [
     "Frame",
     "T_CALL_DIGEST",
     "T_CONTROL",
+    "T_LIFECYCLE_GOSSIP",
+    "T_LIFECYCLE_STATE",
     "T_RENDEZVOUS_OK",
     "T_RENDEZVOUS_REQ",
     "T_ROUND_RESUBMIT",
@@ -146,4 +156,8 @@ __all__ = [
     "decode_frame",
     "encode_batch",
     "encode_frame",
+    "gossip_payload",
+    "parse_gossip_payload",
+    "parse_state_payload",
+    "state_payload",
 ]

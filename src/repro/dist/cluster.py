@@ -55,6 +55,8 @@ from repro.dist.wire import (
     Frame,
     T_CALL_DIGEST,
     T_CONTROL,
+    T_LIFECYCLE_GOSSIP,
+    T_LIFECYCLE_STATE,
     T_RENDEZVOUS_OK,
     T_RENDEZVOUS_REQ,
     T_ROUND_RESUBMIT,
@@ -163,6 +165,13 @@ class DistConfig:
     #: (Level.SOCKET_RW): at stricter levels recv/send would rendezvous
     #: and execute on follower phantom fds.
     external_service: bool = False
+    #: Elastic lifecycle (repro.lifecycle.LifecycleConfig, or None):
+    #: gossip membership + heartbeats, replay-based re-admission of
+    #: quarantined slots, and the drift-watchdog auto-scaler. Typed as
+    #: object to keep repro.lifecycle out of the dist import graph;
+    #: None (the default) builds no manager at all, so lifecycle-free
+    #: runs stay bit-identical — zero new frames, zero new stats.
+    lifecycle: Optional[object] = None
 
 
 class DistMonitor:
@@ -200,6 +209,15 @@ class DistMonitor:
         self._shards: Dict[int, MonitorShard] = {}
         #: Owners in first-service order (stable rounds_by_owner view).
         self._service_order: List[int] = []
+        #: Last scheduled release instant. Shard timelines are
+        #: independent, so two rounds can complete at the same
+        #: nanosecond; their releases must still land in one global
+        #: order — owners wait on round state while followers wait on
+        #: mirrors, so same-instant releases wake threads in
+        #: node-dependent order and shared-namespace allocation (fd
+        #: numbers) desynchronizes. Serializing release instants keeps
+        #: delivery uniform; collision-free runs are untouched.
+        self._release_clock = 0
         self.stats = {
             "async_checks": 0,
             "async_mismatches": 0,
@@ -385,9 +403,11 @@ class DistMonitor:
             )
         lag = self.mvee.release_lag_ns()
         if lag:
-            self.mvee.sim.call_at(
-                self.mvee.sim.now + lag, self._release, vtid, seq, verdict, owner
-            )
+            when = self.mvee.sim.now + lag
+            if when <= self._release_clock:
+                when = self._release_clock + 1
+            self._release_clock = when
+            self.mvee.sim.call_at(when, self._release, vtid, seq, verdict, owner)
         else:
             self._release(vtid, seq, verdict, owner)
 
@@ -422,6 +442,8 @@ class DistMonitor:
         # their application to this event).
         for node in self.mvee.nodes:
             node.mirror.release(vtid, seq, verdict, sim)
+        if self.mvee.lifecycle is not None:
+            self.mvee.lifecycle.record_release(vtid, seq, verdict)
         state.waitq.notify_all(sim)
 
     def on_membership_change(self) -> None:
@@ -651,6 +673,19 @@ class DistMvee:
         self._parkq = WaitQueue("dist-park")
         self._started = False
         self._build()
+        #: Elastic lifecycle manager, or None. Constructed after the
+        #: nodes exist; imported lazily so repro.dist never depends on
+        #: repro.lifecycle at module level.
+        self.lifecycle = None
+        lconfig = dconfig.lifecycle
+        if (
+            lconfig is not None
+            and getattr(lconfig, "enabled", True)
+            and not self.solo
+        ):
+            from repro.lifecycle.manager import LifecycleManager
+
+            self.lifecycle = LifecycleManager(self, lconfig)
 
     # ------------------------------------------------------------------
     @property
@@ -775,6 +810,11 @@ class DistMvee:
                 continue
             if process.exited and (process.exit_code or 0) < 128:
                 continue
+            if node.rejoining:
+                # A replacement replica fast-replaying the recorded
+                # window adopts verdicts; its vote gates nothing until
+                # it reaches the live frontier and is re-admitted.
+                continue
             if node.link_degraded:
                 # Soft degradation: the node still runs and adopts the
                 # leader's replicated results/verdicts (those land via
@@ -897,6 +937,14 @@ class DistMvee:
             # scheduled handoff (DistMonitor.begin_handoff); the frames
             # are the physical bytes of that transfer.
             pass
+        elif frame.type == T_LIFECYCLE_GOSSIP:
+            if self.lifecycle is not None:
+                self.lifecycle.on_gossip_frame(dst, frame)
+        elif frame.type == T_LIFECYCLE_STATE:
+            # Replay-window transfers are applied by scheduled delivery
+            # (LifecycleManager._boot_replacement) — these frames are
+            # the physical bytes of the window crossing the link.
+            pass
         elif frame.type in (T_RENDEZVOUS_OK, T_SYSCALL_RESULT):
             # Releases and mirror records are applied by *scheduled*
             # delivery (DistMonitor._release, the leader's scheduled
@@ -918,6 +966,8 @@ class DistMvee:
         self._started = True
         for node in self.nodes:
             node.runtime.start()
+        if self.lifecycle is not None:
+            self.lifecycle.start()
 
     def run(self, until: Optional[int] = None,
             max_steps: Optional[int] = None) -> MveeResult:
@@ -1021,24 +1071,32 @@ class DistMvee:
             "faults_injected",
             injector.total_injected if injector is not None else 0,
         )
+        if self.lifecycle is not None:
+            # Lifecycle accounting exists only when a manager was built:
+            # lifecycle-free runs keep a stats view bit-identical to the
+            # pre-lifecycle design.
+            self.lifecycle.export_stats(registry)
         result.stats = registry.stats_view()
         self.obs.export_files(result.postmortems)
         return result
 
     def _record_postmortem(self, reason: str, report: DivergenceReport) -> None:
         """Snapshot the flight recorder (if enabled) into the result."""
+        attribution = {
+            "vtid": report.vtid,
+            "replica": report.replica,
+            "leader_index": self.leader_index,
+            "quarantined": list(self.result.quarantined_replicas),
+            "shard_owners": sorted(self.monitor.rounds_by_owner),
+            "epoch": self.epoch,
+            "lost_rounds": sorted(self.monitor.lost_keys),
+        }
+        if self.lifecycle is not None:
+            attribution["lifecycle"] = self.lifecycle.attribution()
         postmortem = self.obs.emit_postmortem(
             reason,
             report,
-            attribution={
-                "vtid": report.vtid,
-                "replica": report.replica,
-                "leader_index": self.leader_index,
-                "quarantined": list(self.result.quarantined_replicas),
-                "shard_owners": sorted(self.monitor.rounds_by_owner),
-                "epoch": self.epoch,
-                "lost_rounds": sorted(self.monitor.lost_keys),
-            },
+            attribution=attribution,
             backoff={
                 "backoff_retries": self.stats["backoff_retries"],
                 "stall_reports": self.stats["stall_reports"],
@@ -1108,6 +1166,12 @@ class DistMvee:
             and not self.diverged
             and not node.process.quarantined
         ):
+            if self.lifecycle is not None and self.lifecycle.detects_crashes():
+                # Gossip is the failure detector: the crashed node's
+                # heartbeats stop, peers suspect it, and the epidemic
+                # dead declaration triggers _handle_crash instead of
+                # this leader-side timeout.
+                return
             # Remote crashes are detected by timeout, not by waitpid.
             self.sim.call_at(
                 self.sim.now + self.crash_detect_ns(),
@@ -1140,6 +1204,8 @@ class DistMvee:
     def report_stall(self, reporter: Node, thread, req, blame: int,
                      detail: str) -> None:
         self.stats["stall_reports"] += 1
+        if self.lifecycle is not None:
+            self.lifecycle.note_stall(blame)
         blamed = self.nodes[blame].process
         self.replica_fault(
             blamed,
@@ -1273,6 +1339,8 @@ class DistMvee:
             self.nodes[index].kernel.terminate_process(process, 137, signo=9)
         self.monitor.begin_handoff(index)
         self._wake_everyone()
+        if self.lifecycle is not None:
+            self.lifecycle.on_quarantine(index, report)
 
     def _promote_leader(self, dead_index: int) -> None:
         survivors = self.group.survivors()

@@ -110,6 +110,14 @@ class Node:
         #: leader's replicated results (those arrive via scheduled
         #: delivery), but its vote is excluded from rendezvous quorums.
         self.link_degraded = False
+        #: Replay-based re-admission (repro.lifecycle). ``rejoining``
+        #: is True from re-image to the live frontier: the slot holds a
+        #: fresh replacement process whose vote gates nothing yet.
+        #: ``replaying`` keeps the interceptor consulting the mirror
+        #: for pre-recorded artifacts (cheap adoption instead of
+        #: re-voting rounds the cluster already decided).
+        self.rejoining = False
+        self.replaying = False
 
     @property
     def host_ip(self) -> str:
@@ -187,6 +195,15 @@ class DistInterceptor:
         vtid = thread.vtid
         seq = self._seq.get(vtid, 0)
         self._seq[vtid] = seq + 1
+        if node.replaying:
+            # Re-admission fast-replay: adopt recorded artifacts at
+            # lifecycle_replay_ns each (no digest, no round trip). A
+            # miss on an artifact-bearing lane is the live frontier —
+            # the node is re-admitted and the call falls through to the
+            # normal path below.
+            handled, result = yield from self._replay(thread, req, seq)
+            if handled:
+                return result
         blob = serialize_args(self._virtualized(req), node.process.space).encode()
         if self._self_ip in blob:
             blob = blob.replace(self._self_ip, b"<self-addr>")
@@ -216,6 +233,77 @@ class DistInterceptor:
             thread, req, seq, digest, cls, handler, view
         )
         return result
+
+    # -- replay lane (repro.lifecycle re-admission) ------------------------
+    def _replay(self, thread, req, seq):
+        """Adopt one recorded artifact, or report the live frontier.
+
+        Returns ``(True, result)`` when the call was satisfied from the
+        replayed window, ``(False, None)`` when the caller must take the
+        normal path. Artifact-bearing lanes (rendezvous, replicated,
+        external accept) treat a missing artifact as the frontier: the
+        cluster has not decided this call yet, so the replica is
+        re-admitted and votes from here on. Local calls execute against
+        the node's own kernel exactly as they would live — replay only
+        skips their digest traffic while still pre-frontier.
+        """
+        mvee, node = self.mvee, self.node
+        lifecycle = mvee.lifecycle
+        costs = node.kernel.config.costs
+        vtid = thread.vtid
+        view = node.view
+        handler = mvee.handlers.get(req.name)
+        if mvee.external and req.name in sel.EXTERNAL_LEADER_CALLS:
+            record = node.mirror.get(vtid, seq)
+            if record is None:
+                if node.rejoining:
+                    lifecycle.reach_frontier(node)
+                return False, None
+            yield Sleep(costs.lifecycle_replay_ns, cpu=True)
+            if record.result >= 0:
+                self._materialize_accept(thread, req, record)
+            node.mirror.consume(vtid, seq)
+            lifecycle.stats["replayed_records"] += 1
+            return True, record.result
+        if handler is None or handler.maybe_checked(view, req):
+            verdict = node.mirror.verdict(vtid, seq)
+            if verdict is None:
+                if node.rejoining:
+                    lifecycle.reach_frontier(node)
+                return False, None
+            yield Sleep(costs.lifecycle_replay_ns, cpu=True)
+            lifecycle.stats["replayed_verdicts"] += 1
+            if verdict != 1:
+                result = yield from mvee.park(thread)
+                return True, result
+            result = yield from node.kernel.invoke(thread, req)
+            return True, result
+        fd_kind = view.filemap.fd_kind(req.arg(0)) if req.args else None
+        if mvee.replication.classify(req.name, fd_kind) == sel.LOCAL:
+            if not node.rejoining:
+                # Past the frontier: local calls resume digest traffic.
+                return False, None
+            yield Sleep(costs.lifecycle_replay_ns, cpu=True)
+            lifecycle.stats["replayed_local"] += 1
+            result = yield from node.kernel.invoke(thread, req)
+            return True, result
+        record = node.mirror.get(vtid, seq)
+        if record is None:
+            # Nothing recorded (or promoted to leader mid-replay): the
+            # normal lane handles waiting/executing.
+            if node.rejoining:
+                lifecycle.reach_frontier(node)
+            return False, None
+        # Same replica-local bookkeeping as a live adoption (e.g. epoll
+        # data tags), just billed at replay cost.
+        observe = getattr(handler, "observe", None)
+        if observe is not None:
+            observe(view, req)
+        yield Sleep(costs.lifecycle_replay_ns, cpu=True)
+        handler.apply_results(view, req, record.result, record.payload)
+        node.mirror.consume(vtid, seq)
+        lifecycle.stats["replayed_records"] += 1
+        return True, record.result
 
     # -- local lane --------------------------------------------------------
     def _local(self, thread, req, seq, digest, cls):
@@ -270,6 +358,8 @@ class DistInterceptor:
         sim = node.kernel.sim
         record = RemoteRecord(result, payload, req.name)
         node.mirror.put(thread.vtid, seq, record, sim)
+        if mvee.lifecycle is not None:
+            mvee.lifecycle.record_result(thread.vtid, seq, record)
         for peer in mvee.live_peers(node.index):
             mvee.send_frame(
                 node.index, peer, frame, cls=sel.CLS_RESULT_PREFIX + cls
@@ -564,6 +654,8 @@ class DistInterceptor:
             yield Sleep(encode_ns, cpu=True)
             record = RemoteRecord(result, payload, req.name)
             node.mirror.put(vtid, seq, record, sim)
+            if mvee.lifecycle is not None:
+                mvee.lifecycle.record_result(vtid, seq, record)
             for peer in mvee.live_peers(node.index):
                 mvee.send_frame(
                     node.index, peer, frame, cls=sel.CLS_RESULT_PREFIX + "sock"

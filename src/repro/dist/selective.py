@@ -36,9 +36,11 @@ CLS_DIGEST = "digest"
 CLS_RENDEZVOUS = "rendezvous"
 CLS_CONTROL = "control"
 CLS_HANDOFF = "handoff"
+CLS_LIFECYCLE = "lifecycle"
 CLS_RESULT_PREFIX = "result_"
 
-FRAME_CLASSES = (CLS_DIGEST, CLS_RENDEZVOUS, CLS_CONTROL, CLS_HANDOFF)
+FRAME_CLASSES = (CLS_DIGEST, CLS_RENDEZVOUS, CLS_CONTROL, CLS_HANDOFF,
+                 CLS_LIFECYCLE)
 
 
 def frame_class(frame_type: int) -> str:
@@ -53,6 +55,8 @@ def frame_class(frame_type: int) -> str:
         return CLS_RENDEZVOUS
     if frame_type == wire.T_SHARD_HANDOFF:
         return CLS_HANDOFF
+    if frame_type in (wire.T_LIFECYCLE_GOSSIP, wire.T_LIFECYCLE_STATE):
+        return CLS_LIFECYCLE
     return CLS_CONTROL
 
 #: Calls whose effect is inherently per-process/per-node: replicating a

@@ -80,6 +80,13 @@ T_SHARD_HANDOFF = 6
 #: A participant re-submitting its digest for a round whose hosting
 #: shard died with its owner (aux: the epoch it was sent under).
 T_ROUND_RESUBMIT = 7
+#: SWIM-style lifecycle heartbeat carrying a gossiped membership view
+#: (payload: gossip_payload below). Physical bytes only — membership
+#: state is merged where the frame is billed, never re-dispatched.
+T_LIFECYCLE_GOSSIP = 8
+#: Replay-window state transfer to a re-admitted replica: one recorded
+#: RB mirror record (aux: result) or rendezvous verdict (aux: verdict).
+T_LIFECYCLE_STATE = 9
 
 FRAME_TYPES = (
     T_CALL_DIGEST,
@@ -89,6 +96,8 @@ FRAME_TYPES = (
     T_CONTROL,
     T_SHARD_HANDOFF,
     T_ROUND_RESUBMIT,
+    T_LIFECYCLE_GOSSIP,
+    T_LIFECYCLE_STATE,
 )
 
 _HEADER = struct.Struct("<HBBHHIQqII")
@@ -222,6 +231,62 @@ def parse_handoff_payload(payload: bytes) -> Dict[int, Tuple[str, int]]:
             "handoff payload has %d trailing bytes" % (len(payload) - offset)
         )
     return digests
+
+
+_GOSSIP_ENTRY = struct.Struct("<HIB")  # node index, incarnation, state
+_STATE_HEAD = struct.Struct("<BH")     # entry kind, name length
+
+#: Gossip membership states carried in T_LIFECYCLE_GOSSIP entries.
+GOSSIP_ALIVE = 0
+GOSSIP_SUSPECT = 1
+GOSSIP_DEAD = 2
+
+#: Replay-window entry kinds carried in T_LIFECYCLE_STATE frames.
+STATE_VERDICT = 0
+STATE_RECORD = 1
+
+
+def gossip_payload(entries) -> bytes:
+    """Payload of a T_LIFECYCLE_GOSSIP heartbeat: the sender's full
+    membership view as (node, incarnation, state) triples."""
+    parts = [_U16.pack(len(entries))]
+    for node, incarnation, state in entries:
+        parts.append(_GOSSIP_ENTRY.pack(node, incarnation & 0xFFFFFFFF, state))
+    return b"".join(parts)
+
+
+def parse_gossip_payload(payload: bytes) -> Tuple[Tuple[int, int, int], ...]:
+    if len(payload) < _U16.size:
+        raise WireError("gossip payload too short: %d bytes" % len(payload))
+    (count,) = _U16.unpack_from(payload)
+    need = _U16.size + _GOSSIP_ENTRY.size * count
+    if len(payload) != need:
+        raise WireError(
+            "gossip payload length mismatch: want %d bytes, have %d"
+            % (need, len(payload))
+        )
+    return tuple(
+        _GOSSIP_ENTRY.unpack_from(payload, _U16.size + _GOSSIP_ENTRY.size * i)
+        for i in range(count)
+    )
+
+
+def state_payload(kind: int, name: str, data: bytes = b"") -> bytes:
+    """Payload of a T_LIFECYCLE_STATE transfer entry: the syscall name
+    plus, for records, the replicated out-buffer bytes."""
+    encoded = name.encode()
+    return _STATE_HEAD.pack(kind, len(encoded)) + encoded + data
+
+
+def parse_state_payload(payload: bytes) -> Tuple[int, str, bytes]:
+    if len(payload) < _STATE_HEAD.size:
+        raise WireError("state payload too short: %d bytes" % len(payload))
+    kind, name_len = _STATE_HEAD.unpack_from(payload)
+    offset = _STATE_HEAD.size
+    if len(payload) - offset < name_len:
+        raise WireError("state payload truncated at name")
+    name = payload[offset:offset + name_len].decode(errors="replace")
+    return kind, name, payload[offset + name_len:]
 
 
 def encode_frame(frame: Frame) -> bytes:

@@ -14,6 +14,7 @@ from repro.faults.injector import (
     FaultInjector,
     FaultPlan,
     LinkDegradeFault,
+    NodeRejoinFault,
     RBCorruptionFault,
     ShardOwnerCrashFault,
     StallFault,
@@ -26,6 +27,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "LinkDegradeFault",
+    "NodeRejoinFault",
     "RBCorruptionFault",
     "ShardOwnerCrashFault",
     "StallFault",

@@ -157,6 +157,26 @@ class LinkDegradeFault:
 
 
 @dataclass
+class NodeRejoinFault:
+    """Crash one replica at ``at_ns`` *and* force the lifecycle manager
+    to replay-readmit it, even when ``LifecycleConfig.rejoin`` is off
+    (distributed clusters with ``DistConfig.lifecycle`` armed only).
+
+    Equivalent to a timed :class:`CrashFault` plus a one-shot rejoin
+    grant, so recovery sweeps can price re-admission without globally
+    enabling auto-rejoin for every crash in the plan.
+    """
+
+    replica: int
+    at_ns: int
+    signo: int = C.SIGKILL
+
+    def __post_init__(self):
+        if self.at_ns <= 0:
+            raise FaultConfigError("NodeRejoinFault needs at_ns > 0")
+
+
+@dataclass
 class FaultPlan:
     """An ordered collection of faults, optionally generated from a seed."""
 
@@ -253,6 +273,8 @@ class FaultInjector:
                 self._timed.append(fault)
             elif isinstance(fault, LinkDegradeFault):
                 self._timed.append(fault)
+            elif isinstance(fault, NodeRejoinFault):
+                self._timed.append(fault)
             else:
                 raise FaultConfigError("unknown fault type: %r" % (fault,))
 
@@ -284,6 +306,8 @@ class FaultInjector:
                 kernel.sim.call_at(at, self._fire_shard_owner_crash, fault)
             elif isinstance(fault, CrashFault):
                 kernel.sim.call_at(at, self._fire_crash, fault)
+            elif isinstance(fault, NodeRejoinFault):
+                kernel.sim.call_at(at, self._fire_node_rejoin, fault)
             else:
                 kernel.sim.call_at(at, self._fire_stall, fault)
         return self
@@ -325,6 +349,18 @@ class FaultInjector:
         if process is None or process.exited:
             self.stats["skipped"] += 1
             return
+        self.stats["crashes"] += 1
+        self._obs_fault("crash", fault.replica)
+        self.kernel.terminate_process(process, 128 + fault.signo, signo=fault.signo)
+
+    def _fire_node_rejoin(self, fault: NodeRejoinFault) -> None:
+        process = self._replica_process(fault.replica)
+        if process is None or process.exited:
+            self.stats["skipped"] += 1
+            return
+        lifecycle = getattr(self.mvee, "lifecycle", None)
+        if lifecycle is not None:
+            lifecycle.force_rejoin(fault.replica)
         self.stats["crashes"] += 1
         self._obs_fault("crash", fault.replica)
         self.kernel.terminate_process(process, 128 + fault.signo, signo=fault.signo)

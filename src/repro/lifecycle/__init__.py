@@ -1,0 +1,22 @@
+"""Elastic cluster lifecycle: gossip membership, replay-based
+re-admission, and auto-scaling (ROADMAP item 1).
+
+Attach a :class:`LifecycleConfig` to ``DistConfig.lifecycle`` to arm
+the subsystem; without one, nothing here is even imported and runs
+stay bit-identical to the pre-lifecycle design. See DESIGN.md §12.
+"""
+
+from repro.lifecycle.autoscale import WATCHED, DriftWatchdog
+from repro.lifecycle.config import LifecycleConfig
+from repro.lifecycle.gossip import GossipAgent
+from repro.lifecycle.manager import LifecycleManager
+from repro.lifecycle.window import ReplayWindow
+
+__all__ = [
+    "DriftWatchdog",
+    "GossipAgent",
+    "LifecycleConfig",
+    "LifecycleManager",
+    "ReplayWindow",
+    "WATCHED",
+]

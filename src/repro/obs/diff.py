@@ -191,6 +191,34 @@ class Snapshot:
         return "\n".join(lines) + "\n"
 
 
+def _matches_prefix(name: str, prefix: str) -> bool:
+    """True when ``name`` carries ``prefix``, ignoring the ``repro_`` /
+    ``repro_stat_`` namespaces ``to_prometheus`` prepends — so
+    ``--only lifecycle`` selects ``repro_stat_lifecycle_rejoin_ns``."""
+    for spelling in (prefix, "repro_" + prefix, "repro_stat_" + prefix):
+        if name.startswith(spelling):
+            return True
+    return False
+
+
+def restrict(snapshot: Snapshot, prefix: str) -> Snapshot:
+    """A view of ``snapshot`` keeping only series matching ``prefix``."""
+    kept = Snapshot()
+    kept.scalars = {
+        name: value for name, value in snapshot.scalars.items()
+        if _matches_prefix(name, prefix)
+    }
+    kept.histograms = {
+        name: hist for name, hist in snapshot.histograms.items()
+        if _matches_prefix(name, prefix)
+    }
+    kept.types = {
+        name: kind for name, kind in snapshot.types.items()
+        if _matches_prefix(name, prefix)
+    }
+    return kept
+
+
 # ---------------------------------------------------------------------------
 # Diffing
 # ---------------------------------------------------------------------------
@@ -292,9 +320,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--top", type=int, default=10,
         help="how many movers to list per section (default 10)",
     )
+    parser.add_argument(
+        "--only", metavar="PREFIX", default=None,
+        help="restrict to series whose name starts with PREFIX "
+             "(namespace-insensitive: 'lifecycle' matches "
+             "repro_stat_lifecycle_*) — e.g. --only lifecycle names "
+             "cross-run rejoin-latency drift without the noise",
+    )
     options = parser.parse_args(argv)
     try:
         snapshots = [Snapshot.load(path) for path in options.files]
+        if options.only:
+            snapshots = [restrict(snap, options.only) for snap in snapshots]
         if options.merge:
             merged = snapshots[0]
             for snap in snapshots[1:]:
