@@ -373,6 +373,48 @@ def test_fast_path_dominates_baseline(benchmark, report):
     benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
 
 
+def test_heterogeneous_diversity_costs_under_ten_pct(benchmark, report):
+    rows = dist.hetero_sweep()
+    _record("hetero", rows)
+    table = Table(
+        "Heterogeneous diversity profiles (3 nodes, SOCKET_RW)",
+        ["latency", "profile", "rounds", "canonical calls", "canonical us",
+         "canonical %", "overhead"],
+    )
+    for row in rows:
+        table.add("%d us" % (row["latency_ns"] // 1000), row["profile"],
+                  row["rounds"], row["canonical_calls"],
+                  "%.1f" % (row["canonical_cost_ns"] / 1000),
+                  "%.2f%%" % row["canonical_pct"],
+                  "%.2fx" % row["overhead"])
+    report(table.render())
+
+    by_key = {(r["latency_ns"], r["profile"]): r for r in rows}
+    for latency in sorted({r["latency_ns"] for r in rows}):
+        homo = by_key[(latency, "homogeneous")]
+        hetero = by_key[(latency, "heterogeneous")]
+        # Digest behaviour is layout-independent: same exit codes, same
+        # rendezvous traffic, same round counts (DESIGN.md §13).
+        assert hetero["exit_codes"] == homo["exit_codes"], latency
+        assert all(code == 0 for code in hetero["exit_codes"]), latency
+        assert hetero["rounds"] == homo["rounds"], latency
+        assert hetero["rendezvous"] == homo["rendezvous"], latency
+        # The diversity actually engaged: >= 2 ABI variants, and the
+        # non-canonical nodes re-encoded their compared calls.
+        assert hetero["abi_variants"] >= 2, latency
+        assert hetero["canonical_calls"] > 0, latency
+        assert homo["canonical_calls"] == 0, latency
+        # The §13 price cap: canonicalization stays under 10% of the
+        # rendezvous path — both as billed canonicalization time and
+        # as end-to-end wall-time inflation over homogeneous.
+        assert hetero["canonical_pct"] < 10.0, latency
+        assert hetero["wall_time_ns"] < 1.10 * homo["wall_time_ns"], latency
+
+    from repro.bench.harness import timed_exhibit_run
+
+    benchmark.pedantic(timed_exhibit_run, rounds=3, iterations=1)
+
+
 def test_wan_overhead_vs_loss(benchmark, report):
     rows = dist.wan_sweep()
     _record("wan", rows)

@@ -10,13 +10,22 @@ claims:
 * the RB pointer is hidden (never in guest memory, scrubbed from
   /proc/*/maps) and guessing it is a 2^-24 proposition per replica;
 * forged or replayed IK-B tokens cannot authorize unmonitored calls;
+* per-node diversity profiles contain a single-node layout leak: the
+  harvested address maps nowhere else in the cluster (DESIGN.md §13);
 * VARAN-style designs execute sensitive calls before any check
   (run-ahead window) and miss unaligned syscall gadgets entirely;
 * deterministic temporal exemption policies are insecure, stochastic
   ones are not reliably exploitable.
 """
 
-from repro.attacks.analysis import AttackOutcome, run_attack
+from repro.attacks.analysis import AttackOutcome, run_attack, run_attack_dist
+from repro.attacks.scenarios import layout_leak_program
 from repro.attacks import scenarios
 
-__all__ = ["AttackOutcome", "run_attack", "scenarios"]
+__all__ = [
+    "AttackOutcome",
+    "layout_leak_program",
+    "run_attack",
+    "run_attack_dist",
+    "scenarios",
+]

@@ -75,6 +75,63 @@ def run_attack(
     return outcome, result
 
 
+def run_attack_dist(
+    program_factory: Callable,
+    nodes: int = 3,
+    level: Level = Level.SOCKET_RW,
+    heterogeneous: bool = True,
+    leak_node: Optional[int] = None,
+    leak_family: bool = False,
+    leak_offset: int = 0x1234,
+    max_steps: int = 400_000_000,
+    dist_kwargs: Optional[dict] = None,
+    **config_kwargs,
+):
+    """Run an attack program against a distributed cluster.
+
+    ``leak_node`` simulates a complete single-node layout leak: before
+    the run starts, ``outcome.notes["payload_addr"]`` is seeded with a
+    code address harvested from that node's *real* layout (code base +
+    ``leak_offset``), exactly what an infoleak on that one machine
+    would hand the attacker. ``leak_family`` is the catastrophic case
+    a shared cluster seed permits — the attacker reconstructed every
+    node's layout and tailors a payload per node (the list form of the
+    leaked address). ``outcome.notes["node_layouts"]`` always carries
+    every node's layout so callers can run
+    :func:`repro.attacks.scenarios.dcl_analysis` over the cluster.
+    Returns ``(outcome, mvee_result)``.
+    """
+    from repro.dist import DistConfig, DistMvee
+
+    outcome = AttackOutcome()
+    program = program_factory(outcome)
+    config = ReMonConfig(
+        replicas=nodes,
+        level=level,
+        dist=DistConfig(
+            nodes=nodes,
+            heterogeneous=heterogeneous,
+            **(dist_kwargs or {}),
+        ),
+        **config_kwargs,
+    )
+    mvee = DistMvee(program, config)
+    outcome.notes["node_layouts"] = [node.layout for node in mvee.nodes]
+    if leak_family:
+        outcome.notes["payload_addr"] = [
+            node.layout.code_base + leak_offset for node in mvee.nodes
+        ]
+    elif leak_node is not None:
+        leaked = mvee.nodes[leak_node].layout
+        outcome.notes["leak_node"] = leak_node
+        outcome.notes["payload_addr"] = leaked.code_base + leak_offset
+    result = mvee.run(max_steps=max_steps)
+    if result.diverged:
+        outcome.detected_by = result.divergence.detected_by
+        outcome.detection_time_ns = result.divergence.time_ns
+    return outcome, result
+
+
 def run_attack_varan(
     program_factory: Callable,
     replicas: int = 2,

@@ -41,10 +41,14 @@ def code_injection_program(outcome, payload_addr=None, exfil_call="open"):
         yield from libc.read(fd, 64)
         yield from libc.close(fd)
 
-        # The malicious input arrives; the overflowed return address:
+        # The malicious input arrives; the overflowed return address.
+        # The harvest needs a real layout: every monitor in this repo
+        # (ReMon, Varan, DistMvee) hands each replica one, so a missing
+        # layout is a harness bug, not a case to paper over with a
+        # fixed address that no diversified replica could ever map.
         target = payload_addr
         if target is None:
-            target = ctx.layout.code_base + 0x1234 if ctx.layout else 0x401234
+            target = ctx.layout.code_base + 0x1234
             target = outcome.notes.setdefault("payload_addr", target)
         # "Jump": valid only if target is executable *in this replica*.
         mapping = ctx.mem.find_mapping(target)
@@ -98,8 +102,9 @@ def socket_exfil_program(outcome):
         outcome.notes["sock_fd"] = client
         outcome.notes["drain_fd"] = conn
 
-        target = ctx.layout.code_base + 0x2000 if ctx.layout else 0x402000
-        target = outcome.notes.setdefault("payload_addr2", target)
+        target = outcome.notes.setdefault(
+            "payload_addr2", ctx.layout.code_base + 0x2000
+        )
         mapping = ctx.mem.find_mapping(target)
         executable = mapping is not None and mapping.prot & C.PROT_EXEC
         if not executable:
@@ -355,7 +360,78 @@ def temporal_abuse_program(outcome, warm_calls=16):
     return Program("temporal-abuse", main)
 
 
+# ---------------------------------------------------------------------------
+# 8. Cross-node layout leak (heterogeneous clusters, DESIGN.md §13)
+# ---------------------------------------------------------------------------
+def layout_leak_program(outcome, leaked_key="payload_addr"):
+    """The distributed analogue of :func:`code_injection_program`: the
+    attacker has exfiltrated one node's complete code layout (the
+    worst-case single-node leak) and fires the harvested address at
+    every node of the cluster. ``outcome.notes[leaked_key]`` must hold
+    the leaked absolute address before the run starts — the harness
+    (:func:`repro.attacks.analysis.run_attack_dist`) seeds it from the
+    victim node's real layout, the way a live infoleak would.
+
+    The leaked value is either one absolute address (a single-node
+    leak, fired blindly at the whole fleet) or a per-node list (the
+    attacker reconstructed *every* node's layout — what a homogeneous
+    cluster's shared seed hands over — and tailors the payload each
+    node receives, the dMVX/DMON threat model). Under per-node
+    profiles (disjoint DCL arenas + one-way per-node ASLR streams) a
+    single node's leak maps on that node only; every other node takes
+    a wild jump and the divergence surfaces in one rendezvous round.
+    """
+
+    def main(ctx):
+        libc = ctx.libc
+        yield Compute(10_000)
+        fd = yield from libc.open("/data/config.txt")
+        assert fd >= 0
+        yield from libc.read(fd, 64)
+        yield from libc.close(fd)
+
+        target = outcome.notes[leaked_key]
+        if isinstance(target, (list, tuple)):
+            target = target[ctx.process.replica_index]
+        mapping = ctx.mem.find_mapping(target)
+        executable = mapping is not None and mapping.prot & C.PROT_EXEC
+        if not executable:
+            ctx.mem.write(target, b"\x90")  # faults -> SIGSEGV
+            return 1  # unreachable
+        outcome.notes.setdefault("compromised", []).append(
+            ctx.process.replica_index
+        )
+        sfd = yield from libc.open(SECRET_PATH)
+        if sfd >= 0:
+            _ret, data = yield from libc.read(sfd, 128)
+            outcome.effect_occurred = True
+            outcome.effect = "read %d bytes of %s" % (len(data), SECRET_PATH)
+        yield Compute(50_000)
+        return 0
+
+    return Program(
+        "victim-dist", main,
+        files={"/data/config.txt": b"cfg", SECRET_PATH: SECRET_DATA},
+    )
+
+
+def _flatten_layouts(layouts):
+    """Accept a flat replica family or a per-node collection of
+    families (heterogeneous clusters hand one family per node)."""
+    flat = []
+    for item in layouts:
+        if isinstance(item, (list, tuple)):
+            flat.extend(item)
+        else:
+            flat.append(item)
+    return flat
+
+
 def dcl_analysis(layouts, payload_addr: int):
     """How many replicas consider the payload address executable code?
-    Under DCL the answer is <= 1 by construction."""
-    return address_valid_in(layouts, payload_addr)
+
+    ``layouts`` is either one replica family or a per-node set of
+    families. Under DCL the answer is <= 1 by construction within a
+    family; with per-node disjoint arenas it stays <= 1 across the
+    *union* of every node's family (DESIGN.md §13)."""
+    return address_valid_in(_flatten_layouts(layouts), payload_addr)

@@ -85,7 +85,7 @@ def _run(workload: SyntheticWorkload, *, nodes: int = 3,
          plan: Optional[FaultPlan] = None,
          degradation: Optional[DegradationPolicy] = None,
          shard: bool = False, rendezvous_shards: Optional[int] = None,
-         compress: Optional[str] = None):
+         compress: Optional[str] = None, heterogeneous: bool = False):
     dist = DistConfig(
         link_latency_ns=latency_ns,
         batch_bytes=batch_bytes,
@@ -93,6 +93,7 @@ def _run(workload: SyntheticWorkload, *, nodes: int = 3,
         shard_rendezvous=shard,
         rendezvous_shards=rendezvous_shards,
         compress=compress,
+        heterogeneous=heterogeneous,
     )
     config = ReMonConfig(replicas=nodes, level=level, degradation=degradation,
                          dist=dist)
@@ -448,7 +449,50 @@ def recovery_sweep(latencies_ns: Optional[Tuple[int, ...]] = None,
 
 
 # ---------------------------------------------------------------------------
-# 9. WAN links: what packet loss costs, and what a breaker trip costs
+# 9. Heterogeneous per-node diversity: what canonicalization costs
+# ---------------------------------------------------------------------------
+def hetero_sweep(latencies_ns: Optional[Tuple[int, ...]] = None,
+                 nodes: int = 3) -> List[Dict]:
+    """Per-node diversity profiles against the homogeneous baseline,
+    same workload, same seed (DESIGN.md §13). Heterogeneous nodes with
+    a non-canonical guest ABI re-encode every compared call to the
+    canonical form before hashing; the sweep prices that rewrite
+    (``dist_canonical_cost_ns`` against total wall time, reported as
+    ``canonical_pct`` of the rendezvous path) and proves the digest
+    behaviour is unchanged: rendezvous round counts and exit codes
+    must match the homogeneous rows exactly."""
+    workload = _workload("hetero")
+    native_ns = _native_ns(workload)
+    rows = []
+    for latency_ns in latencies_ns or sweep_latencies():
+        for label, hetero in (("homogeneous", False), ("heterogeneous", True)):
+            result = _run(workload, nodes=nodes, latency_ns=latency_ns,
+                          heterogeneous=hetero)
+            assert not result.diverged, result.divergence
+            stats = result.stats
+            canonical_ns = stats.get("dist_canonical_cost_ns", 0)
+            rows.append(
+                {
+                    "latency_ns": latency_ns,
+                    "profile": label,
+                    "overhead": result.wall_time_ns / max(1, native_ns),
+                    "wall_time_ns": result.wall_time_ns,
+                    "exit_codes": list(result.exit_codes),
+                    "rounds": stats["dist_rendezvous_completed"],
+                    "rendezvous": stats["dist_rendezvous_calls"],
+                    "wire_bytes": stats["dist_wire_bytes"],
+                    "canonical_calls": stats.get("dist_canonical_calls", 0),
+                    "canonical_cost_ns": canonical_ns,
+                    "canonical_pct": 100.0 * canonical_ns
+                    / max(1, result.wall_time_ns),
+                    "abi_variants": stats.get("dist_abi_variants", 1),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# 10. WAN links: what packet loss costs, and what a breaker trip costs
 # ---------------------------------------------------------------------------
 WAN_LOSS_RATES: Tuple[float, ...] = (0.0, 0.01, 0.02, 0.05)
 
@@ -663,6 +707,19 @@ def render_all() -> str:
         table.add("%d us" % (row["latency_ns"] // 1000), row["scenario"],
                   row["lost_rounds"], row["resubmits"], row["handoff_rounds"],
                   "%.1f" % (row["handoff_cost_ns"] / 1000),
+                  "%.2fx" % row["overhead"])
+    out.append(table.render())
+
+    table = Table(
+        "Heterogeneous diversity profiles (3 nodes, SOCKET_RW)",
+        ["latency", "profile", "rounds", "canonical calls", "canonical us",
+         "canonical %", "overhead"],
+    )
+    for row in hetero_sweep():
+        table.add("%d us" % (row["latency_ns"] // 1000), row["profile"],
+                  row["rounds"], row["canonical_calls"],
+                  "%.1f" % (row["canonical_cost_ns"] / 1000),
+                  "%.2f%%" % row["canonical_pct"],
                   "%.2fx" % row["overhead"])
     out.append(table.render())
 

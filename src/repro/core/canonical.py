@@ -1,0 +1,126 @@
+"""Layout-independent canonical serialization (DESIGN.md §13).
+
+Heterogeneous clusters give every node its own diversity profile —
+disjoint DCL arenas, private ASLR seed streams, and a divergent guest
+ABI (scalar width, inter-field padding) that changes how an
+:class:`~repro.core.comparator.ArgBlob` encodes *in that node's guest
+memory*. Raw encodings from two such nodes differ byte-for-byte even
+when the replicas made the same call with the same logical arguments,
+so nothing cross-node may ever hash raw bytes.
+
+This module is the single chokepoint that fixes that. The digest
+pipeline becomes::
+
+    serialize_args()  ->  logical items     (pointers already rewritten
+                                             to class+pointee form)
+    encode_items(abi) ->  node-local bytes  (what lands in guest memory
+                                             and is priced on the wire)
+    encode_items()    ->  CANONICAL bytes   (fixed widths, zero padding)
+    intern_digest()   ->  64-bit digest     (what rendezvous votes on)
+
+``encode_items`` with default arguments *is* the canonical form, and is
+byte-identical to the historical ``ArgBlob.encode()`` — a homogeneous
+cluster (every node on :data:`CANONICAL_ABI`) therefore hashes exactly
+the bytes it always hashed, with zero extra work on the hot path.
+
+Pointer normalization happens one stage earlier, in
+:func:`repro.core.comparator.serialize_args`: raw addresses never reach
+the item list. ``ptr`` items carry NULL/non-NULL class, ``callable``
+items carry the handler class, and pointees travel by content. This
+module only has to normalize the *widths and padding* the per-node ABI
+diversifies.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+_SCALAR_MASK = (1 << 63) - 1
+_LEN = struct.Struct("<I")
+
+
+class AbiProfile:
+    """How one node's guest ABI lays out an argument record.
+
+    ``scalar_width``
+        Bytes per integer scalar (8 = the canonical LP64 width; a
+        diversified node may zero-extend to 16, the ILP128 analogue).
+    ``item_pad``
+        Zero bytes of inter-field padding appended after every item's
+        payload (0 = canonical packed layout).
+    """
+
+    __slots__ = ("scalar_width", "item_pad")
+
+    def __init__(self, scalar_width: int = 8, item_pad: int = 0):
+        if scalar_width < 8:
+            raise ValueError("scalar_width must hold a 64-bit value")
+        if item_pad < 0:
+            raise ValueError("item_pad must be non-negative")
+        self.scalar_width = scalar_width
+        self.item_pad = item_pad
+
+    @property
+    def canonical(self) -> bool:
+        return self.scalar_width == 8 and self.item_pad == 0
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, AbiProfile)
+            and self.scalar_width == other.scalar_width
+            and self.item_pad == other.item_pad
+        )
+
+    def __hash__(self):
+        return hash((self.scalar_width, self.item_pad))
+
+    def __repr__(self):
+        return "AbiProfile(scalar_width=%d, item_pad=%d)" % (
+            self.scalar_width,
+            self.item_pad,
+        )
+
+
+#: The reference ABI every pre-heterogeneity run implicitly used.
+CANONICAL_ABI = AbiProfile()
+
+
+def encode_items(
+    name: str,
+    items: List[Tuple[str, object]],
+    scalar_width: int = 8,
+    item_pad: int = 0,
+) -> bytes:
+    """Encode a serialized argument record under one ABI.
+
+    With default arguments this produces the **canonical** encoding
+    (and is byte-identical to the pre-refactor ``ArgBlob.encode()``).
+    The length field counts the payload *before* padding, so a decoder
+    under any ABI can skip its own padding deterministically.
+    """
+    pad = b"\x00" * item_pad
+    out = bytearray()
+    out += name.encode()[:16].ljust(16, b"\x00")
+    for kind, value in items:
+        tag = kind.encode()[:8].ljust(8, b"\x00")
+        if isinstance(value, bytes):
+            payload = value
+        elif isinstance(value, bool):
+            payload = bytes([value])
+        else:
+            payload = (int(value) & _SCALAR_MASK).to_bytes(scalar_width, "little")
+        out += tag + _LEN.pack(len(payload)) + payload
+        if item_pad:
+            out += pad
+    return bytes(out)
+
+
+def canonical_bytes(name: str, items: List[Tuple[str, object]]) -> bytes:
+    """The layout-independent form every cross-node digest hashes."""
+    return encode_items(name, items)
+
+
+def encode_for(name: str, items: List[Tuple[str, object]], abi: AbiProfile) -> bytes:
+    """One node's local (guest-memory) encoding of the same record."""
+    return encode_items(name, items, abi.scalar_width, abi.item_pad)

@@ -17,10 +17,10 @@ pointers are compared by *shape* (NULL vs non-NULL) and their pointees by
 
 from __future__ import annotations
 
-import struct
 import zlib
 from typing import List, Optional, Tuple
 
+from repro.core.canonical import CANONICAL_ABI, AbiProfile, encode_for
 from repro.core.digests import intern_digest
 from repro.kernel.memory import MemoryFault
 from repro.kernel.specs import SyscallSpec, spec_for
@@ -30,36 +30,51 @@ from repro.kernel.structs import read_iovecs
 class ArgBlob:
     """One replica's serialized argument record."""
 
-    __slots__ = ("name", "items", "nbytes", "_encoded")
+    __slots__ = ("name", "items", "nbytes", "abi", "_encoded", "_canonical")
 
-    def __init__(self, name: str, items: List[Tuple[str, object]], nbytes: int):
+    def __init__(
+        self,
+        name: str,
+        items: List[Tuple[str, object]],
+        nbytes: int,
+        abi: Optional[AbiProfile] = None,
+    ):
         self.name = name
         self.items = items
         self.nbytes = nbytes
+        self.abi = abi if abi is not None else CANONICAL_ABI
         self._encoded: Optional[bytes] = None
+        self._canonical: Optional[bytes] = None
 
     def encode(self) -> bytes:
-        """A deterministic byte encoding (what actually lands in the RB).
+        """This node's local byte encoding (what actually lands in the
+        RB / guest memory) — laid out under the node's
+        :class:`~repro.core.canonical.AbiProfile`.
 
         Memoized per instance: IP-MON sizes the record with it and the
-        digest path hashes it, so the canonical bytes are built once.
+        homogeneous digest path hashes it, so the bytes are built once.
         """
         cached = self._encoded
         if cached is not None:
             return cached
-        out = bytearray()
-        out += self.name.encode()[:16].ljust(16, b"\x00")
-        for kind, value in self.items:
-            tag = kind.encode()[:8].ljust(8, b"\x00")
-            if isinstance(value, bytes):
-                payload = value
-            elif isinstance(value, bool):
-                payload = bytes([value])
-            else:
-                payload = struct.pack("<q", int(value) & (1 << 63) - 1)
-            out += tag + struct.pack("<I", len(payload)) + payload
-        cached = bytes(out)
+        cached = encode_for(self.name, self.items, self.abi)
         self._encoded = cached
+        if self.abi.canonical:
+            self._canonical = cached
+        return cached
+
+    def canonical(self) -> bytes:
+        """The layout-independent canonical encoding (DESIGN.md §13):
+        fixed scalar widths, zero padding — identical bytes for the
+        same logical arguments under *any* node's ABI. On a canonical
+        ABI this is the local encoding itself, shared memo and all."""
+        cached = self._canonical
+        if cached is not None:
+            return cached
+        if self.abi.canonical:
+            return self.encode()
+        cached = encode_for(self.name, self.items, CANONICAL_ABI)
+        self._canonical = cached
         return cached
 
     def digest(self) -> int:
@@ -67,7 +82,7 @@ class ArgBlob:
         MVEE-wide with the dist wire path via
         :func:`repro.core.digests.intern_digest`, so identical blobs
         hash once per round, not once per replica per node."""
-        return intern_digest(self.name, self.encode())
+        return intern_digest(self.name, self.canonical())
 
     def __eq__(self, other):
         return (
@@ -91,10 +106,17 @@ def _resolve_length(length_source, args, result: Optional[int] = None) -> int:
     raise ValueError("unknown length source %r" % (length_source,))
 
 
-def serialize_args(req, space, spec: Optional[SyscallSpec] = None) -> ArgBlob:
+def serialize_args(
+    req,
+    space,
+    spec: Optional[SyscallSpec] = None,
+    abi: Optional[AbiProfile] = None,
+) -> ArgBlob:
     """Deep-copy the *comparable content* of a call's arguments.
 
-    Unknown syscalls degrade to comparing raw values.
+    Unknown syscalls degrade to comparing raw values. ``abi`` is the
+    serializing node's layout profile; omitted, the record encodes in
+    canonical form (the homogeneous/single-machine case).
     """
     spec = spec or spec_for(req.name)
     items: List[Tuple[str, object]] = []
@@ -102,7 +124,7 @@ def serialize_args(req, space, spec: Optional[SyscallSpec] = None) -> ArgBlob:
     if spec is None:
         for value in req.args:
             items.append(("reg", _raw(value)))
-        return ArgBlob(req.name, items, nbytes)
+        return ArgBlob(req.name, items, nbytes, abi)
     for index, arg_spec in enumerate(spec.args):
         if index >= len(req.args):
             break
@@ -152,7 +174,7 @@ def serialize_args(req, space, spec: Optional[SyscallSpec] = None) -> ArgBlob:
                 items.append(("reg", _raw(value)))
         except MemoryFault:
             items.append(("fault", int(value) != 0))
-    return ArgBlob(req.name, items, nbytes)
+    return ArgBlob(req.name, items, nbytes, abi)
 
 
 def _raw(value) -> int:

@@ -91,6 +91,14 @@ class CostModel:
     #: per-byte message cost for the bytes they put on the wire.
     dist_retransmit_ns: int = 900
     dist_ack_ns: int = 400
+    #: Canonical re-serialization on heterogeneous clusters (DESIGN.md
+    #: §13): a node whose guest ABI diverges from the canonical form
+    #: re-encodes the argument record (fixed widths, zero padding)
+    #: before digesting, so cross-node digests stay layout-independent.
+    #: Canonical-ABI nodes — every node of a homogeneous cluster — skip
+    #: this entirely and the fields are never billed.
+    canonical_ns: int = 200  # per-record re-encode dispatch
+    canonical_ns_per_byte: float = 0.08  # width/padding rewrite per byte
 
     # -- fleet admission control (repro.fleet) ------------------------------
     #: Leader-side accept-path bookkeeping per admitted connection:
@@ -161,6 +169,10 @@ class CostModel:
     def dist_decompress_cost_ns(self, nbytes: int) -> int:
         """CPU cost of expanding one coded payload back to ``nbytes``."""
         return int(self.dist_decompress_ns_per_byte * nbytes)
+
+    def canonical_cost_ns(self, nbytes: int) -> int:
+        """CPU cost of canonicalizing one ``nbytes`` argument record."""
+        return int(self.canonical_ns + self.canonical_ns_per_byte * nbytes)
 
     def with_overrides(self, **kwargs) -> "CostModel":
         return replace(self, **kwargs)

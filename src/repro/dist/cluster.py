@@ -67,6 +67,7 @@ from repro.dist.wire import (
     parse_digest_payload,
 )
 from repro.diversity.aslr import make_layouts
+from repro.diversity.profile import make_node_profiles
 from repro.errors import MonitorError
 from repro.guest.program import Program
 from repro.guest.runtime import GuestRuntime
@@ -165,6 +166,16 @@ class DistConfig:
     #: (Level.SOCKET_RW): at stricter levels recv/send would rendezvous
     #: and execute on follower phantom fds.
     external_service: bool = False
+    #: Heterogeneous per-node diversity (DESIGN.md §13, DMON-style).
+    #: Every node gets its own :class:`repro.diversity.NodeProfile`:
+    #: a private DCL arena, a one-way-mixed ASLR seed stream, and a
+    #: divergent guest ABI. Cross-node digests then hash the canonical
+    #: serialization (``repro.core.canonical``) instead of raw node
+    #: bytes, and the canonicalization rewrite is billed on the
+    #: rendezvous hot path. False (the default) keeps the single
+    #: homogeneous layout family and is bit-identical to the
+    #: pre-profile design.
+    heterogeneous: bool = False
     #: Elastic lifecycle (repro.lifecycle.LifecycleConfig, or None):
     #: gossip membership + heartbeats, replay-based re-admission of
     #: quarantined slots, and the drift-watchdog auto-scaler. Typed as
@@ -392,6 +403,12 @@ class DistMonitor:
             return
         votes = {state.digests[p] for p in participants}
         verdict = 1 if len(votes) == 1 else 0
+        # The canonical digest the round agreed on (DESIGN.md §13): on
+        # agreement every vote is the same (name, digest) pair. Carried
+        # through the release into each mirror (and the lifecycle
+        # window), so a replayed re-admission can verify its own
+        # canonical bytes against what the cluster actually decided.
+        agreed = next(iter(votes))[1] if verdict == 1 else 0
         owner = self.mvee.shard_owner(vtid, seq)
         for peer in participants:
             if peer == owner:
@@ -407,11 +424,15 @@ class DistMonitor:
             if when <= self._release_clock:
                 when = self._release_clock + 1
             self._release_clock = when
-            self.mvee.sim.call_at(when, self._release, vtid, seq, verdict, owner)
+            self.mvee.sim.call_at(
+                when, self._release, vtid, seq, verdict, owner, agreed
+            )
         else:
-            self._release(vtid, seq, verdict, owner)
+            self._release(vtid, seq, verdict, owner, agreed)
 
-    def _release(self, vtid: int, seq: int, verdict: int, owner: int) -> None:
+    def _release(
+        self, vtid: int, seq: int, verdict: int, owner: int, digest: int = 0
+    ) -> None:
         """The verdict becomes visible: record it, report a divergence on
         mismatch, and (under sharding) apply it to every node's mirror at
         this one instant — uniform wake order across nodes."""
@@ -441,9 +462,9 @@ class DistMonitor:
         # one instant (the frames carry the bytes; _dispatch leaves
         # their application to this event).
         for node in self.mvee.nodes:
-            node.mirror.release(vtid, seq, verdict, sim)
+            node.mirror.release(vtid, seq, verdict, sim, digest=digest)
         if self.mvee.lifecycle is not None:
-            self.mvee.lifecycle.record_release(vtid, seq, verdict)
+            self.mvee.lifecycle.record_release(vtid, seq, verdict, digest)
         state.waitq.notify_all(sim)
 
     def on_membership_change(self) -> None:
@@ -701,10 +722,26 @@ class DistMvee:
     # ------------------------------------------------------------------
     def _build(self) -> None:
         dconfig = self.dconfig
-        layouts = make_layouts(
-            self.n, seed=self.config.seed,
-            aslr=self.config.aslr, dcl=self.config.dcl,
+        profiles = make_node_profiles(
+            self.n,
+            cluster_seed=self.config.seed,
+            heterogeneous=dconfig.heterogeneous,
         )
+        if dconfig.heterogeneous:
+            # One layout per node, each drawn from that node's own seed
+            # stream inside its own DCL arena (disjoint across nodes).
+            layouts = [
+                profile.make_layout(aslr=self.config.aslr, dcl=self.config.dcl)
+                for profile in profiles
+            ]
+        else:
+            # The historical single-family draw, byte-identical RNG
+            # stream and all — the homogeneous bit-identity gate depends
+            # on this path not changing.
+            layouts = make_layouts(
+                self.n, seed=self.config.seed,
+                aslr=self.config.aslr, dcl=self.config.dcl,
+            )
         for index, layout in enumerate(layouts):
             kernel = Kernel(
                 sim=self.sim,
@@ -723,7 +760,7 @@ class DistMvee:
             # pressure — one of distribution's selling points.
             process.compute_factor = 1.0
             self.group.add(process)
-            node = Node(index, kernel, process, layout)
+            node = Node(index, kernel, process, layout, profile=profiles[index])
             node.view = ReplicaView(process, self.policy, self.epoll_map, index)
             node.interceptor = DistInterceptor(self, node)
             kernel.syscall_hooks.append(node.interceptor)
@@ -1071,6 +1108,19 @@ class DistMvee:
             "faults_injected",
             injector.total_injected if injector is not None else 0,
         )
+        if self.dconfig.heterogeneous:
+            # Diversity accounting exists only under per-node profiles:
+            # homogeneous runs keep a stats view bit-identical to the
+            # pre-profile design (the §13 invisibility contract).
+            registry.expose("dist_heterogeneous", 1)
+            registry.expose(
+                "dist_abi_variants",
+                len({node.profile.abi for node in self.nodes}),
+            )
+            registry.expose(
+                "dist_arena_variants",
+                len({node.profile.arena_base for node in self.nodes}),
+            )
         if self.lifecycle is not None:
             # Lifecycle accounting exists only when a manager was built:
             # lifecycle-free runs keep a stats view bit-identical to the

@@ -33,9 +33,12 @@ from typing import Dict, Optional
 
 from repro.core.comparator import serialize_args
 from repro.dist import selective as sel
+from repro.diversity.profile import make_node_profiles
 from repro.dist.remote_rb import RBMirror, RemoteRecord
 from repro.dist.wire import (
     Frame,
+    STATE_RECORD,
+    STATE_VERDICT,
     T_CALL_DIGEST,
     T_RENDEZVOUS_REQ,
     T_ROUND_RESUBMIT,
@@ -93,11 +96,19 @@ class ReplicaView:
 class Node:
     """One simulated machine: a kernel, one replica, and mirror state."""
 
-    def __init__(self, index: int, kernel, process, layout):
+    def __init__(self, index: int, kernel, process, layout, profile=None):
         self.index = index
         self.kernel = kernel
         self.process = process
         self.layout = layout
+        #: This node's diversity transform (DESIGN.md §13). Omitted, the
+        #: node runs the canonical (homogeneous) profile: shared layout
+        #: family, canonical guest ABI, no canonicalization work.
+        self.profile = (
+            profile
+            if profile is not None
+            else make_node_profiles(index + 1)[index]
+        )
         self.mirror = RBMirror(index)
         #: This node's MonitorShard, once it owns rendezvous rounds
         #: (attached by DistMonitor.shard on first service).
@@ -118,6 +129,14 @@ class Node:
         #: re-voting rounds the cluster already decided).
         self.rejoining = False
         self.replaying = False
+        #: Recorded window order for replay (list of (kind, vtid, seq)
+        #: in release/put order) plus the adoption cursor. Live nodes
+        #: wake in uniform release order; a replay that adopted at
+        #: per-thread speed could interleave shared-namespace
+        #: allocation (fd numbers) differently and fail the canonical
+        #: digest verification against the recorded run.
+        self.replay_plan: list = []
+        self.replay_cursor = 0
 
     @property
     def host_ip(self) -> str:
@@ -153,6 +172,15 @@ class DistInterceptor:
         self._self_ip_packed = bytes(
             int(octet) for octet in node.host_ip.split(".")
         )
+
+    def _scrub(self, blob: bytes) -> bytes:
+        """Strip this node's own IP (text and inet_aton forms) from a
+        serialized record: a node-local identifier, compared by role."""
+        if self._self_ip in blob:
+            blob = blob.replace(self._self_ip, b"<self-addr>")
+        if self._self_ip_packed in blob:
+            blob = blob.replace(self._self_ip_packed, b"<self-addr>")
+        return blob
 
     def _virtualized(self, req):
         """Address virtualization (dMVX rewrites sockaddrs the same way
@@ -204,13 +232,32 @@ class DistInterceptor:
             handled, result = yield from self._replay(thread, req, seq)
             if handled:
                 return result
-        blob = serialize_args(self._virtualized(req), node.process.space).encode()
-        if self._self_ip in blob:
-            blob = blob.replace(self._self_ip, b"<self-addr>")
-        if self._self_ip_packed in blob:
-            blob = blob.replace(self._self_ip_packed, b"<self-addr>")
-        yield Sleep(costs.compare_cost_ns(len(blob), len(req.args)), cpu=True)
-        digest = call_digest(req.name, blob)
+        blob = serialize_args(
+            self._virtualized(req), node.process.space, abi=node.profile.abi
+        )
+        local = self._scrub(blob.encode())
+        yield Sleep(costs.compare_cost_ns(len(local), len(req.args)), cpu=True)
+        if node.profile.abi.canonical:
+            # Canonical-ABI nodes — every node of a homogeneous cluster —
+            # hash their local bytes directly: the local encoding *is*
+            # the canonical form, so no re-encode and no extra virtual
+            # time (a Sleep(0) here would still perturb event ordering).
+            canonical = local
+            canonical_ns = 0
+        else:
+            # Heterogeneous ABI: the guest-memory encoding is node-
+            # private (widths/padding), so the digest pipeline re-encodes
+            # to canonical form and bills the rewrite (DESIGN.md §13).
+            canonical = self._scrub(blob.canonical())
+            canonical_ns = costs.canonical_cost_ns(len(canonical))
+            yield Sleep(canonical_ns, cpu=True)
+            stats = mvee.stats
+            stats["canonical_calls"] = stats.get("canonical_calls", 0) + 1
+            stats["canonical_cost_ns"] = (
+                stats.get("canonical_cost_ns", 0) + canonical_ns
+            )
+        mvee.obs.registry.histogram("dist_canonical_wait_ns").observe(canonical_ns)
+        digest = call_digest(req.name, canonical)
         handler = mvee.handlers.get(req.name)
         view = node.view
         if mvee.external and req.name in sel.EXTERNAL_LEADER_CALLS:
@@ -259,11 +306,13 @@ class DistInterceptor:
                 if node.rejoining:
                     lifecycle.reach_frontier(node)
                 return False, None
+            yield from self._claim_replay_turn(thread, STATE_RECORD, vtid, seq)
             yield Sleep(costs.lifecycle_replay_ns, cpu=True)
             if record.result >= 0:
                 self._materialize_accept(thread, req, record)
             node.mirror.consume(vtid, seq)
             lifecycle.stats["replayed_records"] += 1
+            self._finish_replay_turn()
             return True, record.result
         if handler is None or handler.maybe_checked(view, req):
             verdict = node.mirror.verdict(vtid, seq)
@@ -271,12 +320,30 @@ class DistInterceptor:
                 if node.rejoining:
                     lifecycle.reach_frontier(node)
                 return False, None
+            yield from self._claim_replay_turn(thread, STATE_VERDICT, vtid, seq)
             yield Sleep(costs.lifecycle_replay_ns, cpu=True)
             lifecycle.stats["replayed_verdicts"] += 1
             if verdict != 1:
+                self._finish_replay_turn()
                 result = yield from mvee.park(thread)
                 return True, result
+            # Re-admission verification (DESIGN.md §13): the recorded
+            # verdict carries the round's *canonical* digest, so the
+            # replayed replica proves it would have voted with the
+            # cluster — against canonical bytes, never the recorder's
+            # node-local encoding (which a heterogeneous ABI makes
+            # incomparable by construction).
+            expected = node.mirror.verdict_digest(vtid, seq)
+            if expected:
+                verified = yield from self._verify_replay(
+                    thread, req, expected
+                )
+                if not verified:
+                    self._finish_replay_turn()
+                    result = yield from mvee.park(thread)
+                    return True, result
             result = yield from node.kernel.invoke(thread, req)
+            self._finish_replay_turn()
             return True, result
         fd_kind = view.filemap.fd_kind(req.arg(0)) if req.args else None
         if mvee.replication.classify(req.name, fd_kind) == sel.LOCAL:
@@ -296,6 +363,7 @@ class DistInterceptor:
             return False, None
         # Same replica-local bookkeeping as a live adoption (e.g. epoll
         # data tags), just billed at replay cost.
+        yield from self._claim_replay_turn(thread, STATE_RECORD, vtid, seq)
         observe = getattr(handler, "observe", None)
         if observe is not None:
             observe(view, req)
@@ -303,7 +371,78 @@ class DistInterceptor:
         handler.apply_results(view, req, record.result, record.payload)
         node.mirror.consume(vtid, seq)
         lifecycle.stats["replayed_records"] += 1
+        self._finish_replay_turn()
         return True, record.result
+
+    def _claim_replay_turn(self, thread, kind, vtid, seq):
+        """Block until this recorded artifact is next in window order.
+
+        Live nodes wake threads in uniform scheduled release order (the
+        discipline `_release` documents); a replay that adopted at
+        per-thread speed can interleave shared-namespace allocation —
+        fd numbers most visibly — differently from the recorded run,
+        and the canonical digest verification would (correctly) refuse
+        the re-admission. Replaying the window as a totally ordered
+        log, rr-style, reproduces the recorded interleaving exactly.
+        """
+        node = self.node
+        plan = node.replay_plan
+        if not plan:
+            return
+        want = (kind, vtid, seq)
+        while (
+            node.replay_cursor < len(plan)
+            and plan[node.replay_cursor] != want
+        ):
+            event = node.mirror.waitq.register()
+            status, _ = yield from wait_interruptible(thread, event)
+            if status != "fired":
+                node.mirror.waitq.unregister(event)
+
+    def _finish_replay_turn(self):
+        """Advance the window cursor and wake the next claimant."""
+        node = self.node
+        if not node.replay_plan:
+            return
+        node.replay_cursor += 1
+        node.mirror.waitq.notify_all(self.mvee.sim)
+
+    def _verify_replay(self, thread, req, expected):
+        """Recompute this node's canonical digest for one replayed
+        rendezvous and compare it to the recorded verdict's. Returns
+        False (after flagging a divergence) on mismatch."""
+        from repro.core.events import DivergenceReport
+
+        mvee, node = self.mvee, self.node
+        costs = node.kernel.config.costs
+        lifecycle = mvee.lifecycle
+        blob = serialize_args(
+            self._virtualized(req), node.process.space, abi=node.profile.abi
+        )
+        canonical = self._scrub(blob.canonical())
+        verify_ns = costs.compare_cost_ns(len(canonical), len(req.args))
+        if not node.profile.abi.canonical:
+            verify_ns += costs.canonical_cost_ns(len(canonical))
+        yield Sleep(verify_ns, cpu=True)
+        stats = lifecycle.stats
+        if call_digest(req.name, canonical) == expected:
+            stats["replayed_verified"] = stats.get("replayed_verified", 0) + 1
+            return True
+        stats["replay_verify_failures"] = (
+            stats.get("replay_verify_failures", 0) + 1
+        )
+        mvee.divergence(
+            DivergenceReport(
+                mvee.sim.now,
+                thread.vtid,
+                req.name,
+                "replayed %s diverges from the recorded canonical verdict "
+                "digest on node %d" % (req.name, node.index),
+                detected_by="replay",
+                replica=node.index,
+            )
+        )
+        return False
 
     # -- local lane --------------------------------------------------------
     def _local(self, thread, req, seq, digest, cls):

@@ -48,6 +48,10 @@ class RBMirror:
         self.consumed: Set[Key] = set()
         #: Rendezvous verdicts pushed by the leader (1 ok, 0 diverged).
         self.releases: Dict[Key, int] = {}
+        #: Canonical digest each agreed round was decided on (0 when the
+        #: verdict predates digest-carrying releases or was a mismatch).
+        #: Replayed re-admissions verify against these (DESIGN.md §13).
+        self.release_digests: Dict[Key, int] = {}
         self.waitq = WaitQueue("rb-mirror-%d" % node_index)
         self.records_received = 0
         self.records_adopted = 0
@@ -86,16 +90,25 @@ class RBMirror:
         }
 
     # -- rendezvous releases ----------------------------------------------
-    def release(self, vtid: int, seq: int, verdict: int, sim=None) -> None:
+    def release(
+        self, vtid: int, seq: int, verdict: int, sim=None, digest: int = 0
+    ) -> None:
         key = (vtid, seq)
         if key not in self.releases:
             self.releases[key] = verdict
+            if digest:
+                self.release_digests[key] = digest
             self.releases_received += 1
         if sim is not None:
             self.waitq.notify_all(sim)
 
     def verdict(self, vtid: int, seq: int) -> Optional[int]:
         return self.releases.get((vtid, seq))
+
+    def verdict_digest(self, vtid: int, seq: int) -> int:
+        """The canonical digest an agreed round was decided on (0 when
+        unknown: pre-digest releases, or a diverged round)."""
+        return self.release_digests.get((vtid, seq), 0)
 
     def wake(self, sim) -> None:
         """Wake any waiter (membership changed, shutdown, promotion)."""

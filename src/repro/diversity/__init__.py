@@ -11,5 +11,12 @@ payload cannot work everywhere).
 
 from repro.diversity.aslr import ReplicaLayout, make_layouts
 from repro.diversity.dcl import layouts_code_disjoint
+from repro.diversity.profile import NodeProfile, make_node_profiles
 
-__all__ = ["ReplicaLayout", "layouts_code_disjoint", "make_layouts"]
+__all__ = [
+    "NodeProfile",
+    "ReplicaLayout",
+    "layouts_code_disjoint",
+    "make_layouts",
+    "make_node_profiles",
+]

@@ -63,12 +63,18 @@ def make_layouts(
     aslr: bool = True,
     dcl: bool = True,
     code_size: int = DEFAULT_CODE_SIZE,
+    code_anchor: int = CODE_ANCHOR,
 ) -> List["ReplicaLayout"]:
     """Generate ``count`` diversified replica layouts.
 
     With ``dcl`` enabled, code regions are guaranteed pairwise disjoint:
     each replica's text is placed in its own slice of the code arena, so
     no executable byte shares an address across replicas.
+
+    ``code_anchor`` relocates the whole code arena; a heterogeneous
+    cluster gives every node its own anchor
+    (:class:`repro.diversity.profile.NodeProfile`), so the per-node
+    families are disjoint across *nodes*, not just within one family.
     """
     rng = random.Random(seed ^ 0xD15EA5E)
     layouts: List[ReplicaLayout] = []
@@ -82,14 +88,14 @@ def make_layouts(
             mmap_base = MMAP_TOP - (1 << 30)
             brk_base = BRK_ANCHOR
         if dcl:
-            slice_base = CODE_ANCHOR + index * slice_size
+            slice_base = code_anchor + index * slice_size
             jitter = _page_random(rng, CODE_ENTROPY_BITS) if aslr else 0
             code_base = slice_base + (jitter % max(PAGE_SIZE, slice_size - code_size))
             code_base &= ~(PAGE_SIZE - 1)
         elif aslr:
-            code_base = CODE_ANCHOR + _page_random(rng, CODE_ENTROPY_BITS)
+            code_base = code_anchor + _page_random(rng, CODE_ENTROPY_BITS)
         else:
-            code_base = CODE_ANCHOR
+            code_base = code_anchor
         layouts.append(
             ReplicaLayout(index, code_base, code_size, mmap_base, brk_base, seed + index)
         )

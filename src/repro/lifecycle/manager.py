@@ -44,6 +44,7 @@ from repro.dist.wire import (
     T_LIFECYCLE_GOSSIP,
     T_LIFECYCLE_STATE,
     T_SHARD_HANDOFF,
+    digest_payload,
     gossip_payload,
     owners_payload,
     parse_gossip_payload,
@@ -211,8 +212,10 @@ class LifecycleManager:
     def record_result(self, vtid: int, seq: int, record) -> None:
         self.window.record(vtid, seq, record)
 
-    def record_release(self, vtid: int, seq: int, verdict: int) -> None:
-        self.window.release(vtid, seq, verdict)
+    def record_release(
+        self, vtid: int, seq: int, verdict: int, digest: int = 0
+    ) -> None:
+        self.window.release(vtid, seq, verdict, digest)
 
     def note_stall(self, blame: int) -> None:
         self.stats["stall_notes"] += 1
@@ -336,9 +339,13 @@ class LifecycleManager:
                     ),
                 )
             else:
+                verdict, digest = artifact
                 frame = Frame(
                     T_LIFECYCLE_STATE, leader, vtid, seq,
-                    aux=artifact, payload=state_payload(STATE_VERDICT, ""),
+                    aux=verdict,
+                    payload=state_payload(
+                        STATE_VERDICT, "", digest_payload(digest, "")
+                    ),
                 )
             mvee.send_frame(leader, index, frame, cls=CLS_LIFECYCLE)
         self.stats["state_frames"] += len(entries)
@@ -360,7 +367,15 @@ class LifecycleManager:
             if kind == RECORD:
                 node.mirror.put(vtid, seq, artifact, sim)
             else:
-                node.mirror.release(vtid, seq, artifact, sim)
+                verdict, digest = artifact
+                node.mirror.release(vtid, seq, verdict, sim, digest=digest)
+        # The window is a totally ordered log: the replaying interceptor
+        # adopts entries in this exact order so shared-namespace
+        # allocation (fd numbers) interleaves as recorded (§13).
+        node.replay_plan = [
+            (kind, vtid, seq) for kind, vtid, seq, _ in entries
+        ]
+        node.replay_cursor = 0
         self.stats["rejoins_started"] += 1
         obs = self.mvee.obs
         if obs.tracer.enabled:

@@ -31,8 +31,9 @@ class ReplayWindow:
 
     def __init__(self, limit: int):
         self.limit = limit
-        #: (kind, vtid, seq, artifact): artifact is the verdict int or
-        #: the RemoteRecord, in recorded (= release/put) order.
+        #: (kind, vtid, seq, artifact): artifact is a (verdict,
+        #: canonical-digest) pair or the RemoteRecord, in recorded
+        #: (= release/put) order.
         self.entries: List[Tuple[int, int, int, object]] = []
         self.overflowed = False
         self.records = 0
@@ -54,10 +55,13 @@ class ReplayWindow:
         self.records += 1
         self._push(RECORD, vtid, seq, record)
 
-    def release(self, vtid: int, seq: int, verdict: int) -> None:
-        """A rendezvous verdict was released to every node."""
+    def release(self, vtid: int, seq: int, verdict: int, digest: int = 0) -> None:
+        """A rendezvous verdict was released to every node. ``digest``
+        is the canonical digest the round agreed on (0 on mismatch):
+        replayed re-admissions verify their own canonical bytes against
+        it instead of trusting the bare verdict (DESIGN.md §13)."""
         self.verdicts += 1
-        self._push(VERDICT, vtid, seq, verdict)
+        self._push(VERDICT, vtid, seq, (verdict, digest))
 
     def snapshot(self) -> List[Tuple[int, int, int, object]]:
         """The window as of now, in recorded order (ship this)."""

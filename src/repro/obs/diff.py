@@ -191,6 +191,24 @@ class Snapshot:
         return "\n".join(lines) + "\n"
 
 
+#: Series families the repo's own exporters emit, for ``--only``
+#: discoverability (any free-form prefix still works). One entry per
+#: subsystem: ``dist`` is the cluster adapter's whole namespace while
+#: ``dist_canonical`` narrows to the §13 canonicalization pipeline
+#: (``dist_canonical_wait_ns``, ``dist_canonical_calls``,
+#: ``dist_canonical_cost_ns``).
+KNOWN_PREFIXES = (
+    "dist",
+    "dist_canonical",
+    "lifecycle",
+    "net",
+    "wall_time",
+    "replicas_quarantined",
+    "master_promotions",
+    "faults_injected",
+)
+
+
 def _matches_prefix(name: str, prefix: str) -> bool:
     """True when ``name`` carries ``prefix``, ignoring the ``repro_`` /
     ``repro_stat_`` namespaces ``to_prometheus`` prepends — so
@@ -325,7 +343,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="restrict to series whose name starts with PREFIX "
              "(namespace-insensitive: 'lifecycle' matches "
              "repro_stat_lifecycle_*) — e.g. --only lifecycle names "
-             "cross-run rejoin-latency drift without the noise",
+             "cross-run rejoin-latency drift, --only dist_canonical "
+             "isolates the canonicalization pipeline; known families: "
+             + ", ".join(KNOWN_PREFIXES),
     )
     options = parser.parse_args(argv)
     try:

@@ -1,0 +1,138 @@
+"""Homogeneous-profile bit-identity gate for the heterogeneous-diversity
+refactor (ISSUE 10).
+
+``golden_hetero_stats.json`` was captured by running three pinned-seed
+fault-free DistMvee sweeps — a 3-node SOCKET_RW run exercising all
+three execution lanes, a 4-node sharded NO_IPMON fast-path run, and a
+4-node gossip-armed lifecycle run — on the **pre-refactor** code, before
+``NodeProfile``/canonical serialization existed. With heterogeneity
+disabled (the default) the same configurations must reproduce those
+results *bit-for-bit*: identical virtual wall time, exit codes, every
+stats counter, and every wire byte. The refactor must be invisible
+unless ``DistConfig(heterogeneous=True)`` asks for it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core import DegradationPolicy, Level, ReMonConfig
+from repro.dist import DistConfig, DistMvee
+from repro.lifecycle import LifecycleConfig
+from repro.workloads.synthetic import CategoryMix, SyntheticWorkload, build_program
+
+_GOLDEN = os.path.join(os.path.dirname(__file__), "golden_hetero_stats.json")
+
+MAX_STEPS = 400_000_000
+
+
+def _golden():
+    with open(_GOLDEN) as handle:
+        return json.load(handle)
+
+
+def _workload(name, threads=3):
+    return SyntheticWorkload(
+        name=name,
+        native_ms=1.0,
+        mix=CategoryMix(
+            {
+                "base": 140_000.0,
+                "file_ro": 110_000.0,
+                "sock_ro": 25_000.0,
+                "sock_rw": 25_000.0,
+                "mgmt": 30_000.0,
+            }
+        ),
+        threads=threads,
+    )
+
+
+def _snapshot(mvee):
+    result = mvee.run(max_steps=MAX_STEPS)
+    assert not result.diverged, result.divergence
+    return {
+        "wall_time_ns": result.wall_time_ns,
+        "exit_codes": list(result.exit_codes),
+        "stats": {k: result.stats[k] for k in sorted(result.stats)},
+        "network_bytes_sent": mvee.network.bytes_sent,
+        "network_segments_sent": mvee.network.segments_sent,
+    }
+
+
+def _lanes_snapshot():
+    """3 nodes, SOCKET_RW: rendezvous + replicated + local lanes all hot."""
+    config = ReMonConfig(
+        replicas=3,
+        level=Level.SOCKET_RW,
+        dist=DistConfig(link_latency_ns=200_000),
+    )
+    return _snapshot(DistMvee(build_program(_workload("hetero-golden-lanes")), config))
+
+
+def _fastpath_snapshot():
+    """4 nodes, NO_IPMON, sharded rendezvous: the lockstep fast path."""
+    config = ReMonConfig(
+        replicas=4,
+        level=Level.NO_IPMON,
+        degradation=DegradationPolicy(min_quorum=2),
+        dist=DistConfig(
+            link_latency_ns=50_000,
+            shard_rendezvous=True,
+            rendezvous_shards=2,
+        ),
+    )
+    return _snapshot(DistMvee(build_program(_workload("hetero-golden-fast")), config))
+
+
+def _lifecycle_snapshot():
+    """4 nodes, gossip armed, fault-free: the recording/window path."""
+    config = ReMonConfig(
+        replicas=4,
+        level=Level.SOCKET_RW,
+        degradation=DegradationPolicy(min_quorum=2),
+        dist=DistConfig(
+            link_latency_ns=100_000,
+            shard_rendezvous=True,
+            rendezvous_shards=2,
+            lifecycle=LifecycleConfig(seed=11),
+        ),
+    )
+    return _snapshot(DistMvee(build_program(_workload("hetero-golden-life")), config))
+
+
+class TestHomogeneousBitIdentity:
+    def test_lanes_run_bit_identical(self):
+        golden = _golden()["lanes"]
+        snapshot = _lanes_snapshot()
+        assert snapshot == golden, _diff(snapshot, golden)
+
+    def test_fastpath_run_bit_identical(self):
+        golden = _golden()["fastpath"]
+        snapshot = _fastpath_snapshot()
+        assert snapshot == golden, _diff(snapshot, golden)
+
+    def test_lifecycle_run_bit_identical(self):
+        golden = _golden()["lifecycle"]
+        snapshot = _lifecycle_snapshot()
+        assert snapshot == golden, _diff(snapshot, golden)
+
+
+def _diff(snapshot, golden):
+    lines = ["heterogeneity refactor changed homogeneous results:"]
+    keys = sorted(set(snapshot) | set(golden))
+    for key in keys:
+        new, old = snapshot.get(key), golden.get(key)
+        if new == old:
+            continue
+        if isinstance(new, dict) and isinstance(old, dict):
+            for stat in sorted(set(new) | set(old)):
+                if new.get(stat) != old.get(stat):
+                    lines.append(
+                        "  %s.%s: %r (golden %r)"
+                        % (key, stat, new.get(stat), old.get(stat))
+                    )
+        else:
+            lines.append("  %s: %r (golden %r)" % (key, new, old))
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Property tests for per-node diversity profiles (DESIGN.md §13)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import CANONICAL_ABI, canonical_bytes, encode_items
+from repro.core.comparator import ArgBlob
+from repro.diversity.aslr import CODE_ANCHOR
+from repro.diversity.dcl import address_valid_in, layouts_code_disjoint
+from repro.diversity.profile import (
+    ARENA_STRIDE,
+    make_node_profiles,
+    node_seed,
+)
+
+seeds = st.integers(min_value=0, max_value=1 << 32)
+
+
+# ---------------------------------------------------------------------------
+# Cross-node DCL disjointness
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    nodes=st.integers(min_value=2, max_value=6),
+    replicas=st.integers(min_value=1, max_value=4),
+    cluster_seed=seeds,
+)
+def test_families_pairwise_disjoint_across_all_nodes(
+    nodes, replicas, cluster_seed
+):
+    """Every node's whole DCL family is code-disjoint from every other
+    node's: the union of all layouts still maps any address to at most
+    one replica cluster-wide."""
+    profiles = make_node_profiles(
+        nodes, cluster_seed=cluster_seed, heterogeneous=True
+    )
+    union = []
+    for profile in profiles:
+        union.extend(profile.make_family(replicas))
+    assert layouts_code_disjoint(union)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nodes=st.integers(min_value=2, max_value=6),
+    cluster_seed=seeds,
+    probe=st.integers(min_value=0, max_value=(1 << 24)),
+)
+def test_leaked_node_address_invalid_on_every_peer(nodes, cluster_seed, probe):
+    profiles = make_node_profiles(
+        nodes, cluster_seed=cluster_seed, heterogeneous=True
+    )
+    layouts = [p.make_layout() for p in profiles]
+    leaked = layouts[probe % nodes]
+    addr = leaked.code_base + (probe % leaked.code_size)
+    peers = [l for l in layouts if l is not leaked]
+    assert address_valid_in(peers, addr) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(nodes=st.integers(min_value=1, max_value=8), cluster_seed=seeds)
+def test_arenas_are_disjoint_by_construction(nodes, cluster_seed):
+    profiles = make_node_profiles(
+        nodes, cluster_seed=cluster_seed, heterogeneous=True
+    )
+    for profile in profiles:
+        assert profile.arena_base == CODE_ANCHOR + profile.node * ARENA_STRIDE
+        family = profile.make_family(3)
+        for layout in family:
+            assert profile.arena_base <= layout.code_base
+            assert (
+                layout.code_base + layout.code_size
+                <= profile.arena_base + ARENA_STRIDE
+            )
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization purity
+# ---------------------------------------------------------------------------
+arg_items = st.lists(
+    st.tuples(
+        st.sampled_from(["scalar", "ptr:heap", "ptr:stack", "buf", "str"]),
+        st.one_of(
+            st.integers(min_value=0, max_value=(1 << 62)),
+            st.booleans(),
+            st.binary(max_size=64),
+        ),
+    ),
+    max_size=8,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+    ),
+    items=arg_items,
+    seed_a=seeds,
+    seed_b=seeds,
+)
+def test_canonical_bytes_identical_across_any_two_profiles(
+    name, items, seed_a, seed_b
+):
+    """The same logical arguments serialized under any two nodes' ABIs
+    canonicalize to identical bytes — the whole §13 digest argument."""
+    profile_a = make_node_profiles(4, cluster_seed=seed_a, heterogeneous=True)[1]
+    profile_b = make_node_profiles(4, cluster_seed=seed_b, heterogeneous=True)[3]
+    blob_a = ArgBlob(name, items, 0, abi=profile_a.abi)
+    blob_b = ArgBlob(name, items, 0, abi=profile_b.abi)
+    assert blob_a.canonical() == blob_b.canonical()
+    assert blob_a.canonical() == canonical_bytes(name, items)
+    assert blob_a.digest() == blob_b.digest()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+    ),
+    items=arg_items,
+)
+def test_canonical_abi_encoding_is_the_canonical_form(name, items):
+    """Default (canonical-ABI) encodings are already canonical bytes:
+    the homogeneous path never re-encodes."""
+    blob = ArgBlob(name, items, 0)
+    assert blob.abi is CANONICAL_ABI
+    assert blob.encode() == blob.canonical()
+    assert blob.encode() == encode_items(name, items)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic assignment
+# ---------------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    nodes=st.integers(min_value=1, max_value=8),
+    cluster_seed=seeds,
+    hetero=st.booleans(),
+)
+def test_profile_assignment_deterministic(nodes, cluster_seed, hetero):
+    a = make_node_profiles(nodes, cluster_seed=cluster_seed, heterogeneous=hetero)
+    b = make_node_profiles(nodes, cluster_seed=cluster_seed, heterogeneous=hetero)
+    for pa, pb in zip(a, b):
+        assert pa.aslr_seed == pb.aslr_seed
+        assert pa.arena_base == pb.arena_base
+        assert pa.abi == pb.abi
+        assert [repr(l) for l in pa.make_family(2)] == [
+            repr(l) for l in pb.make_family(2)
+        ]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    cluster_seed=seeds,
+    node=st.integers(min_value=0, max_value=7),
+    count=st.integers(min_value=1, max_value=8),
+)
+def test_profile_depends_only_on_cluster_seed_and_node(
+    cluster_seed, node, count
+):
+    """A node's profile is a pure function of (cluster_seed, node):
+    growing the cluster never reshuffles existing nodes' diversity."""
+    small = make_node_profiles(
+        max(count, node + 1), cluster_seed=cluster_seed, heterogeneous=True
+    )
+    large = make_node_profiles(
+        max(count, node + 1) + 4, cluster_seed=cluster_seed, heterogeneous=True
+    )
+    assert small[node].aslr_seed == large[node].aslr_seed
+    assert small[node].aslr_seed == node_seed(cluster_seed, node)
+    assert small[node].abi == large[node].abi
+    assert small[node].arena_base == large[node].arena_base
+
+
+@settings(max_examples=50, deadline=None)
+@given(cluster_seed=seeds, nodes=st.integers(min_value=2, max_value=8))
+def test_node_seeds_pairwise_distinct(cluster_seed, nodes):
+    seen = {node_seed(cluster_seed, n) for n in range(nodes)}
+    assert len(seen) == nodes

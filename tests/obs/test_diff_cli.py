@@ -7,17 +7,27 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs.diff import MetricsDiffError, Snapshot, diff_report, main
+from repro.obs.diff import (
+    KNOWN_PREFIXES,
+    MetricsDiffError,
+    Snapshot,
+    diff_report,
+    main,
+    restrict,
+)
 from repro.obs.metrics import MetricsRegistry
 
 
-def _registry(wait_values, wall_ns, rounds):
+def _registry(wait_values, wall_ns, rounds, canonical_values=()):
     registry = MetricsRegistry()
     registry.counter("faults_injected_total").inc(2)
     registry.gauge("replicas_live").set(3)
     hist = registry.histogram("dist_monitor_wait_ns")
     for value in wait_values:
         hist.observe(value)
+    canonical = registry.histogram("dist_canonical_wait_ns")
+    for value in canonical_values:
+        canonical.observe(value)
     registry.histogram("syscall_latency_ns").observe(700)
     registry.expose("wall_time_ns", wall_ns)
     registry.expose("dist_round_trips", rounds)
@@ -109,6 +119,39 @@ class TestCli:
     def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
         assert main([str(tmp_path / "nope.prom"), str(tmp_path / "x.prom")]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_only_dist_canonical_isolates_the_pipeline(self, tmp_path, capsys):
+        """``--only dist_canonical`` (a registered known prefix) diffs
+        just the §13 canonicalization series: monitor-wait and
+        wall-time drift in the same exports must not leak through."""
+        assert "dist_canonical" in KNOWN_PREFIXES
+        a = self._write(
+            tmp_path, "a.prom",
+            _registry([500], 100, 4, canonical_values=[200, 300]),
+        )
+        b = self._write(
+            tmp_path, "b.prom",
+            _registry([9000], 900, 9, canonical_values=[200, 300, 4000]),
+        )
+        assert main(["--only", "dist_canonical", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "repro_dist_canonical_wait_ns" in out
+        assert "dist_monitor_wait_ns" not in out
+        assert "wall_time_ns" not in out
+        # Identical canonicalization bills diff clean even when every
+        # other series moved.
+        assert main(["--only", "dist_canonical", a,
+                     self._write(tmp_path, "c.prom",
+                                 _registry([1], 999, 99,
+                                           canonical_values=[200, 300]))]) == 0
+
+    def test_restrict_keeps_only_matching_series(self):
+        snap = Snapshot.parse(
+            _registry([500], 100, 4, canonical_values=[250]).to_prometheus()
+        )
+        kept = restrict(snap, "dist_canonical")
+        assert list(kept.histograms) == ["repro_dist_canonical_wait_ns"]
+        assert kept.scalars == {}
 
     def test_module_is_runnable(self):
         import subprocess
